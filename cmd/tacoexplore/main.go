@@ -1,0 +1,211 @@
+// Command tacoexplore runs the design-space exploration of the paper's
+// §4 and prints its results, headlined by the Table 1 regeneration.
+//
+// Usage:
+//
+//	tacoexplore -table1                 regenerate Table 1
+//	tacoexplore -campower               the CAM power-parity analysis
+//	tacoexplore -auto                   automated exploration (future work)
+//	tacoexplore -sweep tablesize        entries ∈ {10..1000} scaling
+//	tacoexplore -sweep buses            1..4 buses
+//	tacoexplore -sweep packetsize       64..1500 B datagrams
+//	tacoexplore -sweep replication      1..3 replicated CNT/CMP/M
+//
+// Common flags: -packets, -entries, -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"taco/internal/core"
+	"taco/internal/dse"
+	"taco/internal/estimate"
+	"taco/internal/fu"
+	"taco/internal/rtable"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "regenerate the paper's Table 1")
+		campower = flag.Bool("campower", false, "CAM power-parity analysis (paper §4)")
+		auto     = flag.Bool("auto", false, "automated design-space exploration")
+		sweep    = flag.String("sweep", "", "sweep: tablesize | buses | packetsize | replication")
+		packets  = flag.Int("packets", 64, "datagrams to simulate per instance")
+		entries  = flag.Int("entries", 100, "routing-table entries")
+		seed     = flag.Uint64("seed", 2003, "workload seed")
+	)
+	flag.Parse()
+
+	cons := core.PaperConstraints()
+	cons.TableEntries = *entries
+	sim := core.DefaultSimOptions()
+	sim.Packets = *packets
+	sim.Seed = *seed
+
+	if !*table1 && !*campower && !*auto && *sweep == "" {
+		*table1 = true // default action
+	}
+
+	if *table1 {
+		if err := runTable1(cons, sim); err != nil {
+			fatal(err)
+		}
+	}
+	if *campower {
+		if err := runCAMPower(cons, sim); err != nil {
+			fatal(err)
+		}
+	}
+	if *auto {
+		if err := runAuto(cons, sim); err != nil {
+			fatal(err)
+		}
+	}
+	if *sweep != "" {
+		if err := runSweep(*sweep, cons, sim); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tacoexplore:", err)
+	os.Exit(1)
+}
+
+func runTable1(cons core.Constraints, sim core.SimOptions) error {
+	fmt.Printf("Table 1 — estimated minimum clock frequencies, areas and power\n")
+	fmt.Printf("constraint: %.0f Gbps, %d-byte datagrams (%.2f Mpps), %d-entry table, %s\n\n",
+		cons.ThroughputBps/1e9, cons.PacketBytes, cons.PacketRate()/1e6,
+		cons.TableEntries, cons.Tech.Name)
+	ms, err := core.EvaluateAll(cons, sim)
+	if err != nil {
+		return err
+	}
+	fmt.Print(core.FormatTable1(ms))
+	if best, ok := core.SelectBest(ms); ok {
+		fmt.Printf("\nselected configuration: %s routing table, %s — %s, %.1f mm², %.2f W\n",
+			best.Kind, best.Config.Name, estimate.FormatHz(best.RequiredClockHz),
+			best.Est.AreaMM2, best.Est.PowerW)
+	}
+	return nil
+}
+
+func runCAMPower(cons core.Constraints, sim core.SimOptions) error {
+	ms, err := core.EvaluateAll(cons, sim)
+	if err != nil {
+		return err
+	}
+	fmt.Println("CAM power parity (paper §4): TACO+CAM total vs TACO-only solutions")
+	for _, m := range ms {
+		if !m.ClockFeasible {
+			continue
+		}
+		total := m.Est.PowerW + m.CAMChipPowerW
+		note := ""
+		if m.CAMChipPowerW > 0 {
+			note = fmt.Sprintf(" (core %.2f W + CAM chip %.2f W)", m.Est.PowerW, m.CAMChipPowerW)
+		}
+		fmt.Printf("  %-14s %-18s total %.2f W%s\n", m.Kind, m.Config.Name, total, note)
+	}
+	return nil
+}
+
+func runAuto(cons core.Constraints, sim core.SimOptions) error {
+	res, err := dse.Explore(cons, sim, 4, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("automated exploration: %d instances evaluated, %d pruned\n",
+		res.Evaluated, res.Pruned)
+	if !res.OK {
+		fmt.Println("no configuration satisfies the constraints")
+		return nil
+	}
+	fmt.Println("ranking (best first):")
+	for i, c := range res.Ranked {
+		if i >= 8 {
+			break
+		}
+		m := c.Metrics
+		status := "OK"
+		if !m.Acceptable() {
+			status = "infeasible"
+		}
+		fmt.Printf("  %2d. %-14s %-20s %10s  %6.1f mm²  %5.2f W  [%s]\n",
+			i+1, m.Kind, m.Config.Name, estimate.FormatHz(m.RequiredClockHz),
+			m.Est.AreaMM2, m.Est.PowerW, status)
+	}
+	return nil
+}
+
+func runSweep(which string, cons core.Constraints, sim core.SimOptions) error {
+	switch which {
+	case "tablesize":
+		sizes := []int{10, 25, 50, 100, 250, 500, 1000}
+		fmt.Println("table-size sweep (1BUS/1FU): cycles/packet by implementation")
+		fmt.Printf("%8s %12s %12s %12s %12s\n", "entries", "sequential", "tree", "cam", "trie(model)")
+		rows := map[rtable.Kind][]dse.Point{}
+		for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+			pts, err := dse.SweepTableSize(fu.Config1Bus1FU(kind), sizes, cons, sim)
+			if err != nil {
+				return err
+			}
+			rows[kind] = pts
+		}
+		for i, n := range sizes {
+			// The trie has no hardware unit; report its probe count as a
+			// software model reference.
+			fmt.Printf("%8d %12.0f %12.0f %12.0f %12s\n", n,
+				rows[rtable.Sequential][i].Metrics.CyclesPerPacket,
+				rows[rtable.BalancedTree][i].Metrics.CyclesPerPacket,
+				rows[rtable.CAM][i].Metrics.CyclesPerPacket, "-")
+		}
+	case "buses":
+		for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+			pts, err := dse.SweepBuses(kind, 4, cons, sim)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("bus sweep, %s:\n", kind)
+			for _, p := range pts {
+				fmt.Printf("  %d bus(es): %7.1f cycles/packet, required %s, util %.0f%%\n",
+					int(p.X), p.Metrics.CyclesPerPacket,
+					estimate.FormatHz(p.Metrics.RequiredClockHz),
+					p.Metrics.BusUtilization*100)
+			}
+		}
+	case "packetsize":
+		sizes := []int{64, 128, 256, 512, 1024, 1500}
+		cfg := fu.Config3Bus1FU(rtable.CAM)
+		pts, err := dse.SweepPacketSize(cfg, sizes, cons, sim)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("packet-size sweep (%s, CAM):\n", cfg.Name)
+		for _, p := range pts {
+			fmt.Printf("  %5d B: %6.1f cycles/packet, required %s\n",
+				int(p.X), p.Metrics.CyclesPerPacket,
+				estimate.FormatHz(p.Metrics.RequiredClockHz))
+		}
+	case "replication":
+		for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+			pts, err := dse.SweepReplication(kind, 3, cons, sim)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("replication sweep, %s (3 buses):\n", kind)
+			for _, p := range pts {
+				fmt.Printf("  %dx CNT/CMP/M: %7.1f cycles/packet, required %s, %.1f mm², %.2f W\n",
+					int(p.X), p.Metrics.CyclesPerPacket,
+					estimate.FormatHz(p.Metrics.RequiredClockHz),
+					p.Metrics.Est.AreaMM2, p.Metrics.Est.PowerW)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown sweep %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Command tacoroute simulates the Figure 1 router: a TACO protocol
+// processor between line cards, forwarding a generated IPv6 workload
+// over a chosen routing-table implementation and architecture instance,
+// cross-checked against the golden software router.
+//
+// Usage:
+//
+//	tacoroute [-table sequential|tree|cam] [-config 3bus1fu]
+//	          [-packets 200] [-entries 100] [-ifaces 4] [-seed 2003]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"taco/internal/cliutil"
+	"taco/internal/core"
+	"taco/internal/estimate"
+	"taco/internal/linecard"
+	"taco/internal/profile"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+func main() {
+	var (
+		table   = flag.String("table", "tree", "routing table: sequential | tree | cam")
+		config  = flag.String("config", "3bus1fu", "architecture: 1bus | 3bus1fu | 3bus3fu")
+		packets = flag.Int("packets", 200, "datagrams to forward")
+		entries = flag.Int("entries", 100, "routing-table entries")
+		ifaces  = flag.Int("ifaces", 4, "network interfaces")
+		seed    = flag.Uint64("seed", 2003, "workload seed")
+		verify  = flag.Bool("verify", true, "cross-check against the golden router")
+		prof    = flag.Bool("profile", false, "print per-region cycle attribution (bottleneck analysis)")
+	)
+	flag.Parse()
+
+	kind, err := cliutil.KindByName(*table)
+	if err != nil {
+		fatal(err)
+	}
+	cfg, err := cliutil.ConfigByName(*config, kind)
+	if err != nil {
+		fatal(err)
+	}
+
+	routes := workload.GenerateRoutes(workload.TableSpec{
+		Entries: *entries, Ifaces: *ifaces, Seed: *seed,
+	})
+	spec := workload.PaperTrafficSpec(*packets)
+	spec.Seed = *seed
+	spec.MissRatio = 0.05
+	pkts, err := workload.GenerateTraffic(routes, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	tbl := rtable.New(kind)
+	for _, r := range routes {
+		if err := tbl.Insert(r); err != nil {
+			fatal(err)
+		}
+	}
+	tr, err := router.NewTACO(cfg, tbl, *ifaces)
+	if err != nil {
+		fatal(err)
+	}
+	var prf *profile.Profile
+	if *prof {
+		prf = profile.New(tr.Sched.Program)
+		tr.Machine.Trace = prf.Hook()
+	}
+	for i, p := range pkts {
+		if !tr.Deliver(i%*ifaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+			fatal(fmt.Errorf("line card overflow at packet %d", i))
+		}
+	}
+	budget := int64(*packets) * int64(*entries+64) * 64
+	if err := tr.Run(int64(len(pkts)), budget); err != nil {
+		fatal(err)
+	}
+
+	st := tr.Machine.Stats()
+	fmt.Printf("TACO router: %s table, %s architecture\n", kind, cfg.Name)
+	fmt.Printf("  program: %d instructions, %d moves\n", tr.Sched.Cycles, tr.Sched.MovesOut)
+	fmt.Printf("  %d datagrams in %d cycles: %.1f cycles/datagram, bus utilization %.0f%%\n",
+		len(pkts), st.Cycles, tr.CyclesPerPacket(), st.BusUtilization()*100)
+	rate := core.PaperConstraints().PacketRate()
+	fmt.Printf("  required clock for 10 Gbps: %s\n",
+		estimate.FormatHz(tr.CyclesPerPacket()*rate))
+
+	outs := make([][]linecard.Datagram, *ifaces)
+	total := 0
+	for i := 0; i < *ifaces; i++ {
+		outs[i] = tr.Outputs(i)
+		total += len(outs[i])
+		fmt.Printf("  interface %d: %d datagrams out\n", i, len(outs[i]))
+	}
+	local := tr.LocalQueue()
+	fmt.Printf("  local deliveries: %d, dropped: %d\n",
+		len(local), len(pkts)-total-len(local))
+	if lat := tr.Latency(); lat.Count > 0 {
+		fmt.Printf("  latency (cycles, store->transmit): min %d, mean %.0f, p99 %d, max %d\n",
+			lat.MinCycles, lat.MeanCycles, lat.P99Cycles, lat.MaxCycles)
+	}
+
+	if *verify {
+		if err := crossCheck(kind, routes, pkts, outs, *ifaces); err != nil {
+			fatal(err)
+		}
+		fmt.Println("  golden-router cross-check: OK")
+	}
+	if prf != nil {
+		fmt.Printf("\ncycle attribution (bottleneck analysis):\n%s", prf.String())
+	}
+}
+
+func crossCheck(kind rtable.Kind, routes []rtable.Route, pkts []workload.Packet,
+	outs [][]linecard.Datagram, ifaces int) error {
+	tbl := rtable.New(kind)
+	for _, r := range routes {
+		if err := tbl.Insert(r); err != nil {
+			return err
+		}
+	}
+	g := router.NewGolden(tbl, ifaces)
+	want := make([][]byte, ifaces)
+	// Replay in the preprocessing unit's consumption order: lowest card
+	// first (packets were delivered round-robin).
+	for c := 0; c < ifaces; c++ {
+		for i := c; i < len(pkts); i += ifaces {
+			dec, out := g.Process(pkts[i].Data)
+			if dec.Action == router.Forward {
+				want[dec.OutIface] = append(want[dec.OutIface], out...)
+			}
+		}
+	}
+	for i := 0; i < ifaces; i++ {
+		var got []byte
+		for _, d := range outs[i] {
+			got = append(got, d.Data...)
+		}
+		if !bytes.Equal(got, want[i]) {
+			return fmt.Errorf("interface %d: TACO and golden outputs differ (%d vs %d bytes)",
+				i, len(got), len(want[i]))
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tacoroute:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command tacosim runs TACO assembly programs on a configured processor
+// instance and reports the machine state and execution statistics. With
+// -describe it prints the architecture (the textual Figure 2).
+//
+// Usage:
+//
+//	tacosim -describe [-config 3bus3fu]
+//	tacosim -f prog.s [-config 1bus] [-trace] [-max 100000] [-read gpr.r0,gpr.r1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"taco/internal/asm"
+	"taco/internal/cliutil"
+	"taco/internal/fu"
+	"taco/internal/tta"
+)
+
+func main() {
+	var (
+		describe = flag.Bool("describe", false, "print the architecture (Figure 2) and exit")
+		file     = flag.String("f", "", "assembly file to run")
+		config   = flag.String("config", "3bus1fu", "architecture: 1bus | 3bus1fu | 3bus3fu")
+		trace    = flag.Bool("trace", false, "print a per-cycle move trace")
+		maxCy    = flag.Int64("max", 1_000_000, "cycle budget")
+		read     = flag.String("read", "", "comma-separated result/register sockets to print after the run")
+	)
+	flag.Parse()
+
+	cfg, err := cliutil.ConfigByName(*config, 0)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := fu.NewComputeMachine(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *describe {
+		fmt.Print(m.Describe())
+		return
+	}
+	if *file == "" {
+		fatal(fmt.Errorf("nothing to do: pass -describe or -f prog.s"))
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src), m)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.Load(prog); err != nil {
+		fatal(err)
+	}
+	if *trace {
+		m.Trace = func(r tta.TraceRecord) {
+			fmt.Printf("cycle %5d  pc %4d:", r.Cycle, r.PC)
+			for _, mv := range r.Moves {
+				mark := " "
+				if !mv.Executed {
+					mark = "✗"
+				}
+				fmt.Printf("  [%s %s -> %s = %d]", mark, mv.Src, mv.Dst, mv.Value)
+			}
+			fmt.Println()
+		}
+	}
+	cycles, err := m.Run(*maxCy)
+	if err != nil {
+		fatal(err)
+	}
+	st := m.Stats()
+	fmt.Printf("halted after %d cycles; %d moves executed; bus utilization %.1f%%\n",
+		cycles, st.MovesExecuted, st.BusUtilization()*100)
+	if *read != "" {
+		for _, name := range strings.Split(*read, ",") {
+			name = strings.TrimSpace(name)
+			v, err := m.ReadSocket(name)
+			if err != nil {
+				fmt.Printf("  %-12s <%v>\n", name, err)
+				continue
+			}
+			fmt.Printf("  %-12s = %d (0x%08x)\n", name, v, v)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tacosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a TACO processor, run the paper's Figure 3
+// expression on it both ways (register-staged vs TTA-optimized), and
+// evaluate one router configuration end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taco"
+	"taco/internal/asm"
+	"taco/internal/fu"
+	"taco/internal/program"
+)
+
+func main() {
+	// 1. A TACO machine: 3 buses, one functional unit of each type.
+	cfg := taco.Config3Bus1FU(taco.BalancedTree)
+	m, err := fu.NewComputeMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Describe())
+
+	// 2. The Figure 3 expression a = (b*2 + c)/4 with b=5, c=6.
+	f3, err := program.Figure3(m, 5, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 3: %d moves non-optimized, %d moves TTA-optimized\n",
+		f3.MovesNonOpt, f3.MovesOpt)
+	fmt.Println("optimized code:")
+	fmt.Print(asm.Disassemble(f3.Optimized, m))
+
+	var mmu *fu.MMU
+	for _, u := range m.Units() {
+		if mm, ok := u.(*fu.MMU); ok {
+			mmu = mm
+		}
+	}
+	a, err := program.RunFigure3(m, f3.Optimized, mmu.Peek)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("a = (5*2 + 6)/4 = %d in %d cycles\n\n", a, m.Stats().Cycles)
+
+	// 3. Evaluate one architecture instance against the paper's
+	// constraints: 10 Gbps, 100-entry routing table, 0.18 µm.
+	metrics, err := taco.Evaluate(cfg, taco.PaperConstraints(), taco.DefaultSimOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("balanced-tree router on %s:\n", cfg.Name)
+	fmt.Printf("  %.1f cycles/datagram, required clock %s, %.1f mm², %.2f W\n",
+		metrics.CyclesPerPacket, taco.FormatHz(metrics.RequiredClockHz),
+		metrics.Est.AreaMM2, metrics.Est.PowerW)
+	if metrics.Acceptable() {
+		fmt.Println("  meets the 10 Gbps constraint in 0.18 µm")
+	}
+}

@@ -1,0 +1,146 @@
+// ripng demonstrates the routing-table-maintenance half of the paper's
+// router: three routers in a line (A — B — C), where the middle router
+// B is a full TACO router whose forwarding program delivers RIPng
+// multicast datagrams to the control plane through its local queue. The
+// network converges, B forwards end-to-end traffic, and a link failure
+// propagates until B withdraws the lost routes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taco"
+	"taco/internal/ipv6"
+	"taco/internal/ripng"
+	"taco/internal/rtable"
+)
+
+func main() {
+	// Router B: a TACO router (CAM table, 3 buses) with a RIPng engine
+	// attached to its local queue. Interfaces: 0 towards A, 1 towards C.
+	tblB := taco.NewTable(taco.CAM)
+	trB, err := taco.NewRouter(taco.Config3Bus1FU(taco.CAM), tblB, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engB := taco.NewRIPngEngine(tblB, []ripng.Iface{
+		{LinkLocal: ipv6.MustParseAddr("fe80::b0"), Cost: 1},
+		{LinkLocal: ipv6.MustParseAddr("fe80::b1"), Cost: 1},
+	}, 0)
+	host := taco.NewHost(trB, engB)
+
+	// Routers A and C: protocol-engine models with one stub network each.
+	llA, llC := ipv6.MustParseAddr("fe80::a0"), ipv6.MustParseAddr("fe80::c0")
+	host.NeighborIface[llA] = 0
+	host.NeighborIface[llC] = 1
+	engA := taco.NewRIPngEngine(taco.NewTable(taco.Sequential),
+		[]ripng.Iface{{LinkLocal: llA, Cost: 1}}, 0)
+	engC := taco.NewRIPngEngine(taco.NewTable(taco.Sequential),
+		[]ripng.Iface{{LinkLocal: llC, Cost: 1}}, 0)
+	netA := ipv6.MustParsePrefix("2001:db8:a::/48")
+	netC := ipv6.MustParsePrefix("2001:db8:c::/48")
+	if err := engA.AddDirect(netA, 0); err != nil {
+		log.Fatal(err)
+	}
+	if err := engC.AddDirect(netC, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	linkUp := map[int]bool{0: true, 1: true} // B's interfaces
+	processed := int64(0)
+
+	// exchange advances all clocks by one period and moves RIPng
+	// datagrams across the two links. A's and C's updates enter B
+	// through B's *data path*: they are line-card datagrams that the
+	// TACO forwarding program classifies as local.
+	exchange := func(now ripng.Clock) {
+		engA.Tick(now)
+		engC.Tick(now)
+		if err := host.Tick(now); err != nil {
+			log.Fatal(err)
+		}
+		// A → B and C → B via the TACO data path.
+		deliver := func(e *ripng.Engine, src ipv6.Addr, bIface int) {
+			for _, op := range e.Collect() {
+				if !linkUp[bIface] {
+					continue
+				}
+				d, err := ripng.WrapUDP(src, op.Dst, op.Pkt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				trB.Deliver(bIface, taco.Datagram{Data: d, Seq: -1})
+				processed++
+			}
+		}
+		deliver(engA, llA, 0)
+		deliver(engC, llC, 1)
+		if err := trB.Run(processed, 10_000_000); err != nil {
+			log.Fatal(err)
+		}
+		if err := host.PumpLocal(); err != nil {
+			log.Fatal(err)
+		}
+		// B → A and B → C (updates left on B's line-card outputs).
+		for bIface, eng := range []*ripng.Engine{engA, engC} {
+			for _, d := range trB.Outputs(bIface) {
+				if !linkUp[bIface] {
+					continue
+				}
+				src, pkt, err := ripng.UnwrapUDP(d.Data)
+				if err != nil {
+					continue // forwarded data traffic, not RIPng
+				}
+				if err := eng.Receive(0, src, pkt); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	fmt.Println("converging (periodic updates every 30 s)...")
+	for s := ripng.Clock(30); s <= 120; s += 30 {
+		exchange(s)
+	}
+	dump := func(name string, tbl rtable.Table) {
+		fmt.Printf("%s routing table:\n", name)
+		for _, r := range tbl.Routes() {
+			fmt.Printf("  %-22s -> if%d metric %d\n",
+				ipv6.FormatPrefix(r.Prefix), r.Iface, r.Metric)
+		}
+	}
+	dump("A", engA.Table())
+	dump("B (TACO, via data path)", tblB)
+	dump("C", engC.Table())
+
+	// Forward a data packet from A's network to C's network through B.
+	h := ipv6.Header{HopLimit: 64,
+		Src: ipv6.MustParseAddr("2001:db8:a::1"),
+		Dst: ipv6.MustParseAddr("2001:db8:c::99")}
+	d, err := ipv6.BuildDatagram(h, nil, ipv6.ProtoNoNext, []byte("hello"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trB.Deliver(0, taco.Datagram{Data: d, Seq: 999})
+	processed++
+	if err := trB.Run(processed, 10_000_000); err != nil {
+		log.Fatal(err)
+	}
+	out := trB.Outputs(1)
+	fmt.Printf("\nA→C data packet: %d datagram(s) forwarded on B's interface 1\n", len(out))
+
+	// Break the B—C link: after the timeout, B withdraws netC.
+	fmt.Println("\nbreaking the B—C link...")
+	linkUp[1] = false
+	for s := ripng.Clock(150); s <= 600; s += 30 {
+		exchange(s)
+	}
+	if _, ok := tblB.Lookup(ipv6.MustParseAddr("2001:db8:c::99")); !ok {
+		fmt.Println("B withdrew the route to 2001:db8:c::/48 after the timeout")
+	}
+	if _, ok := engA.Table().Lookup(ipv6.MustParseAddr("2001:db8:c::1")); !ok {
+		fmt.Println("A learned the withdrawal via B's poisoned update")
+	}
+	dump("B after failure", tblB)
+}

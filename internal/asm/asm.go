@@ -1,0 +1,251 @@
+// Package asm provides the textual TACO assembly language, an assembler
+// and disassembler over it, and a programmatic Builder used by the code
+// generators.
+//
+// Assembly syntax — one instruction (clock cycle) per line, moves
+// separated by commas, at most one move per bus:
+//
+//	; a comment
+//	start:                         ; label
+//	    #40 -> cnt0.o, #2 -> cnt0.tadd
+//	    cnt0.r -> gpr.r0           ; socket-to-socket move
+//	    ?cmp0.eq #1 -> gpr.r1      ; guarded move
+//	    ?!mat0.match&cnt0.done @start -> nc.jmp  ; guard conjunction, label imm
+//	    nop                        ; empty instruction (cycle with no moves)
+//
+// Sources are socket names, '#' immediates (decimal or 0x hex) or
+// '@label' immediates carrying an instruction address; destinations are
+// socket names. Guards are '?' followed by '&'-joined, optionally
+// '!'-negated signal names.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"taco/internal/isa"
+)
+
+// Resolver maps symbolic socket/signal names to machine addresses;
+// *tta.Machine implements it.
+type Resolver interface {
+	Socket(name string) (isa.SocketID, error)
+	Signal(name string) (isa.SignalID, error)
+	SocketName(id isa.SocketID) string
+	SignalName(id isa.SignalID) string
+}
+
+// Assemble parses src into a program, resolving names against r.
+func Assemble(src string, r Resolver) (*isa.Program, error) {
+	p := isa.NewProgram()
+	type patch struct {
+		ins, move int
+		label     string
+		line      int
+	}
+	var patches []patch
+
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// One or more leading "label:" bindings.
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !isIdent(label) {
+				break
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("asm: line %d: duplicate label %q", lineNo, label)
+			}
+			p.Labels[label] = len(p.Ins)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		if line == "nop" {
+			p.Ins = append(p.Ins, isa.Instruction{})
+			continue
+		}
+		var in isa.Instruction
+		for mi, part := range strings.Split(line, ",") {
+			m, labelRef, err := parseMove(strings.TrimSpace(part), r)
+			if err != nil {
+				return nil, fmt.Errorf("asm: line %d: %w", lineNo, err)
+			}
+			if labelRef != "" {
+				patches = append(patches, patch{len(p.Ins), mi, labelRef, lineNo})
+			}
+			in.Moves = append(in.Moves, m)
+		}
+		p.Ins = append(p.Ins, in)
+	}
+	for _, pt := range patches {
+		addr, ok := p.Labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: undefined label %q", pt.line, pt.label)
+		}
+		p.Ins[pt.ins].Moves[pt.move].Src = isa.ImmSrc(uint32(addr))
+	}
+	return p, nil
+}
+
+func parseMove(s string, r Resolver) (m isa.Move, labelRef string, err error) {
+	if strings.HasPrefix(s, "?") {
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			return m, "", fmt.Errorf("guard %q without a move", s)
+		}
+		guardStr, rest := s[1:sp], strings.TrimSpace(s[sp+1:])
+		for _, term := range strings.Split(guardStr, "&") {
+			neg := strings.HasPrefix(term, "!")
+			name := strings.TrimPrefix(term, "!")
+			sig, err := r.Signal(name)
+			if err != nil {
+				return m, "", err
+			}
+			m.Guard.Terms = append(m.Guard.Terms, isa.GuardTerm{Signal: sig, Negate: neg})
+		}
+		if err := m.Guard.Validate(); err != nil {
+			return m, "", err
+		}
+		s = rest
+	}
+	parts := strings.Split(s, "->")
+	if len(parts) != 2 {
+		return m, "", fmt.Errorf("move %q is not 'src -> dst'", s)
+	}
+	srcStr := strings.TrimSpace(parts[0])
+	dstStr := strings.TrimSpace(parts[1])
+
+	switch {
+	case strings.HasPrefix(srcStr, "#"):
+		v, err := parseImm(srcStr[1:])
+		if err != nil {
+			return m, "", err
+		}
+		m.Src = isa.ImmSrc(v)
+	case strings.HasPrefix(srcStr, "@"):
+		labelRef = srcStr[1:]
+		if !isIdent(labelRef) {
+			return m, "", fmt.Errorf("bad label reference %q", srcStr)
+		}
+		m.Src = isa.ImmSrc(0) // patched after label resolution
+	default:
+		id, err := r.Socket(srcStr)
+		if err != nil {
+			return m, "", err
+		}
+		m.Src = isa.SocketSrc(id)
+	}
+	dst, err := r.Socket(dstStr)
+	if err != nil {
+		return m, "", err
+	}
+	m.Dst = dst
+	return m, labelRef, nil
+}
+
+func parseImm(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		// Allow negative immediates as two's complement.
+		if n, err2 := strconv.ParseInt(s, 0, 32); err2 == nil {
+			return uint32(n), nil
+		}
+		return 0, fmt.Errorf("bad immediate %q: %v", s, err)
+	}
+	return uint32(v), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Disassemble renders p symbolically using r's names. Jump-target labels
+// from p.Labels are emitted; immediates that match a label address are
+// left numeric (the assembler cannot know intent).
+func Disassemble(p *isa.Program, r Resolver) string {
+	var b strings.Builder
+	for addr, in := range p.Ins {
+		if lbl := p.LabelAt(addr); lbl != "" {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		if len(in.Moves) == 0 {
+			b.WriteString("    nop\n")
+			continue
+		}
+		b.WriteString("    ")
+		for i, m := range in.Moves {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(FormatMove(m, r))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatMove renders one move in assembly syntax.
+func FormatMove(m isa.Move, r Resolver) string {
+	var b strings.Builder
+	if m.Guard.Conditional() {
+		b.WriteString("?")
+		for i, t := range m.Guard.Terms {
+			if i > 0 {
+				b.WriteString("&")
+			}
+			if t.Negate {
+				b.WriteString("!")
+			}
+			if name := r.SignalName(t.Signal); name != "" {
+				b.WriteString(name)
+			} else {
+				fmt.Fprintf(&b, "sig%d", t.Signal)
+			}
+		}
+		b.WriteString(" ")
+	}
+	if m.Src.Imm {
+		fmt.Fprintf(&b, "#%d", m.Src.Value)
+	} else if name := r.SocketName(m.Src.Socket); name != "" {
+		b.WriteString(name)
+	} else {
+		fmt.Fprintf(&b, "sock%d", m.Src.Socket)
+	}
+	b.WriteString(" -> ")
+	if name := r.SocketName(m.Dst); name != "" {
+		b.WriteString(name)
+	} else {
+		fmt.Fprintf(&b, "sock%d", m.Dst)
+	}
+	return b.String()
+}

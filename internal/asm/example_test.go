@@ -1,0 +1,87 @@
+package asm_test
+
+import (
+	"fmt"
+	"log"
+
+	"taco/internal/asm"
+	"taco/internal/fu"
+)
+
+// Example assembles and runs a small TACO program: one move per line,
+// guarded moves with '?', labels with ':', '@label' immediates for jump
+// targets.
+func Example() {
+	m, err := fu.NewComputeMachine(fu.Config3Bus1FU(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(`
+	    #10 -> cnt0.o, #32 -> cnt0.tadd   ; 10+32, operand and trigger share a cycle
+	    cnt0.r -> gpr.r0                  ; result is visible one cycle later
+	    #0 -> nc.halt
+	`, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Load(prog); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		log.Fatal(err)
+	}
+	v, _ := m.ReadSocket("gpr.r0")
+	fmt.Println("gpr.r0 =", v)
+	// Output:
+	// gpr.r0 = 42
+}
+
+// ExampleDisassemble prints a program symbolically with the machine's
+// socket and signal names.
+func ExampleDisassemble() {
+	m, err := fu.NewComputeMachine(fu.Config1Bus1FU(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := asm.Assemble(`
+	loop:
+	    cnt0.r -> cnt0.tdec
+	    ?!cnt0.zero @loop -> nc.jmp
+	`, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(asm.Disassemble(prog, m))
+	// Output:
+	// loop:
+	//     cnt0.r -> cnt0.tdec
+	//     ?!cnt0.zero #0 -> nc.jmp
+}
+
+// ExampleBuilder constructs the same loop programmatically.
+func ExampleBuilder() {
+	m, err := fu.NewComputeMachine(fu.Config1Bus1FU(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b := asm.NewBuilder(m)
+	b.Imm(3, "cnt0.tld")
+	b.Label("loop")
+	b.Move("cnt0.r", "cnt0.tdec")
+	b.JumpIf(b.Guard("!cnt0.zero"), "loop")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Load(prog); err != nil {
+		log.Fatal(err)
+	}
+	cycles, err := m.Run(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cycles:", cycles)
+	// Output:
+	// cycles: 8
+}

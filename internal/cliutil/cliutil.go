@@ -1,0 +1,40 @@
+// Package cliutil holds the flag-parsing helpers shared by the cmd/
+// tools: the names users type for routing-table implementations and
+// architecture instances.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"taco/internal/fu"
+	"taco/internal/rtable"
+)
+
+// KindByName parses a routing-table implementation name.
+func KindByName(name string) (rtable.Kind, error) {
+	switch strings.ToLower(name) {
+	case "sequential", "seq":
+		return rtable.Sequential, nil
+	case "tree", "balanced-tree", "balancedtree":
+		return rtable.BalancedTree, nil
+	case "cam":
+		return rtable.CAM, nil
+	case "trie":
+		return rtable.Trie, nil
+	}
+	return 0, fmt.Errorf("unknown table %q (sequential | tree | cam | trie)", name)
+}
+
+// ConfigByName parses an architecture instance name for a table kind.
+func ConfigByName(name string, kind rtable.Kind) (fu.Config, error) {
+	switch strings.ToLower(name) {
+	case "1bus", "1bus1fu":
+		return fu.Config1Bus1FU(kind), nil
+	case "3bus", "3bus1fu":
+		return fu.Config3Bus1FU(kind), nil
+	case "3bus3fu":
+		return fu.Config3Bus3FU(kind), nil
+	}
+	return fu.Config{}, fmt.Errorf("unknown config %q (1bus | 3bus1fu | 3bus3fu)", name)
+}

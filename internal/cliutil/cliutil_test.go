@@ -1,0 +1,47 @@
+package cliutil
+
+import (
+	"testing"
+
+	"taco/internal/rtable"
+)
+
+func TestKindByName(t *testing.T) {
+	cases := map[string]rtable.Kind{
+		"sequential": rtable.Sequential,
+		"seq":        rtable.Sequential,
+		"tree":       rtable.BalancedTree,
+		"TREE":       rtable.BalancedTree,
+		"cam":        rtable.CAM,
+		"trie":       rtable.Trie,
+	}
+	for in, want := range cases {
+		got, err := KindByName(in)
+		if err != nil || got != want {
+			t.Errorf("KindByName(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := KindByName("hash"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestConfigByName(t *testing.T) {
+	for in, buses := range map[string]int{"1bus": 1, "3bus1fu": 3, "3BUS3FU": 3} {
+		cfg, err := ConfigByName(in, rtable.CAM)
+		if err != nil {
+			t.Errorf("ConfigByName(%q): %v", in, err)
+			continue
+		}
+		if cfg.Buses != buses || cfg.Table != rtable.CAM {
+			t.Errorf("ConfigByName(%q) = %+v", in, cfg)
+		}
+	}
+	cfg, err := ConfigByName("3bus3fu", rtable.Sequential)
+	if err != nil || cfg.Matchers != 3 {
+		t.Errorf("3bus3fu = %+v, %v", cfg, err)
+	}
+	if _, err := ConfigByName("5bus", rtable.CAM); err == nil {
+		t.Error("unknown config accepted")
+	}
+}

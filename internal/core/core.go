@@ -1,0 +1,204 @@
+// Package core implements the paper's primary contribution: the fast
+// evaluation methodology for TACO protocol processor architectures.
+//
+// For each architecture instance the evaluator
+//
+//  1. builds the processor and its tuned forwarding program,
+//  2. simulates it at system level against a synthetic workload to
+//     obtain cycles per datagram and bus utilization,
+//  3. converts the throughput constraint into a required clock
+//     frequency (required = cycles/datagram × datagrams/second),
+//  4. estimates area and average power at that frequency, and
+//  5. co-analyses the two results against the design constraints —
+//     exactly the SystemC + Matlab co-analysis of the paper's §2.
+//
+// The output of a full evaluation over the paper's nine instances is
+// Table 1.
+package core
+
+import (
+	"fmt"
+
+	"taco/internal/estimate"
+	"taco/internal/fu"
+	"taco/internal/linecard"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// Constraints captures the target application requirements of §4: line
+// rate, datagram size assumption, routing-table size, the technology,
+// and the acceptability thresholds used in the co-analysis.
+type Constraints struct {
+	ThroughputBps float64
+	PacketBytes   int
+	TableEntries  int
+	Tech          estimate.Tech
+	// MaxPowerW and MaxAreaMM2 bound what the designer accepts; the
+	// paper rejects the ~1 GHz sequential configuration on power.
+	MaxPowerW  float64
+	MaxAreaMM2 float64
+}
+
+// PaperConstraints returns the §4 requirements: 10 Gbps ethernet
+// throughput with at most 100 routing-table entries in 0.18 µm.
+func PaperConstraints() Constraints {
+	return Constraints{
+		ThroughputBps: 10e9,
+		PacketBytes:   workload.PaperPacketBytes,
+		TableEntries:  100,
+		Tech:          estimate.Default180nm(),
+		MaxPowerW:     3.0,
+		MaxAreaMM2:    60,
+	}
+}
+
+// PacketRate converts the throughput constraint into datagrams/second.
+func (c Constraints) PacketRate() float64 {
+	return c.ThroughputBps / (8 * float64(c.PacketBytes))
+}
+
+// Metrics is the co-analysed result for one architecture instance — one
+// row of Table 1 plus the simulation detail behind it.
+type Metrics struct {
+	Kind   rtable.Kind
+	Config fu.Config
+
+	// Simulation results.
+	CyclesPerPacket float64
+	BusUtilization  float64 // fraction of bus slots carrying a move
+	PacketsRun      int
+
+	// Co-analysis results.
+	RequiredClockHz float64
+	Est             estimate.Estimate
+	// ClockFeasible is the paper's NA criterion: the required clock is
+	// implementable in the technology.
+	ClockFeasible bool
+	// MeetsPower / MeetsArea apply the designer's thresholds.
+	MeetsPower, MeetsArea bool
+	// CAMChipPowerW is the external CAM chip's power for CAM rows
+	// (excluded from Est.PowerW, as in the paper's footnote).
+	CAMChipPowerW float64
+
+	// Static program properties.
+	ProgramCycles int
+	ProgramMoves  int
+}
+
+// Acceptable reports whether the instance satisfies every constraint.
+func (m Metrics) Acceptable() bool {
+	return m.ClockFeasible && m.MeetsPower && m.MeetsArea
+}
+
+// SimOptions tunes the simulation workload.
+type SimOptions struct {
+	Packets   int
+	Seed      uint64
+	MissRatio float64
+	Ifaces    int
+}
+
+// DefaultSimOptions returns the evaluation workload used throughout the
+// repository's experiments.
+func DefaultSimOptions() SimOptions {
+	return SimOptions{Packets: 64, Seed: 2003, MissRatio: 0.05, Ifaces: 4}
+}
+
+// Evaluate runs the full methodology for one architecture instance.
+func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) {
+	if sim.Packets <= 0 {
+		sim = DefaultSimOptions()
+	}
+	tblSpec := workload.TableSpec{
+		Entries: cons.TableEntries,
+		Ifaces:  sim.Ifaces,
+		Seed:    sim.Seed,
+	}
+	routes := workload.GenerateRoutes(tblSpec)
+	tbl := rtable.New(cfg.Table)
+	if err := rtable.InsertAll(tbl, routes); err != nil {
+		return Metrics{}, fmt.Errorf("core: %w", err)
+	}
+	tr, err := router.NewTACO(cfg, tbl, sim.Ifaces)
+	if err != nil {
+		return Metrics{}, err
+	}
+	spec := workload.TrafficSpec{
+		Packets:   sim.Packets,
+		SizeBytes: cons.PacketBytes,
+		MissRatio: sim.MissRatio,
+		Seed:      sim.Seed,
+	}
+	pkts, err := workload.GenerateTraffic(routes, spec)
+	if err != nil {
+		return Metrics{}, err
+	}
+	for i, p := range pkts {
+		if !tr.Deliver(i%sim.Ifaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+			return Metrics{}, fmt.Errorf("core: line card overflow at packet %d", i)
+		}
+	}
+	// Generous budget: the sequential scan costs O(entries) per packet.
+	budget := int64(sim.Packets) * int64(cons.TableEntries+64) * 64
+	if err := tr.Run(int64(len(pkts)), budget); err != nil {
+		return Metrics{}, err
+	}
+
+	cycles := tr.CyclesPerPacket()
+	required := cycles * cons.PacketRate()
+	est := estimate.Physical(cfg, required, cons.Tech)
+
+	m := Metrics{
+		Kind:            cfg.Table,
+		Config:          cfg,
+		CyclesPerPacket: cycles,
+		BusUtilization:  tr.Machine.Stats().BusUtilization(),
+		PacketsRun:      len(pkts),
+		RequiredClockHz: required,
+		Est:             est,
+		ClockFeasible:   est.Feasible,
+		MeetsPower:      est.PowerW <= cons.MaxPowerW,
+		MeetsArea:       est.AreaMM2 <= cons.MaxAreaMM2,
+		ProgramCycles:   tr.Sched.Cycles,
+		ProgramMoves:    tr.Sched.MovesOut,
+	}
+	if cam, ok := tbl.(*rtable.CAMTable); ok {
+		m.CAMChipPowerW = cam.Config().ChipPowerW
+	}
+	return m, nil
+}
+
+// EvaluateAll runs the methodology over every (implementation,
+// configuration) pair of the paper's Table 1, in the paper's row order.
+func EvaluateAll(cons Constraints, sim SimOptions) ([]Metrics, error) {
+	var out []Metrics
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		for _, cfg := range fu.PaperConfigs(kind) {
+			m, err := Evaluate(cfg, cons, sim)
+			if err != nil {
+				return nil, fmt.Errorf("core: %v/%s: %w", kind, cfg.Name, err)
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// SelectBest returns the acceptable instance with the lowest power, the
+// paper's final selection criterion (performance met, then physical
+// characteristics), or false when none is acceptable.
+func SelectBest(ms []Metrics) (Metrics, bool) {
+	best := Metrics{}
+	found := false
+	for _, m := range ms {
+		if !m.Acceptable() {
+			continue
+		}
+		if !found || m.Est.PowerW < best.Est.PowerW {
+			best, found = m, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,201 @@
+// Package dse implements design-space exploration over TACO
+// architecture instances: the parameter sweeps behind the repository's
+// extension experiments (table size, bus count, FU replication, datagram
+// size) and the automated constraint-driven exploration the paper lists
+// as future work ("a tool that automates the design space exploration
+// phase, which based on some heuristics will suggest good solutions").
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"taco/internal/core"
+	"taco/internal/fu"
+	"taco/internal/rtable"
+)
+
+// Point is one sweep sample.
+type Point struct {
+	X       float64 // the swept parameter's value
+	Metrics core.Metrics
+}
+
+// SweepTableSize evaluates cfg over growing routing tables — the
+// scaling behaviour behind the paper's observation that sequential
+// search time is linear while the balanced tree is logarithmic.
+func SweepTableSize(cfg fu.Config, sizes []int, cons core.Constraints, sim core.SimOptions) ([]Point, error) {
+	var out []Point
+	for _, n := range sizes {
+		c := cons
+		c.TableEntries = n
+		m, err := core.Evaluate(cfg, c, sim)
+		if err != nil {
+			return nil, fmt.Errorf("dse: table size %d: %w", n, err)
+		}
+		out = append(out, Point{X: float64(n), Metrics: m})
+	}
+	return out, nil
+}
+
+// SweepBuses evaluates a kind across interconnection widths 1..maxBuses
+// with one FU of each type.
+func SweepBuses(kind rtable.Kind, maxBuses int, cons core.Constraints, sim core.SimOptions) ([]Point, error) {
+	var out []Point
+	for b := 1; b <= maxBuses; b++ {
+		cfg := fu.Config1Bus1FU(kind)
+		cfg.Buses = b
+		cfg.Name = fmt.Sprintf("%dBUS/1FU", b)
+		m, err := core.Evaluate(cfg, cons, sim)
+		if err != nil {
+			return nil, fmt.Errorf("dse: %d buses: %w", b, err)
+		}
+		out = append(out, Point{X: float64(b), Metrics: m})
+	}
+	return out, nil
+}
+
+// SweepPacketSize evaluates cfg across datagram sizes: the required
+// clock scales with the packet rate, so small-packet line rate is the
+// hard case.
+func SweepPacketSize(cfg fu.Config, sizes []int, cons core.Constraints, sim core.SimOptions) ([]Point, error) {
+	var out []Point
+	for _, s := range sizes {
+		c := cons
+		c.PacketBytes = s
+		m, err := core.Evaluate(cfg, c, sim)
+		if err != nil {
+			return nil, fmt.Errorf("dse: packet size %d: %w", s, err)
+		}
+		out = append(out, Point{X: float64(s), Metrics: m})
+	}
+	return out, nil
+}
+
+// SweepReplication evaluates a kind at 3 buses with 1..maxRepl
+// replicated counters/comparators/matchers — the paper's second
+// exploration axis.
+func SweepReplication(kind rtable.Kind, maxRepl int, cons core.Constraints, sim core.SimOptions) ([]Point, error) {
+	var out []Point
+	for r := 1; r <= maxRepl; r++ {
+		cfg := fu.Config3Bus1FU(kind)
+		cfg.Counters, cfg.Comparators, cfg.Matchers = r, r, r
+		cfg.Name = fmt.Sprintf("3BUS/%dCNT,%dCMP,%dM", r, r, r)
+		m, err := core.Evaluate(cfg, cons, sim)
+		if err != nil {
+			return nil, fmt.Errorf("dse: replication %d: %w", r, err)
+		}
+		out = append(out, Point{X: float64(r), Metrics: m})
+	}
+	return out, nil
+}
+
+// Candidate is an explored instance with its evaluation.
+type Candidate struct {
+	Metrics core.Metrics
+	// Score is the exploration objective (lower is better); the default
+	// heuristic minimises power among acceptable instances and required
+	// clock among unacceptable ones.
+	Score float64
+}
+
+// ExploreResult is the outcome of the automated exploration.
+type ExploreResult struct {
+	// Ranked lists every evaluated candidate, best first.
+	Ranked []Candidate
+	// Best is the recommended instance; ok is false when nothing is
+	// acceptable under the constraints.
+	Best Candidate
+	OK   bool
+	// Evaluated counts full simulations performed; Pruned counts
+	// instances skipped by the heuristic.
+	Evaluated, Pruned int
+}
+
+// Explore performs the automated design-space exploration: it walks
+// the (implementation, buses, replication) space from cheap to
+// expensive hardware, evaluating instances and pruning dominated ones —
+// once an implementation meets the throughput constraint with headroom,
+// wider/more-replicated variants of the same implementation can only
+// add area and power, so they are skipped.
+func Explore(cons core.Constraints, sim core.SimOptions, maxBuses, maxRepl int) (*ExploreResult, error) {
+	res := &ExploreResult{}
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		kindSatisfied := false
+		for _, repl := range replRange(maxRepl) {
+			for b := 1; b <= maxBuses; b++ {
+				if kindSatisfied {
+					res.Pruned++
+					continue
+				}
+				cfg := fu.Config1Bus1FU(kind)
+				cfg.Buses = b
+				cfg.Counters, cfg.Comparators, cfg.Matchers = repl, repl, repl
+				cfg.Name = fmt.Sprintf("%dBUS/%dCNT,%dCMP,%dM", b, repl, repl, repl)
+				m, err := core.Evaluate(cfg, cons, sim)
+				if err != nil {
+					return nil, err
+				}
+				res.Evaluated++
+				res.Ranked = append(res.Ranked, Candidate{Metrics: m, Score: score(m)})
+				// Headroom heuristic: meeting the constraint at under
+				// half the ceiling means more hardware cannot help.
+				if m.Acceptable() && m.RequiredClockHz < 0.5*cons.Tech.MaxClockHz {
+					kindSatisfied = true
+				}
+			}
+		}
+	}
+	sort.SliceStable(res.Ranked, func(i, j int) bool {
+		return res.Ranked[i].Score < res.Ranked[j].Score
+	})
+	if len(res.Ranked) > 0 && res.Ranked[0].Metrics.Acceptable() {
+		res.Best, res.OK = res.Ranked[0], true
+	}
+	return res, nil
+}
+
+func replRange(maxRepl int) []int {
+	var out []int
+	for r := 1; r <= maxRepl; r++ {
+		out = append(out, r)
+	}
+	return out
+}
+
+// score orders candidates: acceptable ones by power (then area),
+// unacceptable ones after all acceptable ones, by how far the required
+// clock overshoots the ceiling.
+func score(m core.Metrics) float64 {
+	if m.Acceptable() {
+		return m.Est.PowerW + m.Est.AreaMM2/1000
+	}
+	return 1e6 + m.RequiredClockHz/1e6
+}
+
+// Pareto returns the candidates not dominated in (required clock, area,
+// power) — the designer's shortlist.
+func Pareto(ms []core.Metrics) []core.Metrics {
+	var out []core.Metrics
+	for i, a := range ms {
+		dominated := false
+		for j, b := range ms {
+			if i == j {
+				continue
+			}
+			if b.RequiredClockHz <= a.RequiredClockHz &&
+				b.Est.AreaMM2 <= a.Est.AreaMM2 &&
+				b.Est.PowerW <= a.Est.PowerW &&
+				(b.RequiredClockHz < a.RequiredClockHz ||
+					b.Est.AreaMM2 < a.Est.AreaMM2 ||
+					b.Est.PowerW < a.Est.PowerW) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/fu"
+	"taco/internal/rtable"
+)
+
+func testSim() core.SimOptions {
+	return core.SimOptions{Packets: 16, Seed: 7, MissRatio: 0.05, Ifaces: 4}
+}
+
+func TestSweepTableSizeScaling(t *testing.T) {
+	cons := core.PaperConstraints()
+	sizes := []int{10, 50, 200}
+
+	seq, err := SweepTableSize(fu.Config1Bus1FU(rtable.Sequential), sizes, cons, testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := SweepTableSize(fu.Config1Bus1FU(rtable.BalancedTree), sizes, cons, testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam, err := SweepTableSize(fu.Config1Bus1FU(rtable.CAM), sizes, cons, testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential grows ~linearly: 20x the entries, ≥8x the cycles.
+	if r := seq[2].Metrics.CyclesPerPacket / seq[0].Metrics.CyclesPerPacket; r < 8 {
+		t.Errorf("sequential scaling only %.1fx from 10 to 200 entries", r)
+	}
+	// The tree grows far slower than linear.
+	if r := tree[2].Metrics.CyclesPerPacket / tree[0].Metrics.CyclesPerPacket; r > 4 {
+		t.Errorf("tree scaling %.1fx from 10 to 200 entries; expected logarithmic", r)
+	}
+	// CAM is flat.
+	if r := cam[2].Metrics.CyclesPerPacket / cam[0].Metrics.CyclesPerPacket; r > 1.2 {
+		t.Errorf("CAM scaling %.2fx; expected flat", r)
+	}
+}
+
+func TestSweepBusesMonotone(t *testing.T) {
+	pts, err := SweepBuses(rtable.BalancedTree, 4, core.PaperConstraints(), testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Metrics.CyclesPerPacket > pts[i-1].Metrics.CyclesPerPacket*1.02 {
+			t.Errorf("cycles increased from %d to %d buses: %.1f -> %.1f",
+				i, i+1, pts[i-1].Metrics.CyclesPerPacket, pts[i].Metrics.CyclesPerPacket)
+		}
+	}
+	// Diminishing returns: the 1→2 gain exceeds the 3→4 gain.
+	g12 := pts[0].Metrics.CyclesPerPacket - pts[1].Metrics.CyclesPerPacket
+	g34 := pts[2].Metrics.CyclesPerPacket - pts[3].Metrics.CyclesPerPacket
+	if g34 > g12 {
+		t.Errorf("no diminishing returns: 1→2 gains %.1f, 3→4 gains %.1f", g12, g34)
+	}
+}
+
+func TestSweepPacketSize(t *testing.T) {
+	cfg := fu.Config3Bus1FU(rtable.CAM)
+	pts, err := SweepPacketSize(cfg, []int{64, 512, 1500}, core.PaperConstraints(), testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller packets mean a higher packet rate and thus a higher
+	// required clock (cycles/packet barely changes).
+	if !(pts[0].Metrics.RequiredClockHz > pts[1].Metrics.RequiredClockHz &&
+		pts[1].Metrics.RequiredClockHz > pts[2].Metrics.RequiredClockHz) {
+		t.Errorf("required clock not decreasing with packet size: %v %v %v",
+			pts[0].Metrics.RequiredClockHz, pts[1].Metrics.RequiredClockHz,
+			pts[2].Metrics.RequiredClockHz)
+	}
+}
+
+func TestSweepReplication(t *testing.T) {
+	pts, err := SweepReplication(rtable.Sequential, 3, core.PaperConstraints(), testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[2].Metrics.CyclesPerPacket > pts[0].Metrics.CyclesPerPacket {
+		t.Errorf("replication hurt the sequential scan: %.1f -> %.1f",
+			pts[0].Metrics.CyclesPerPacket, pts[2].Metrics.CyclesPerPacket)
+	}
+	// Replication costs area at equal clocks.
+	if pts[2].Metrics.Est.AreaMM2 <= pts[0].Metrics.Est.AreaMM2 {
+		t.Error("replication did not cost area")
+	}
+}
+
+func TestExploreFindsAcceptable(t *testing.T) {
+	res, err := Explore(core.PaperConstraints(), testSim(), 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK {
+		t.Fatal("exploration found nothing acceptable")
+	}
+	if !res.Best.Metrics.Acceptable() {
+		t.Error("best candidate not acceptable")
+	}
+	if res.Evaluated == 0 {
+		t.Error("nothing evaluated")
+	}
+	if res.Pruned == 0 {
+		t.Error("heuristic pruned nothing; the headroom rule should fire")
+	}
+	// Ranking is sorted.
+	for i := 1; i < len(res.Ranked); i++ {
+		if res.Ranked[i].Score < res.Ranked[i-1].Score {
+			t.Fatal("ranking unsorted")
+		}
+	}
+	t.Logf("explored %d, pruned %d; best: %v/%s at %.0f MHz, %.2f W",
+		res.Evaluated, res.Pruned, res.Best.Metrics.Kind, res.Best.Metrics.Config.Name,
+		res.Best.Metrics.RequiredClockHz/1e6, res.Best.Metrics.Est.PowerW)
+}
+
+func TestPareto(t *testing.T) {
+	ms, err := core.EvaluateAll(core.PaperConstraints(), testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := Pareto(ms)
+	if len(front) == 0 || len(front) > len(ms) {
+		t.Fatalf("front size %d of %d", len(front), len(ms))
+	}
+	// No front member may dominate another front member.
+	for i, a := range front {
+		for j, b := range front {
+			if i == j {
+				continue
+			}
+			if b.RequiredClockHz < a.RequiredClockHz &&
+				b.Est.AreaMM2 < a.Est.AreaMM2 && b.Est.PowerW < a.Est.PowerW {
+				t.Errorf("front member dominated: %s by %s", a.Config.Name, b.Config.Name)
+			}
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	pts, err := SweepBuses(rtable.CAM, 2, core.PaperConstraints(), testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // header + 2 points
+		t.Fatalf("%d rows", len(rows))
+	}
+	if rows[0][0] != "x" || rows[1][1] != "cam" {
+		t.Errorf("rows = %v", rows[:2])
+	}
+	ms, err := core.EvaluateAll(core.PaperConstraints(), testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteMetricsCSV(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("%d metric rows", len(rows))
+	}
+}

@@ -1,0 +1,62 @@
+package dse
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"taco/internal/core"
+)
+
+// csvHeader is the column set shared by all sweep exports.
+var csvHeader = []string{
+	"x", "kind", "config", "cycles_per_packet", "bus_utilization",
+	"required_clock_hz", "area_mm2", "power_w", "clock_feasible", "acceptable",
+}
+
+// WriteCSV exports sweep points as CSV for external plotting (the
+// figures a longer paper would draw from Table 1's underlying sweeps).
+func WriteCSV(w io.Writer, points []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write(metricsRow(p.X, p.Metrics)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteMetricsCSV exports evaluation rows (e.g. the Table 1 set), using
+// the row index as the x value.
+func WriteMetricsCSV(w io.Writer, ms []core.Metrics) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i, m := range ms {
+		if err := cw.Write(metricsRow(float64(i), m)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func metricsRow(x float64, m core.Metrics) []string {
+	return []string{
+		fmt.Sprintf("%g", x),
+		m.Kind.String(),
+		m.Config.Name,
+		fmt.Sprintf("%.2f", m.CyclesPerPacket),
+		fmt.Sprintf("%.4f", m.BusUtilization),
+		fmt.Sprintf("%.0f", m.RequiredClockHz),
+		fmt.Sprintf("%.2f", m.Est.AreaMM2),
+		fmt.Sprintf("%.3f", m.Est.PowerW),
+		fmt.Sprintf("%t", m.ClockFeasible),
+		fmt.Sprintf("%t", m.Acceptable()),
+	}
+}

@@ -1,0 +1,508 @@
+package fu
+
+import (
+	"taco/internal/tta"
+)
+
+// GPR is the general-purpose register file shown as "Registers" in
+// Figure 2. Every register is a Register-kind socket: readable and
+// writable, with writes visible the next cycle.
+type GPR struct {
+	name  string
+	specs []tta.SocketSpec
+	regs  []latch
+}
+
+// NewGPR returns a register file with n registers named r0..r{n-1}.
+func NewGPR(name string, n int) *GPR {
+	g := &GPR{name: name, regs: make([]latch, n)}
+	for i := 0; i < n; i++ {
+		g.specs = append(g.specs, tta.SocketSpec{Name: regName(i), Kind: tta.Register})
+	}
+	return g
+}
+
+func regName(i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return "r" + digits[i:i+1]
+	}
+	return "r" + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}
+
+func (g *GPR) Name() string              { return g.name }
+func (g *GPR) Sockets() []tta.SocketSpec { return g.specs }
+func (g *GPR) Signals() []string         { return nil }
+func (g *GPR) Read(local int) uint32     { return g.regs[local].cur }
+func (g *GPR) Write(local int, v uint32) { g.regs[local].write(v) }
+func (g *GPR) Signal(local int) bool     { return false }
+func (g *GPR) Clock() error {
+	for i := range g.regs {
+		g.regs[i].clock()
+	}
+	return nil
+}
+func (g *GPR) Reset() {
+	for i := range g.regs {
+		g.regs[i].reset()
+	}
+}
+
+// Counter performs arithmetic (increment, decrement, addition,
+// subtraction) and counting from a start value toward a stop value,
+// raising a result signal into the network controller when the stop
+// value is reached (paper §3).
+//
+// Sockets:
+//
+//	o     (operand)  second operand for add/sub
+//	stop  (operand)  stop value for counting / the "done" comparison
+//	tadd  (trigger)  r = value + o
+//	tsub  (trigger)  r = value - o
+//	tinc  (trigger)  r = value + 1
+//	tdec  (trigger)  r = value - 1
+//	tld   (trigger)  r = value
+//	tcnt  (trigger)  load value and count autonomously toward stop,
+//	                 one step per cycle, until r == stop
+//	r     (result)
+//
+// Signals: "done" (r == stop), "zero" (r == 0).
+type Counter struct {
+	name string
+	o    latch
+	stop latch
+	r    uint32
+
+	tadd, tsub, tinc, tdec, tld, tcnt trigger
+
+	counting bool
+	done     bool
+	zero     bool
+}
+
+// NewCounter returns a counter unit.
+func NewCounter(name string) *Counter { return &Counter{name: name, zero: true, done: true} }
+
+const (
+	cntO = iota
+	cntStop
+	cntTAdd
+	cntTSub
+	cntTInc
+	cntTDec
+	cntTLd
+	cntTCnt
+	cntR
+)
+
+func (c *Counter) Name() string { return c.name }
+func (c *Counter) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "o", Kind: tta.Operand},
+		{Name: "stop", Kind: tta.Operand},
+		{Name: "tadd", Kind: tta.Trigger},
+		{Name: "tsub", Kind: tta.Trigger},
+		{Name: "tinc", Kind: tta.Trigger},
+		{Name: "tdec", Kind: tta.Trigger},
+		{Name: "tld", Kind: tta.Trigger},
+		{Name: "tcnt", Kind: tta.Trigger},
+		{Name: "r", Kind: tta.Result},
+	}
+}
+func (c *Counter) Signals() []string { return []string{"done", "zero"} }
+func (c *Counter) Read(local int) uint32 {
+	if local != cntR {
+		panic("fu: counter read of non-result socket")
+	}
+	return c.r
+}
+func (c *Counter) Write(local int, v uint32) {
+	switch local {
+	case cntO:
+		c.o.write(v)
+	case cntStop:
+		c.stop.write(v)
+	case cntTAdd:
+		c.tadd.write(v)
+	case cntTSub:
+		c.tsub.write(v)
+	case cntTInc:
+		c.tinc.write(v)
+	case cntTDec:
+		c.tdec.write(v)
+	case cntTLd:
+		c.tld.write(v)
+	case cntTCnt:
+		c.tcnt.write(v)
+	default:
+		panic("fu: counter write to result socket")
+	}
+}
+func (c *Counter) Clock() error {
+	c.o.clock()
+	c.stop.clock()
+	fired := false
+	if v, ok := c.tadd.take(); ok {
+		c.r, fired = v+c.o.cur, true
+	}
+	if v, ok := c.tsub.take(); ok {
+		c.r, fired = v-c.o.cur, true
+	}
+	if v, ok := c.tinc.take(); ok {
+		c.r, fired = v+1, true
+	}
+	if v, ok := c.tdec.take(); ok {
+		c.r, fired = v-1, true
+	}
+	if v, ok := c.tld.take(); ok {
+		c.r, fired = v, true
+	}
+	if v, ok := c.tcnt.take(); ok {
+		c.r, fired = v, true
+		c.counting = c.r != c.stop.cur
+	} else if fired {
+		c.counting = false
+	} else if c.counting {
+		if c.r < c.stop.cur {
+			c.r++
+		} else if c.r > c.stop.cur {
+			c.r--
+		}
+		if c.r == c.stop.cur {
+			c.counting = false
+		}
+	}
+	c.done = c.r == c.stop.cur
+	c.zero = c.r == 0
+	return nil
+}
+func (c *Counter) Signal(local int) bool {
+	if local == 0 {
+		return c.done
+	}
+	return c.zero
+}
+func (c *Counter) Reset() { *c = *NewCounter(c.name) }
+
+// Comparator compares a triggered operand against a reference value and
+// signals the outcome to the network controller (paper §3).
+//
+// Sockets: o (operand, reference), t (trigger, data), r (result: 1 when
+// data == reference). Signals: "eq", "lt" (data < ref), "gt" (data > ref);
+// comparisons are unsigned.
+type Comparator struct {
+	name       string
+	o          latch
+	t          trigger
+	r          uint32
+	eq, lt, gt bool
+}
+
+// NewComparator returns a comparator unit.
+func NewComparator(name string) *Comparator { return &Comparator{name: name} }
+
+func (c *Comparator) Name() string { return c.name }
+func (c *Comparator) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "o", Kind: tta.Operand},
+		{Name: "t", Kind: tta.Trigger},
+		{Name: "r", Kind: tta.Result},
+	}
+}
+func (c *Comparator) Signals() []string { return []string{"eq", "lt", "gt"} }
+func (c *Comparator) Read(local int) uint32 {
+	if local != 2 {
+		panic("fu: comparator read of non-result socket")
+	}
+	return c.r
+}
+func (c *Comparator) Write(local int, v uint32) {
+	switch local {
+	case 0:
+		c.o.write(v)
+	case 1:
+		c.t.write(v)
+	default:
+		panic("fu: comparator write to result socket")
+	}
+}
+func (c *Comparator) Clock() error {
+	c.o.clock()
+	if v, ok := c.t.take(); ok {
+		ref := c.o.cur
+		c.eq, c.lt, c.gt = v == ref, v < ref, v > ref
+		if c.eq {
+			c.r = 1
+		} else {
+			c.r = 0
+		}
+	}
+	return nil
+}
+func (c *Comparator) Signal(local int) bool {
+	switch local {
+	case 0:
+		return c.eq
+	case 1:
+		return c.lt
+	}
+	return c.gt
+}
+func (c *Comparator) Reset() { *c = Comparator{name: c.name} }
+
+// Matcher processes only the parts of its input selected by a mask and
+// reports the match over a result line wired directly to the network
+// controller (paper §3): match = (data & mask) == (ref & mask).
+//
+// Fields wider than a 32-bit bus word (IPv6 addresses, 128-bit prefixes)
+// are matched chunk by chunk: trigger "t" starts a fresh match and
+// "tand" folds another chunk in, ANDing with the running result.
+//
+// Sockets: mask (operand), ref (operand), t (trigger, data, fresh
+// match), tand (trigger, data, cumulative match), r (result: 1/0).
+// Signal: "match".
+type Matcher struct {
+	name  string
+	mask  latch
+	ref   latch
+	t     trigger
+	tand  trigger
+	r     uint32
+	match bool
+}
+
+// NewMatcher returns a matcher unit.
+func NewMatcher(name string) *Matcher { return &Matcher{name: name} }
+
+func (m *Matcher) Name() string { return m.name }
+func (m *Matcher) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "mask", Kind: tta.Operand},
+		{Name: "ref", Kind: tta.Operand},
+		{Name: "t", Kind: tta.Trigger},
+		{Name: "tand", Kind: tta.Trigger},
+		{Name: "r", Kind: tta.Result},
+	}
+}
+func (m *Matcher) Signals() []string { return []string{"match"} }
+func (m *Matcher) Read(local int) uint32 {
+	if local != 4 {
+		panic("fu: matcher read of non-result socket")
+	}
+	return m.r
+}
+func (m *Matcher) Write(local int, v uint32) {
+	switch local {
+	case 0:
+		m.mask.write(v)
+	case 1:
+		m.ref.write(v)
+	case 2:
+		m.t.write(v)
+	case 3:
+		m.tand.write(v)
+	default:
+		panic("fu: matcher write to result socket")
+	}
+}
+func (m *Matcher) Clock() error {
+	m.mask.clock()
+	m.ref.clock()
+	if v, ok := m.t.take(); ok {
+		m.match = v&m.mask.cur == m.ref.cur&m.mask.cur
+	}
+	if v, ok := m.tand.take(); ok {
+		m.match = m.match && v&m.mask.cur == m.ref.cur&m.mask.cur
+	}
+	if m.match {
+		m.r = 1
+	} else {
+		m.r = 0
+	}
+	return nil
+}
+func (m *Matcher) Signal(local int) bool { return m.match }
+func (m *Matcher) Reset()                { *m = Matcher{name: m.name} }
+
+// Masker sets the bits of a register according to a given mask and a
+// given value (paper §3): r = (data &^ mask) | (value & mask).
+//
+// Sockets: mask (operand), val (operand), t (trigger, data), r (result).
+type Masker struct {
+	name string
+	mask latch
+	val  latch
+	t    trigger
+	r    uint32
+}
+
+// NewMasker returns a masker unit.
+func NewMasker(name string) *Masker { return &Masker{name: name} }
+
+func (m *Masker) Name() string { return m.name }
+func (m *Masker) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "mask", Kind: tta.Operand},
+		{Name: "val", Kind: tta.Operand},
+		{Name: "t", Kind: tta.Trigger},
+		{Name: "r", Kind: tta.Result},
+	}
+}
+func (m *Masker) Signals() []string { return nil }
+func (m *Masker) Read(local int) uint32 {
+	if local != 3 {
+		panic("fu: masker read of non-result socket")
+	}
+	return m.r
+}
+func (m *Masker) Write(local int, v uint32) {
+	switch local {
+	case 0:
+		m.mask.write(v)
+	case 1:
+		m.val.write(v)
+	case 2:
+		m.t.write(v)
+	default:
+		panic("fu: masker write to result socket")
+	}
+}
+func (m *Masker) Clock() error {
+	m.mask.clock()
+	m.val.clock()
+	if v, ok := m.t.take(); ok {
+		m.r = v&^m.mask.cur | m.val.cur&m.mask.cur
+	}
+	return nil
+}
+func (m *Masker) Signal(local int) bool { return false }
+func (m *Masker) Reset()                { *m = Masker{name: m.name} }
+
+// Shifter performs logical shifts; per the paper it also serves as an
+// arithmetical multiplier by two.
+//
+// Sockets: amt (operand, shift amount), tl (trigger: r = data << amt),
+// tr (trigger: r = data >> amt), tmul2 (trigger: r = data << 1),
+// r (result). Signal: "zero" (r == 0).
+type Shifter struct {
+	name          string
+	amt           latch
+	tl, tr, tmul2 trigger
+	r             uint32
+	zero          bool
+}
+
+// NewShifter returns a shifter unit.
+func NewShifter(name string) *Shifter { return &Shifter{name: name, zero: true} }
+
+func (s *Shifter) Name() string { return s.name }
+func (s *Shifter) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "amt", Kind: tta.Operand},
+		{Name: "tl", Kind: tta.Trigger},
+		{Name: "tr", Kind: tta.Trigger},
+		{Name: "tmul2", Kind: tta.Trigger},
+		{Name: "r", Kind: tta.Result},
+	}
+}
+func (s *Shifter) Signals() []string { return []string{"zero"} }
+func (s *Shifter) Read(local int) uint32 {
+	if local != 4 {
+		panic("fu: shifter read of non-result socket")
+	}
+	return s.r
+}
+func (s *Shifter) Write(local int, v uint32) {
+	switch local {
+	case 0:
+		s.amt.write(v)
+	case 1:
+		s.tl.write(v)
+	case 2:
+		s.tr.write(v)
+	case 3:
+		s.tmul2.write(v)
+	default:
+		panic("fu: shifter write to result socket")
+	}
+}
+func (s *Shifter) Clock() error {
+	s.amt.clock()
+	n := s.amt.cur & 31
+	fired := false
+	if v, ok := s.tl.take(); ok {
+		s.r, fired = v<<n, true
+	}
+	if v, ok := s.tr.take(); ok {
+		s.r, fired = v>>n, true
+	}
+	if v, ok := s.tmul2.take(); ok {
+		s.r, fired = v<<1, true
+	}
+	if fired {
+		s.zero = s.r == 0
+	}
+	return nil
+}
+func (s *Shifter) Signal(local int) bool { return s.zero }
+func (s *Shifter) Reset()                { *s = *NewShifter(s.name) }
+
+// Checksum accumulates the Internet one's-complement sum used by the
+// UDP/ICMPv6 checksums that RIPng traffic requires.
+//
+// Sockets: tclr (trigger: clear the accumulator), tadd (trigger: fold the
+// two 16-bit halves of the data word into the sum), r (result: the
+// folded 16-bit one's-complement sum). Signal: "valid" (r == 0xffff —
+// a verifying sum over data including its checksum field).
+type Checksum struct {
+	name       string
+	tclr, tadd trigger
+	acc        uint32
+}
+
+// NewChecksum returns a checksum unit.
+func NewChecksum(name string) *Checksum { return &Checksum{name: name} }
+
+func (c *Checksum) Name() string { return c.name }
+func (c *Checksum) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "tclr", Kind: tta.Trigger},
+		{Name: "tadd", Kind: tta.Trigger},
+		{Name: "r", Kind: tta.Result},
+	}
+}
+func (c *Checksum) Signals() []string { return []string{"valid"} }
+func (c *Checksum) Read(local int) uint32 {
+	if local != 2 {
+		panic("fu: checksum read of non-result socket")
+	}
+	return c.folded()
+}
+func (c *Checksum) folded() uint32 {
+	s := c.acc
+	for s>>16 != 0 {
+		s = s&0xffff + s>>16
+	}
+	return s
+}
+func (c *Checksum) Write(local int, v uint32) {
+	switch local {
+	case 0:
+		c.tclr.write(v)
+	case 1:
+		c.tadd.write(v)
+	default:
+		panic("fu: checksum write to result socket")
+	}
+}
+func (c *Checksum) Clock() error {
+	if _, ok := c.tclr.take(); ok {
+		c.acc = 0
+	}
+	if v, ok := c.tadd.take(); ok {
+		c.acc += v>>16 + v&0xffff
+	}
+	return nil
+}
+func (c *Checksum) Signal(local int) bool { return c.folded() == 0xffff }
+func (c *Checksum) Reset()                { *c = Checksum{name: c.name} }

@@ -1,0 +1,235 @@
+// Package fu implements the TACO functional units of the paper's
+// Figure 2 — Matcher, Comparator, Counter, Checksum, Shifter, Masker,
+// general-purpose registers, the memory management unit, the routing
+// table unit (with sequential, balanced-tree and CAM backends), the
+// local info unit, and the input/output (pre/post) processing units —
+// plus the configuration builder that assembles them into architecture
+// instances for design-space exploration.
+package fu
+
+import (
+	"fmt"
+
+	"taco/internal/linecard"
+	"taco/internal/rtable"
+	"taco/internal/tta"
+)
+
+// latch is a socket register with next-cycle visibility: writes made
+// during a cycle become readable after clock().
+type latch struct {
+	cur   uint32
+	pend  uint32
+	dirty bool
+}
+
+func (l *latch) write(v uint32) { l.pend, l.dirty = v, true }
+
+func (l *latch) clock() {
+	if l.dirty {
+		l.cur, l.dirty = l.pend, false
+	}
+}
+
+func (l *latch) reset() { *l = latch{} }
+
+// trigger records a trigger-socket write for consumption by Clock.
+type trigger struct {
+	val   uint32
+	fired bool
+}
+
+func (t *trigger) write(v uint32) { t.val, t.fired = v, true }
+
+// take consumes the trigger, returning whether it fired this cycle.
+func (t *trigger) take() (uint32, bool) {
+	v, f := t.val, t.fired
+	t.fired = false
+	return v, f
+}
+
+func (t *trigger) reset() { *t = trigger{} }
+
+// Config describes one TACO architecture instance: the interconnection
+// network width and the number of functional units of each type. This is
+// the axis of the paper's design-space exploration ("architecture
+// instances are constructed by varying the number of modules of the same
+// type ... as well as varying the internal data transport capacity").
+type Config struct {
+	Name  string
+	Buses int
+
+	Counters    int
+	Comparators int
+	Matchers    int
+	Maskers     int
+	Shifters    int
+	Checksums   int
+
+	// GPRs is the number of general-purpose registers in the register
+	// file unit.
+	GPRs int
+
+	// MemWords sizes the data memory (32-bit words).
+	MemWords int
+
+	// Table selects the routing-table unit backend for router machines.
+	Table rtable.Kind
+
+	// CAMWaitCycles is the routing-table search latency, in processor
+	// cycles, charged by the CAM backend. The paper's CAM+SRAM combine
+	// for a 40 ns search; at the CAM rows' resulting clock rates
+	// (≤ 125 MHz) five cycles always cover 40 ns.
+	CAMWaitCycles int
+}
+
+// Validate checks structural sanity.
+func (c Config) Validate() error {
+	if c.Buses < 1 {
+		return fmt.Errorf("fu: config %q: need ≥1 bus", c.Name)
+	}
+	for _, n := range []struct {
+		what string
+		v    int
+	}{
+		{"counters", c.Counters}, {"comparators", c.Comparators},
+		{"matchers", c.Matchers}, {"maskers", c.Maskers},
+		{"shifters", c.Shifters}, {"checksums", c.Checksums},
+		{"gprs", c.GPRs},
+	} {
+		if n.v < 1 {
+			return fmt.Errorf("fu: config %q: need ≥1 %s", c.Name, n.what)
+		}
+	}
+	if c.MemWords < 64 {
+		return fmt.Errorf("fu: config %q: memory too small (%d words)", c.Name, c.MemWords)
+	}
+	return nil
+}
+
+// baseConfig fills the fields shared by the paper's configurations.
+func baseConfig(name string, buses, replicated int, kind rtable.Kind) Config {
+	return Config{
+		Name:  name,
+		Buses: buses,
+		// The paper's optimized configuration triples counters,
+		// comparators and matchers; the remaining unit types stay single.
+		Counters:      replicated,
+		Comparators:   replicated,
+		Matchers:      replicated,
+		Maskers:       1,
+		Shifters:      1,
+		Checksums:     1,
+		GPRs:          16,
+		MemWords:      1 << 16,
+		Table:         kind,
+		CAMWaitCycles: 5,
+	}
+}
+
+// Config1Bus1FU is the paper's "1BUS/1FU" instance.
+func Config1Bus1FU(kind rtable.Kind) Config {
+	return baseConfig("1BUS/1FU", 1, 1, kind)
+}
+
+// Config3Bus1FU is the paper's "3BUS/1FU" instance.
+func Config3Bus1FU(kind rtable.Kind) Config {
+	return baseConfig("3BUS/1FU", 3, 1, kind)
+}
+
+// Config3Bus3FU is the paper's "3bus/3CNT,3CMP,3M" instance.
+func Config3Bus3FU(kind rtable.Kind) Config {
+	return baseConfig("3BUS/3CNT,3CMP,3M", 3, 3, kind)
+}
+
+// PaperConfigs returns the three architecture instances of Table 1 for a
+// routing-table implementation, in the paper's order.
+func PaperConfigs(kind rtable.Kind) []Config {
+	return []Config{Config1Bus1FU(kind), Config3Bus1FU(kind), Config3Bus3FU(kind)}
+}
+
+// RouterUnits collects direct references to the stateful units of a
+// router machine, for workload injection and inspection by the harness.
+type RouterUnits struct {
+	MMU  *MMU
+	IPPU *IPPU
+	OPPU *OPPU
+	LIU  *LIU
+	// RTU is the routing-table unit; its concrete type depends on the
+	// configured backend.
+	RTU tta.Unit
+}
+
+// NewComputeMachine builds a machine with only the computational units
+// (no router I/O, no routing table) — sufficient for the Figure 3
+// example and the assembler/scheduler tests.
+func NewComputeMachine(cfg Config) (*tta.Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	units := computeUnits(cfg)
+	units = append(units, NewMMU("mmu", cfg.MemWords))
+	return tta.New(cfg.Name, cfg.Buses, units)
+}
+
+// NewRouterMachine builds a full router processor: the computational
+// units plus MMU, routing-table unit over tbl, local-info unit, and the
+// pre/post processing units connected to bank.
+func NewRouterMachine(cfg Config, tbl rtable.Table, bank *linecard.Bank) (*tta.Machine, *RouterUnits, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if tbl.Kind() != cfg.Table {
+		return nil, nil, fmt.Errorf("fu: config wants %v table, got %v", cfg.Table, tbl.Kind())
+	}
+	mmu := NewMMU("mmu", cfg.MemWords)
+	ippu := NewIPPU("ippu", bank, mmu)
+	oppu := NewOPPU("oppu", bank, mmu)
+	oppu.SeqLookup = ippu.SeqAt
+	oppu.StoredCycleLookup = ippu.StoredCycleAt
+	liu := NewLIU("liu")
+
+	var rtu tta.Unit
+	switch t := tbl.(type) {
+	case *rtable.SequentialTable:
+		rtu = NewRTUSeq("rtu", t)
+	case *rtable.BalancedTreeTable:
+		rtu = NewRTUTree("rtu", t)
+	case *rtable.CAMTable:
+		rtu = NewRTUCAM("rtu", t, cfg.CAMWaitCycles)
+	default:
+		return nil, nil, fmt.Errorf("fu: no RTU backend for %v tables", tbl.Kind())
+	}
+
+	units := computeUnits(cfg)
+	units = append(units, mmu, rtu, liu, ippu, oppu)
+	m, err := tta.New(cfg.Name, cfg.Buses, units)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, &RouterUnits{MMU: mmu, IPPU: ippu, OPPU: oppu, LIU: liu, RTU: rtu}, nil
+}
+
+func computeUnits(cfg Config) []tta.Unit {
+	var units []tta.Unit
+	for i := 0; i < cfg.Counters; i++ {
+		units = append(units, NewCounter(fmt.Sprintf("cnt%d", i)))
+	}
+	for i := 0; i < cfg.Comparators; i++ {
+		units = append(units, NewComparator(fmt.Sprintf("cmp%d", i)))
+	}
+	for i := 0; i < cfg.Matchers; i++ {
+		units = append(units, NewMatcher(fmt.Sprintf("mat%d", i)))
+	}
+	for i := 0; i < cfg.Maskers; i++ {
+		units = append(units, NewMasker(fmt.Sprintf("msk%d", i)))
+	}
+	for i := 0; i < cfg.Shifters; i++ {
+		units = append(units, NewShifter(fmt.Sprintf("shf%d", i)))
+	}
+	for i := 0; i < cfg.Checksums; i++ {
+		units = append(units, NewChecksum(fmt.Sprintf("chk%d", i)))
+	}
+	units = append(units, NewGPR("gpr", cfg.GPRs))
+	return units
+}

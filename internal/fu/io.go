@@ -1,0 +1,472 @@
+package fu
+
+import (
+	"fmt"
+
+	"taco/internal/bits"
+	"taco/internal/linecard"
+	"taco/internal/tta"
+)
+
+// LIU is the local info unit of Figure 2: it knows the router's own
+// unicast addresses and joined multicast groups (e.g. the RIPng group
+// ff02::9), so the forwarding program can decide in one operation
+// whether a datagram is addressed to the router itself.
+//
+// Sockets: a0, a1, a2 (operands), tchk (trigger; value = lowest address
+// word), mine (result: 1/0), nifc (result: interface count).
+// Signal: "mine".
+type LIU struct {
+	name  string
+	local []bits.Word128
+	nifc  uint32
+
+	a    [3]latch
+	tchk trigger
+	mine bool
+}
+
+// NewLIU returns an empty local-info unit; configure it with SetLocal
+// and SetIfaceCount.
+func NewLIU(name string) *LIU { return &LIU{name: name} }
+
+// SetLocal installs the addresses considered "local" (unicast addresses
+// and joined multicast groups).
+func (u *LIU) SetLocal(addrs []bits.Word128) {
+	u.local = append([]bits.Word128(nil), addrs...)
+}
+
+// SetIfaceCount installs the router's interface count.
+func (u *LIU) SetIfaceCount(n int) { u.nifc = uint32(n) }
+
+const (
+	liuA0 = iota
+	liuA1
+	liuA2
+	liuTChk
+	liuMine
+	liuNIfc
+)
+
+func (u *LIU) Name() string { return u.name }
+func (u *LIU) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "a0", Kind: tta.Operand},
+		{Name: "a1", Kind: tta.Operand},
+		{Name: "a2", Kind: tta.Operand},
+		{Name: "tchk", Kind: tta.Trigger},
+		{Name: "mine", Kind: tta.Result},
+		{Name: "nifc", Kind: tta.Result},
+	}
+}
+func (u *LIU) Signals() []string { return []string{"mine"} }
+func (u *LIU) Read(local int) uint32 {
+	switch local {
+	case liuMine:
+		if u.mine {
+			return 1
+		}
+		return 0
+	case liuNIfc:
+		return u.nifc
+	}
+	panic("fu: liu read of non-result socket")
+}
+func (u *LIU) Write(local int, v uint32) {
+	switch local {
+	case liuA0, liuA1, liuA2:
+		u.a[local].write(v)
+	case liuTChk:
+		u.tchk.write(v)
+	default:
+		panic("fu: liu write to result socket")
+	}
+}
+func (u *LIU) Clock() error {
+	for i := range u.a {
+		u.a[i].clock()
+	}
+	if a3, ok := u.tchk.take(); ok {
+		addr := bits.FromWords(u.a[0].cur, u.a[1].cur, u.a[2].cur, a3)
+		u.mine = false
+		for _, l := range u.local {
+			if l == addr {
+				u.mine = true
+				break
+			}
+		}
+	}
+	return nil
+}
+func (u *LIU) Signal(local int) bool { return u.mine }
+func (u *LIU) Reset() {
+	for i := range u.a {
+		u.a[i].reset()
+	}
+	u.tchk.reset()
+	u.mine = false
+}
+
+// ippuEntry is one queued datagram descriptor: where the preprocessing
+// unit stored it, which interface it arrived on, and its byte length.
+type ippuEntry struct {
+	ptr   uint32 // word address in data memory
+	iface uint32
+	bytes uint32
+	words uint32
+	seq   int64
+}
+
+// IPPU is the preprocessing unit (paper §3): it autonomously scans the
+// line cards' input buffers for pending datagrams, DMAs each one into
+// the processor's data memory, and queues a (pointer, interface) record.
+// A 1-bit signal wired straight to the network controller announces
+// pending entries, so guarded moves can branch on it without polling
+// card registers.
+//
+// The DMA itself runs in the background (one datagram per cycle when
+// space permits) and does not occupy interconnection-network bus slots —
+// header processing, not payload movement, is the forwarding critical
+// path being measured.
+//
+// Sockets: tpop (trigger: pop the head entry), ptr/ifc/len (results for
+// the popped entry). Signal: "pending".
+type IPPU struct {
+	name string
+	bank *linecard.Bank
+	mmu  *MMU
+
+	base  int // first word of the datagram region
+	alloc int // next allocation word
+
+	queue []ippuEntry
+	// inProcess is the most recently popped entry; its memory stays
+	// protected from DMA reuse until the next pop.
+	inProcess *ippuEntry
+
+	tpop            trigger
+	rptr, rifc, rln uint32
+
+	popped    int64
+	stored    int64
+	oversized int64
+	seqs      map[uint32]int64
+
+	// now counts unit clocks (= machine cycles); storedAt records when a
+	// datagram finished its input DMA, for latency measurement.
+	now      int64
+	storedAt map[uint32]int64
+}
+
+// DatagramBase is the first data-memory word used for datagram storage;
+// the words below it are scratch space for the forwarding program.
+const DatagramBase = 256
+
+// NewIPPU returns a preprocessing unit DMAing from bank into mmu.
+func NewIPPU(name string, bank *linecard.Bank, mmu *MMU) *IPPU {
+	return &IPPU{
+		name: name, bank: bank, mmu: mmu,
+		base: DatagramBase, alloc: DatagramBase,
+		seqs:     make(map[uint32]int64),
+		storedAt: make(map[uint32]int64),
+	}
+}
+
+const (
+	ippuTPop = iota
+	ippuPtr
+	ippuIfc
+	ippuLen
+)
+
+func (u *IPPU) Name() string { return u.name }
+func (u *IPPU) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "tpop", Kind: tta.Trigger},
+		{Name: "ptr", Kind: tta.Result},
+		{Name: "ifc", Kind: tta.Result},
+		{Name: "len", Kind: tta.Result},
+	}
+}
+func (u *IPPU) Signals() []string { return []string{"pending"} }
+func (u *IPPU) Read(local int) uint32 {
+	switch local {
+	case ippuPtr:
+		return u.rptr
+	case ippuIfc:
+		return u.rifc
+	case ippuLen:
+		return u.rln
+	}
+	panic("fu: ippu read of non-result socket")
+}
+func (u *IPPU) Write(local int, v uint32) {
+	if local != ippuTPop {
+		panic("fu: ippu write to non-trigger socket")
+	}
+	u.tpop.write(v)
+}
+
+// maxInflight bounds the descriptor queue so DMA cannot indefinitely
+// outrun the forwarding program.
+const maxInflight = 64
+
+func (u *IPPU) Clock() error {
+	u.now++
+	// Service a pop first so the freed region is available to DMA.
+	if _, ok := u.tpop.take(); ok {
+		if len(u.queue) == 0 {
+			return fmt.Errorf("fu: ippu popped with empty queue")
+		}
+		e := u.queue[0]
+		u.queue = u.queue[1:]
+		u.inProcess = &e
+		u.rptr, u.rifc, u.rln = e.ptr, e.iface, e.bytes
+		u.popped++
+	}
+
+	// Background DMA: move one pending datagram into memory per cycle.
+	if len(u.queue) < maxInflight {
+		if ci := u.bank.AnyPending(); ci >= 0 {
+			card := u.bank.Card(ci)
+			if d, ok := peekLen(card); ok {
+				words := (d + 3) / 4
+				if ptr, ok := u.reserve(words); ok {
+					dg, _ := card.ReadInput()
+					if len(dg.Data) > maxDatagramBytes {
+						// Oversized frames exceed the line card MTU
+						// contract; drop rather than overrun the slot.
+						u.oversized++
+						return nil
+					}
+					if _, err := u.mmu.StoreBytes(ptr, dg.Data); err != nil {
+						return fmt.Errorf("fu: ippu dma: %w", err)
+					}
+					e := ippuEntry{
+						ptr: uint32(ptr), iface: uint32(ci),
+						bytes: uint32(len(dg.Data)), words: uint32(words),
+						seq: dg.Seq,
+					}
+					u.queue = append(u.queue, e)
+					u.seqs[e.ptr] = e.seq
+					u.storedAt[e.ptr] = u.now
+					u.alloc = ptr + words
+					u.stored++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// peekLen returns the byte length of the card's head datagram without
+// consuming it.
+func peekLen(c *linecard.Card) (int, bool) {
+	if !c.InputPending() {
+		return 0, false
+	}
+	// The card model exposes only FIFO reads; reserve conservatively for
+	// the maximum datagram size instead of peeking.
+	return maxDatagramBytes, true
+}
+
+// maxDatagramBytes bounds a line-card datagram (standard 1500-byte MTU
+// plus headers, rounded up).
+const maxDatagramBytes = 2048
+
+// reserve finds words of contiguous free datagram memory, wrapping to
+// the region base when the tail is too small, and refusing regions that
+// would overwrite a queued or in-process datagram.
+func (u *IPPU) reserve(words int) (int, bool) {
+	limit := u.mmu.Words()
+	try := func(start int) bool {
+		if start+words > limit {
+			return false
+		}
+		end := start + words
+		overlaps := func(e *ippuEntry) bool {
+			a, b := int(e.ptr), int(e.ptr+e.words)
+			return start < b && a < end
+		}
+		for i := range u.queue {
+			if overlaps(&u.queue[i]) {
+				return false
+			}
+		}
+		if u.inProcess != nil && overlaps(u.inProcess) {
+			return false
+		}
+		return true
+	}
+	if try(u.alloc) {
+		return u.alloc, true
+	}
+	if try(u.base) {
+		return u.base, true
+	}
+	return 0, false
+}
+
+func (u *IPPU) Signal(local int) bool { return len(u.queue) > 0 }
+func (u *IPPU) Reset() {
+	u.alloc = u.base
+	u.queue = nil
+	u.inProcess = nil
+	u.tpop.reset()
+	u.rptr, u.rifc, u.rln = 0, 0, 0
+	u.popped, u.stored, u.oversized = 0, 0, 0
+	u.now = 0
+	u.seqs = make(map[uint32]int64)
+	u.storedAt = make(map[uint32]int64)
+}
+
+// HazardClass marks the preprocessing unit as a data-memory client.
+func (u *IPPU) HazardClass() string { return "dmem" }
+
+// SeqAt returns the workload sequence number of the datagram stored at
+// ptr (harness correlation aid).
+func (u *IPPU) SeqAt(ptr uint32) (int64, bool) {
+	s, ok := u.seqs[ptr]
+	return s, ok
+}
+
+// StoredCycleAt returns the machine cycle at which the datagram at ptr
+// finished its input DMA.
+func (u *IPPU) StoredCycleAt(ptr uint32) (int64, bool) {
+	c, ok := u.storedAt[ptr]
+	return c, ok
+}
+
+// Oversized reports datagrams dropped for exceeding the MTU contract.
+func (u *IPPU) Oversized() int64 { return u.oversized }
+
+// Stored and Popped report DMA activity.
+func (u *IPPU) Stored() int64 { return u.stored }
+
+// Popped reports how many descriptors the program consumed.
+func (u *IPPU) Popped() int64 { return u.popped }
+
+// QueueLen returns the current descriptor-queue depth.
+func (u *IPPU) QueueLen() int { return len(u.queue) }
+
+// OPPU is the postprocessing unit (paper §3): it manages the router's
+// output traffic. The program hands it a memory pointer, a byte length
+// and an output interface; the unit moves the datagram from data memory
+// into the corresponding line card's output buffer.
+//
+// Sockets: ptr (operand), len (operand), tsend (trigger: value = output
+// interface). Signal: "err" — the last send failed (bad interface or
+// full output buffer).
+type OPPU struct {
+	name string
+	bank *linecard.Bank
+	mmu  *MMU
+
+	optr, olen latch
+	tsend      trigger
+	errFlag    bool
+
+	sent      int64
+	now       int64
+	latencies []int64
+
+	// SeqLookup, when set, recovers the workload sequence number for a
+	// sent datagram (wired to IPPU.SeqAt by the machine builder).
+	SeqLookup func(ptr uint32) (int64, bool)
+	// StoredCycleLookup, when set, recovers the input-DMA completion
+	// cycle so the unit can record store-to-transmit latency (wired to
+	// IPPU.StoredCycleAt by the machine builder).
+	StoredCycleLookup func(ptr uint32) (int64, bool)
+}
+
+// NewOPPU returns a postprocessing unit writing from mmu into bank.
+func NewOPPU(name string, bank *linecard.Bank, mmu *MMU) *OPPU {
+	return &OPPU{name: name, bank: bank, mmu: mmu}
+}
+
+const (
+	oppuPtr = iota
+	oppuLen
+	oppuTSend
+)
+
+func (u *OPPU) Name() string { return u.name }
+func (u *OPPU) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "ptr", Kind: tta.Operand},
+		{Name: "len", Kind: tta.Operand},
+		{Name: "tsend", Kind: tta.Trigger},
+	}
+}
+func (u *OPPU) Signals() []string     { return []string{"err"} }
+func (u *OPPU) Read(local int) uint32 { panic("fu: oppu has no readable sockets") }
+func (u *OPPU) Write(local int, v uint32) {
+	switch local {
+	case oppuPtr:
+		u.optr.write(v)
+	case oppuLen:
+		u.olen.write(v)
+	case oppuTSend:
+		u.tsend.write(v)
+	default:
+		panic("fu: oppu write out of range")
+	}
+}
+func (u *OPPU) Clock() error {
+	u.now++
+	u.optr.clock()
+	u.olen.clock()
+	if ifc, ok := u.tsend.take(); ok {
+		u.errFlag = false
+		if int(ifc) >= u.bank.Len() {
+			u.errFlag = true
+			return nil
+		}
+		data, err := u.mmu.LoadBytes(int(u.optr.cur), int(u.olen.cur))
+		if err != nil {
+			u.errFlag = true
+			return nil
+		}
+		d := linecard.Datagram{Data: data, Seq: -1}
+		if u.SeqLookup != nil {
+			if s, ok := u.SeqLookup(u.optr.cur); ok {
+				d.Seq = s
+			}
+		}
+		if err := u.bank.Card(int(ifc)).WriteOutput(d); err != nil {
+			u.errFlag = true
+			return nil
+		}
+		u.sent++
+		if u.StoredCycleLookup != nil {
+			if at, ok := u.StoredCycleLookup(u.optr.cur); ok {
+				u.latencies = append(u.latencies, u.now-at)
+			}
+		}
+	}
+	return nil
+}
+func (u *OPPU) Signal(local int) bool { return u.errFlag }
+func (u *OPPU) Reset() {
+	u.optr.reset()
+	u.olen.reset()
+	u.tsend.reset()
+	u.errFlag = false
+	u.sent = 0
+	u.now = 0
+	u.latencies = nil
+}
+
+// HazardClass marks the postprocessing unit as a data-memory client: its
+// send trigger must stay in program order with MMU writes so that the
+// datagram it copies out reflects the header rewrite.
+func (u *OPPU) HazardClass() string { return "dmem" }
+
+// Sent reports the number of datagrams moved to output buffers.
+func (u *OPPU) Sent() int64 { return u.sent }
+
+// Latencies returns the recorded store-to-transmit latencies in machine
+// cycles, one per sent datagram, in transmit order.
+func (u *OPPU) Latencies() []int64 {
+	return append([]int64(nil), u.latencies...)
+}

@@ -1,0 +1,150 @@
+package fu
+
+import (
+	"fmt"
+
+	"taco/internal/tta"
+)
+
+// MMU is the memory management unit of Figure 2: the interface between
+// the interconnection network and the processor's data memory, which
+// holds the datagrams under processing. The memory is word-addressed
+// (32-bit words) and single-ported: one read or write per cycle.
+//
+// Sockets:
+//
+//	ow (operand)  data word for the next write
+//	tr (trigger)  read: value = word address; r holds mem[addr] next cycle
+//	tw (trigger)  write: value = word address; mem[addr] = ow
+//	r  (result)   the last read word
+type MMU struct {
+	name   string
+	mem    []uint32
+	ow     latch
+	tr, tw trigger
+	r      uint32
+
+	reads, writes int64
+}
+
+// NewMMU returns a memory of the given word count.
+func NewMMU(name string, words int) *MMU {
+	return &MMU{name: name, mem: make([]uint32, words)}
+}
+
+func (m *MMU) Name() string { return m.name }
+func (m *MMU) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "ow", Kind: tta.Operand},
+		{Name: "tr", Kind: tta.Trigger},
+		{Name: "tw", Kind: tta.Trigger},
+		{Name: "r", Kind: tta.Result},
+	}
+}
+func (m *MMU) Signals() []string { return nil }
+func (m *MMU) Read(local int) uint32 {
+	if local != 3 {
+		panic("fu: mmu read of non-result socket")
+	}
+	return m.r
+}
+func (m *MMU) Write(local int, v uint32) {
+	switch local {
+	case 0:
+		m.ow.write(v)
+	case 1:
+		m.tr.write(v)
+	case 2:
+		m.tw.write(v)
+	default:
+		panic("fu: mmu write to result socket")
+	}
+}
+func (m *MMU) Clock() error {
+	m.ow.clock()
+	rAddr, rOK := m.tr.take()
+	wAddr, wOK := m.tw.take()
+	if rOK && wOK {
+		return fmt.Errorf("fu: mmu read and write triggered in the same cycle (single-ported)")
+	}
+	if rOK {
+		if int(rAddr) >= len(m.mem) {
+			return fmt.Errorf("fu: mmu read past memory: address %d of %d", rAddr, len(m.mem))
+		}
+		m.r = m.mem[rAddr]
+		m.reads++
+	}
+	if wOK {
+		if int(wAddr) >= len(m.mem) {
+			return fmt.Errorf("fu: mmu write past memory: address %d of %d", wAddr, len(m.mem))
+		}
+		m.mem[wAddr] = m.ow.cur
+		m.writes++
+	}
+	return nil
+}
+func (m *MMU) Signal(local int) bool { return false }
+func (m *MMU) Reset() {
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	m.ow.reset()
+	m.tr.reset()
+	m.tw.reset()
+	m.r = 0
+	m.reads, m.writes = 0, 0
+}
+
+// HazardClass marks the MMU as a data-memory port: the scheduler keeps
+// its triggers in program order with the DMA units' triggers.
+func (m *MMU) HazardClass() string { return "dmem" }
+
+// Words returns the memory size.
+func (m *MMU) Words() int { return len(m.mem) }
+
+// Peek reads a word directly (backdoor for DMA units and tests).
+func (m *MMU) Peek(addr int) uint32 { return m.mem[addr] }
+
+// Poke writes a word directly (backdoor for DMA units and tests).
+func (m *MMU) Poke(addr int, v uint32) { m.mem[addr] = v }
+
+// Accesses reports the socket-level read and write counts.
+func (m *MMU) Accesses() (reads, writes int64) { return m.reads, m.writes }
+
+// StoreBytes packs big-endian bytes into memory starting at word addr,
+// zero-padding the final word, and returns the number of words used.
+// It is the DMA path used by the preprocessing unit.
+func (m *MMU) StoreBytes(addr int, data []byte) (int, error) {
+	words := (len(data) + 3) / 4
+	if addr < 0 || addr+words > len(m.mem) {
+		return 0, fmt.Errorf("fu: mmu store of %d words at %d overflows %d-word memory",
+			words, addr, len(m.mem))
+	}
+	for w := 0; w < words; w++ {
+		var v uint32
+		for b := 0; b < 4; b++ {
+			v <<= 8
+			if i := w*4 + b; i < len(data) {
+				v |= uint32(data[i])
+			}
+		}
+		m.mem[addr+w] = v
+	}
+	return words, nil
+}
+
+// LoadBytes unpacks n big-endian bytes starting at word addr — the DMA
+// path used by the postprocessing unit.
+func (m *MMU) LoadBytes(addr, n int) ([]byte, error) {
+	words := (n + 3) / 4
+	if addr < 0 || addr+words > len(m.mem) {
+		return nil, fmt.Errorf("fu: mmu load of %d words at %d overflows %d-word memory",
+			words, addr, len(m.mem))
+	}
+	out := make([]byte, 0, words*4)
+	for w := 0; w < words; w++ {
+		v := m.mem[addr+w]
+		out = append(out, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return out[:n], nil
+}

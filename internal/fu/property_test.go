@@ -1,0 +1,179 @@
+package fu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"taco/internal/isa"
+	"taco/internal/tta"
+)
+
+// runUnitOp executes a tiny program on a fresh machine and returns the
+// value left in gpr.r0.
+func runUnitOp(t *testing.T, build func(m *tta.Machine) []isa.Instruction) uint32 {
+	t.Helper()
+	m, err := NewComputeMachine(Config3Bus1FU(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := isa.NewProgram()
+	p.Ins = build(m)
+	if err := m.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadSocket("gpr.r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestCounterMatchesGoArithmetic: the hardware add/sub equals Go's
+// uint32 arithmetic, including wraparound.
+func TestCounterMatchesGoArithmetic(t *testing.T) {
+	f := func(a, b uint32, sub bool) bool {
+		trig := "cnt0.tadd"
+		want := a + b
+		if sub {
+			trig = "cnt0.tsub"
+			want = a - b
+		}
+		got := runUnitOp(t, func(m *tta.Machine) []isa.Instruction {
+			return []isa.Instruction{
+				ins(mvI(m, b, "cnt0.o"), mvI(m, a, trig)),
+				ins(mvS(m, "cnt0.r", "gpr.r0")),
+			}
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaskerIdentity: r = (data &^ mask) | (val & mask), bit for bit.
+func TestMaskerIdentity(t *testing.T) {
+	f := func(data, mask, val uint32) bool {
+		got := runUnitOp(t, func(m *tta.Machine) []isa.Instruction {
+			return []isa.Instruction{
+				ins(mvI(m, mask, "msk0.mask"), mvI(m, val, "msk0.val"), mvI(m, data, "msk0.t")),
+				ins(mvS(m, "msk0.r", "gpr.r0")),
+			}
+		})
+		return got == (data&^mask | val&mask)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatcherIdentity: match = ((data ^ ref) & mask) == 0.
+func TestMatcherIdentity(t *testing.T) {
+	f := func(data, mask, ref uint32) bool {
+		got := runUnitOp(t, func(m *tta.Machine) []isa.Instruction {
+			return []isa.Instruction{
+				ins(mvI(m, mask, "mat0.mask"), mvI(m, ref, "mat0.ref"), mvI(m, data, "mat0.t")),
+				ins(mvS(m, "mat0.r", "gpr.r0")),
+			}
+		})
+		want := uint32(0)
+		if (data^ref)&mask == 0 {
+			want = 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatcherCumulativeAND: tand folds chunks; the result is the AND of
+// the individual chunk matches.
+func TestMatcherCumulativeAND(t *testing.T) {
+	f := func(d1, d2, mask, ref uint32) bool {
+		got := runUnitOp(t, func(m *tta.Machine) []isa.Instruction {
+			return []isa.Instruction{
+				ins(mvI(m, mask, "mat0.mask"), mvI(m, ref, "mat0.ref"), mvI(m, d1, "mat0.t")),
+				ins(mvI(m, d2, "mat0.tand")),
+				ins(mvS(m, "mat0.r", "gpr.r0")),
+			}
+		})
+		want := uint32(0)
+		if (d1^ref)&mask == 0 && (d2^ref)&mask == 0 {
+			want = 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShifterMatchesGo: logical shifts equal Go's uint32 shifts with a
+// 5-bit amount.
+func TestShifterMatchesGo(t *testing.T) {
+	f := func(data uint32, amtRaw uint8, left bool) bool {
+		amt := uint32(amtRaw) & 31
+		trig := "shf0.tr"
+		want := data >> amt
+		if left {
+			trig = "shf0.tl"
+			want = data << amt
+		}
+		got := runUnitOp(t, func(m *tta.Machine) []isa.Instruction {
+			return []isa.Instruction{
+				ins(mvI(m, amt, "shf0.amt"), mvI(m, data, trig)),
+				ins(mvS(m, "shf0.r", "gpr.r0")),
+			}
+		})
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChecksumUnitMatchesSoftware: folding words through the hardware
+// checksum unit gives the same one's-complement sum as summing 16-bit
+// halves in software — the property that lets the forwarding program
+// verify UDP checksums the ipv6 package computes.
+func TestChecksumUnitMatchesSoftware(t *testing.T) {
+	f := func(words []uint32) bool {
+		if len(words) > 20 {
+			words = words[:20]
+		}
+		m, err := NewComputeMachine(Config1Bus1FU(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := isa.NewProgram()
+		p.Ins = append(p.Ins, ins(mvI(m, 0, "chk0.tclr")))
+		for _, w := range words {
+			p.Ins = append(p.Ins, ins(mvI(m, w, "chk0.tadd")))
+		}
+		p.Ins = append(p.Ins, ins(mvS(m, "chk0.r", "gpr.r0")))
+		if err := m.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := m.ReadSocket("gpr.r0")
+
+		var sum uint32
+		for _, w := range words {
+			sum += w >> 16
+			sum += w & 0xffff
+			for sum>>16 != 0 {
+				sum = sum&0xffff + sum>>16
+			}
+		}
+		return got == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

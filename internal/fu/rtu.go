@@ -1,0 +1,379 @@
+package fu
+
+import (
+	"fmt"
+
+	"taco/internal/bits"
+	"taco/internal/rtable"
+	"taco/internal/tta"
+)
+
+// NilNode is the sentinel node/entry index meaning "no node".
+const NilNode = 0xffffffff
+
+// RTUSeq is the routing-table unit over the sequential organisation: the
+// table is an array of entries; triggering an index load latches the
+// whole entry — four prefix words, four mask words, prefix length and
+// output interface — into separate result sockets so that multi-bus
+// configurations can read several fields per cycle. The processor
+// program performs the scan itself (the linear search of the paper's
+// first case).
+//
+// Sockets:
+//
+//	tidx (trigger)  value = entry index; entry registers valid next cycle
+//	p0..p3 (result) prefix words, most significant first
+//	m0..m3 (result) netmask words
+//	ifc (result)    output interface
+//	count (result)  number of entries (always current)
+//
+// Signal: "valid" — the loaded index was in range.
+type RTUSeq struct {
+	name  string
+	table *rtable.SequentialTable
+
+	tidx  trigger
+	p, m  [4]uint32
+	ifc   uint32
+	lenp1 uint32
+	valid bool
+
+	loads int64
+}
+
+// NewRTUSeq returns a sequential-backend routing-table unit.
+func NewRTUSeq(name string, t *rtable.SequentialTable) *RTUSeq {
+	return &RTUSeq{name: name, table: t}
+}
+
+const (
+	seqTIdx = iota
+	seqP0
+	seqP1
+	seqP2
+	seqP3
+	seqM0
+	seqM1
+	seqM2
+	seqM3
+	seqIfc
+	seqLenP1
+	seqCount
+)
+
+func (u *RTUSeq) Name() string { return u.name }
+func (u *RTUSeq) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "tidx", Kind: tta.Trigger},
+		{Name: "p0", Kind: tta.Result}, {Name: "p1", Kind: tta.Result},
+		{Name: "p2", Kind: tta.Result}, {Name: "p3", Kind: tta.Result},
+		{Name: "m0", Kind: tta.Result}, {Name: "m1", Kind: tta.Result},
+		{Name: "m2", Kind: tta.Result}, {Name: "m3", Kind: tta.Result},
+		{Name: "ifc", Kind: tta.Result},
+		{Name: "lenp1", Kind: tta.Result},
+		{Name: "count", Kind: tta.Result},
+	}
+}
+func (u *RTUSeq) Signals() []string { return []string{"valid"} }
+func (u *RTUSeq) Read(local int) uint32 {
+	switch local {
+	case seqP0, seqP1, seqP2, seqP3:
+		return u.p[local-seqP0]
+	case seqM0, seqM1, seqM2, seqM3:
+		return u.m[local-seqM0]
+	case seqIfc:
+		return u.ifc
+	case seqLenP1:
+		return u.lenp1
+	case seqCount:
+		return uint32(u.table.Len())
+	}
+	panic("fu: rtu-seq read of non-result socket")
+}
+func (u *RTUSeq) Write(local int, v uint32) {
+	if local != seqTIdx {
+		panic("fu: rtu-seq write to non-trigger socket")
+	}
+	u.tidx.write(v)
+}
+func (u *RTUSeq) Clock() error {
+	if idx, ok := u.tidx.take(); ok {
+		u.loads++
+		r, ok := u.table.EntryAt(int(idx))
+		u.valid = ok
+		if ok {
+			u.p = r.Prefix.Addr.Words()
+			u.m = bits.Mask(r.Prefix.Len).Words()
+			u.ifc = uint32(r.Iface)
+			u.lenp1 = uint32(r.Prefix.Len) + 1
+		}
+	}
+	return nil
+}
+func (u *RTUSeq) Signal(local int) bool { return u.valid }
+func (u *RTUSeq) Reset() {
+	u.tidx.reset()
+	u.p, u.m = [4]uint32{}, [4]uint32{}
+	u.ifc, u.lenp1, u.valid, u.loads = 0, 0, false, 0
+}
+
+// Loads reports the number of entry loads performed.
+func (u *RTUSeq) Loads() int64 { return u.loads }
+
+// RTUTree is the routing-table unit over the balanced range tree: the
+// table is an array of nodes, each holding a disjoint address range, the
+// owning route's interface, and child indices. Triggering a node load
+// latches the node record; the processor program performs the
+// root-to-leaf walk (the logarithmic search of the paper's second case).
+//
+// Sockets:
+//
+//	tnode (trigger)  value = node index (NilNode for none)
+//	f0..f3 (result)  range first-address words
+//	l0..l3 (result)  range last-address words
+//	left, right (result)  child node indices (NilNode when absent)
+//	ifc (result)     output interface of the owning route
+//	root (result)    current root node index (always current)
+//
+// Signal: "valid" — the loaded index referenced a real node.
+type RTUTree struct {
+	name  string
+	table *rtable.BalancedTreeTable
+
+	tnode       trigger
+	f, l        [4]uint32
+	left, right uint32
+	ifc         uint32
+	valid       bool
+
+	loads int64
+}
+
+// NewRTUTree returns a balanced-tree-backend routing-table unit.
+func NewRTUTree(name string, t *rtable.BalancedTreeTable) *RTUTree {
+	return &RTUTree{name: name, table: t}
+}
+
+const (
+	treeTNode = iota
+	treeF0
+	treeF1
+	treeF2
+	treeF3
+	treeL0
+	treeL1
+	treeL2
+	treeL3
+	treeLeft
+	treeRight
+	treeIfc
+	treeRoot
+)
+
+func (u *RTUTree) Name() string { return u.name }
+func (u *RTUTree) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "tnode", Kind: tta.Trigger},
+		{Name: "f0", Kind: tta.Result}, {Name: "f1", Kind: tta.Result},
+		{Name: "f2", Kind: tta.Result}, {Name: "f3", Kind: tta.Result},
+		{Name: "l0", Kind: tta.Result}, {Name: "l1", Kind: tta.Result},
+		{Name: "l2", Kind: tta.Result}, {Name: "l3", Kind: tta.Result},
+		{Name: "left", Kind: tta.Result}, {Name: "right", Kind: tta.Result},
+		{Name: "ifc", Kind: tta.Result},
+		{Name: "root", Kind: tta.Result},
+	}
+}
+func (u *RTUTree) Signals() []string { return []string{"valid"} }
+func (u *RTUTree) Read(local int) uint32 {
+	switch local {
+	case treeF0, treeF1, treeF2, treeF3:
+		return u.f[local-treeF0]
+	case treeL0, treeL1, treeL2, treeL3:
+		return u.l[local-treeL0]
+	case treeLeft:
+		return u.left
+	case treeRight:
+		return u.right
+	case treeIfc:
+		return u.ifc
+	case treeRoot:
+		if r := u.table.Root(); r >= 0 {
+			return uint32(r)
+		}
+		return NilNode
+	}
+	panic("fu: rtu-tree read of non-result socket")
+}
+func (u *RTUTree) Write(local int, v uint32) {
+	if local != treeTNode {
+		panic("fu: rtu-tree write to non-trigger socket")
+	}
+	u.tnode.write(v)
+}
+func (u *RTUTree) Clock() error {
+	if idx, ok := u.tnode.take(); ok {
+		u.loads++
+		if idx == NilNode {
+			u.valid = false
+			return nil
+		}
+		n, ok := u.table.NodeAt(int(idx))
+		u.valid = ok
+		if ok {
+			u.f = n.First.Words()
+			u.l = n.Last.Words()
+			u.left = childIndex(n.Left)
+			u.right = childIndex(n.Right)
+			u.ifc = uint32(n.Route.Iface)
+		}
+	}
+	return nil
+}
+
+func childIndex(i int) uint32 {
+	if i < 0 {
+		return NilNode
+	}
+	return uint32(i)
+}
+
+func (u *RTUTree) Signal(local int) bool { return u.valid }
+func (u *RTUTree) Reset() {
+	u.tnode.reset()
+	u.f, u.l = [4]uint32{}, [4]uint32{}
+	u.left, u.right, u.ifc = 0, 0, 0
+	u.valid, u.loads = false, 0
+}
+
+// Loads reports the number of node loads performed.
+func (u *RTUTree) Loads() int64 { return u.loads }
+
+// RTUCAM is the routing-table unit over the CAM+SRAM solution: the
+// processor hands the unit a destination address and receives, after a
+// fixed search latency, the output interface — the single-probe lookup
+// of the paper's third case, which turns the TACO processor into a
+// system-on-chip with industrial IP blocks.
+//
+// Sockets:
+//
+//	a0, a1, a2 (operand)  high address words
+//	tlook (trigger)       value = lowest address word; starts the search
+//	ifc (result)          output interface of the matched route
+//	hit (result)          1 when a route matched
+//
+// Signals: "ready" (no search in flight), "hit" (last search matched).
+type RTUCAM struct {
+	name  string
+	table *rtable.CAMTable
+	wait  int
+
+	a     [3]latch
+	tlook trigger
+
+	busy     int // cycles remaining in the current search
+	pendAddr bits.Word128
+	ifc      uint32
+	hit      bool
+	ready    bool
+
+	searches int64
+}
+
+// NewRTUCAM returns a CAM-backend routing-table unit with the given
+// search latency in cycles.
+func NewRTUCAM(name string, t *rtable.CAMTable, waitCycles int) *RTUCAM {
+	if waitCycles < 1 {
+		waitCycles = 1
+	}
+	return &RTUCAM{name: name, table: t, wait: waitCycles, ready: true}
+}
+
+const (
+	camA0 = iota
+	camA1
+	camA2
+	camTLook
+	camIfc
+	camHit
+)
+
+func (u *RTUCAM) Name() string { return u.name }
+func (u *RTUCAM) Sockets() []tta.SocketSpec {
+	return []tta.SocketSpec{
+		{Name: "a0", Kind: tta.Operand},
+		{Name: "a1", Kind: tta.Operand},
+		{Name: "a2", Kind: tta.Operand},
+		{Name: "tlook", Kind: tta.Trigger},
+		{Name: "ifc", Kind: tta.Result},
+		{Name: "hit", Kind: tta.Result},
+	}
+}
+func (u *RTUCAM) Signals() []string { return []string{"ready", "hit"} }
+func (u *RTUCAM) Read(local int) uint32 {
+	switch local {
+	case camIfc:
+		return u.ifc
+	case camHit:
+		if u.hit {
+			return 1
+		}
+		return 0
+	}
+	panic("fu: rtu-cam read of non-result socket")
+}
+func (u *RTUCAM) Write(local int, v uint32) {
+	switch local {
+	case camA0, camA1, camA2:
+		u.a[local].write(v)
+	case camTLook:
+		u.tlook.write(v)
+	default:
+		panic("fu: rtu-cam write to result socket")
+	}
+}
+func (u *RTUCAM) Clock() error {
+	for i := range u.a {
+		u.a[i].clock()
+	}
+	if a3, ok := u.tlook.take(); ok {
+		if u.busy > 0 {
+			return fmt.Errorf("fu: rtu-cam retriggered during a search")
+		}
+		u.pendAddr = bits.FromWords(u.a[0].cur, u.a[1].cur, u.a[2].cur, a3)
+		u.busy = u.wait
+		u.ready = false
+		u.searches++
+	}
+	if u.busy > 0 {
+		u.busy--
+		if u.busy == 0 {
+			r, ok := u.table.Lookup(u.pendAddr)
+			u.hit = ok
+			if ok {
+				u.ifc = uint32(r.Iface)
+			}
+			u.ready = true
+		}
+	}
+	return nil
+}
+func (u *RTUCAM) Signal(local int) bool {
+	if local == 0 {
+		return u.ready
+	}
+	return u.hit
+}
+func (u *RTUCAM) Reset() {
+	for i := range u.a {
+		u.a[i].reset()
+	}
+	u.tlook.reset()
+	u.busy, u.ifc, u.hit, u.ready = 0, 0, false, true
+	u.searches = 0
+}
+
+// Searches reports the number of CAM searches started.
+func (u *RTUCAM) Searches() int64 { return u.searches }
+
+// WaitCycles returns the configured search latency.
+func (u *RTUCAM) WaitCycles() int { return u.wait }

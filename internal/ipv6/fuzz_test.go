@@ -1,0 +1,63 @@
+package ipv6
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParsersNeverPanic feeds random byte soup (and mutations of valid
+// datagrams) to every parser: they must return errors, not panic, and
+// Validate must never accept something ParseHeader rejects.
+func TestParsersNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	valid, err := BuildDatagram(Header{HopLimit: 7, Src: Loopback, Dst: AllNodes},
+		[]ExtensionHeader{{Proto: ProtoHopByHop, Body: []byte{1, 2, 3}}},
+		ProtoUDP, []byte{9, 9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		var b []byte
+		switch trial % 3 {
+		case 0: // pure noise
+			b = make([]byte, rng.Intn(120))
+			rng.Read(b)
+		case 1: // truncated valid datagram
+			b = append([]byte(nil), valid[:rng.Intn(len(valid)+1)]...)
+		case 2: // bit-flipped valid datagram
+			b = append([]byte(nil), valid...)
+			for k := 0; k < 1+rng.Intn(6); k++ {
+				b[rng.Intn(len(b))] ^= 1 << uint(rng.Intn(8))
+			}
+		}
+		h, hErr := ParseHeader(b)
+		_, _, ulErr := UpperLayer(b)
+		_, vErr := Validate(b)
+		if hErr != nil && vErr == nil {
+			t.Fatalf("Validate accepted a datagram ParseHeader rejects (trial %d)", trial)
+		}
+		if hErr == nil && ulErr == nil {
+			// Consistency: the upper-layer offset must lie within the
+			// buffer when the walk succeeds.
+			_, off, _ := UpperLayer(b)
+			if off < HeaderBytes || off > len(b) {
+				t.Fatalf("trial %d: offset %d outside datagram of %d", trial, off, len(b))
+			}
+		}
+		_ = h
+		// UDP/ICMP parsers on arbitrary tails.
+		if len(b) > HeaderBytes {
+			_, _, _ = ParseUDP(Loopback, Loopback, b[HeaderBytes:])
+			_, _ = ParseICMP(Loopback, Loopback, b[HeaderBytes:])
+		}
+	}
+}
+
+// TestDecrementHopLimitOnGarbage must not panic on short input.
+func TestDecrementHopLimitOnGarbage(t *testing.T) {
+	for n := 0; n < HeaderBytes; n++ {
+		if DecrementHopLimit(make([]byte, n)) {
+			t.Fatalf("decremented a %d-byte buffer", n)
+		}
+	}
+}

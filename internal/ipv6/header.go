@@ -1,0 +1,199 @@
+package ipv6
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"taco/internal/bits"
+)
+
+// Protocol numbers used in the Next Header field.
+const (
+	ProtoHopByHop = 0
+	ProtoTCP      = 6
+	ProtoUDP      = 17
+	ProtoRouting  = 43
+	ProtoFragment = 44
+	ProtoICMPv6   = 58
+	ProtoNoNext   = 59
+	ProtoDestOpts = 60
+)
+
+// HeaderBytes is the fixed IPv6 header size.
+const HeaderBytes = 40
+
+// Version is the IP version carried in the header's first nibble.
+const Version = 6
+
+// MaxHopLimit is the initial hop limit routers and hosts commonly use.
+const MaxHopLimit = 64
+
+// Header is the fixed RFC 2460 IPv6 header.
+type Header struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	PayloadLen   uint16 // bytes following this header (extensions included)
+	NextHeader   uint8
+	HopLimit     uint8
+	Src, Dst     Addr
+}
+
+// Marshal appends the 40-byte wire form of h to dst.
+func (h *Header) Marshal(dst []byte) []byte {
+	w0 := uint32(Version)<<28 | uint32(h.TrafficClass)<<20 | h.FlowLabel&0xfffff
+	dst = binary.BigEndian.AppendUint32(dst, w0)
+	dst = binary.BigEndian.AppendUint16(dst, h.PayloadLen)
+	dst = append(dst, h.NextHeader, h.HopLimit)
+	src := h.Src.Bytes()
+	dstA := h.Dst.Bytes()
+	dst = append(dst, src[:]...)
+	dst = append(dst, dstA[:]...)
+	return dst
+}
+
+// ParseHeader decodes the fixed header from the front of b.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderBytes {
+		return Header{}, fmt.Errorf("ipv6: datagram of %d bytes is shorter than the header", len(b))
+	}
+	w0 := binary.BigEndian.Uint32(b[0:4])
+	if v := w0 >> 28; v != Version {
+		return Header{}, fmt.Errorf("ipv6: version %d, want %d", v, Version)
+	}
+	src, _ := bits.FromBytes(b[8:24])
+	dst, _ := bits.FromBytes(b[24:40])
+	return Header{
+		TrafficClass: uint8(w0 >> 20),
+		FlowLabel:    w0 & 0xfffff,
+		PayloadLen:   binary.BigEndian.Uint16(b[4:6]),
+		NextHeader:   b[6],
+		HopLimit:     b[7],
+		Src:          src,
+		Dst:          dst,
+	}, nil
+}
+
+// extension headers with the common (NextHeader, HdrExtLen) layout.
+func hasCommonExtLayout(proto uint8) bool {
+	switch proto {
+	case ProtoHopByHop, ProtoRouting, ProtoDestOpts:
+		return true
+	}
+	return false
+}
+
+// UpperLayer walks the extension-header chain of a full datagram and
+// returns the upper-layer protocol number and the byte offset of its
+// header. IPv6 obliges routers to store whole datagrams because "the IP
+// header can be accompanied by a variable number of extension headers"
+// (paper §3) — this walk is why.
+func UpperLayer(datagram []byte) (proto uint8, offset int, err error) {
+	h, err := ParseHeader(datagram)
+	if err != nil {
+		return 0, 0, err
+	}
+	proto = h.NextHeader
+	offset = HeaderBytes
+	for seen := 0; ; seen++ {
+		if seen > 16 {
+			return 0, 0, fmt.Errorf("ipv6: extension chain too long")
+		}
+		switch {
+		case hasCommonExtLayout(proto):
+			if offset+2 > len(datagram) {
+				return 0, 0, fmt.Errorf("ipv6: truncated extension header %d", proto)
+			}
+			next := datagram[offset]
+			extLen := 8 + 8*int(datagram[offset+1])
+			if offset+extLen > len(datagram) {
+				return 0, 0, fmt.Errorf("ipv6: extension header %d overruns datagram", proto)
+			}
+			proto, offset = next, offset+extLen
+		case proto == ProtoFragment:
+			if offset+8 > len(datagram) {
+				return 0, 0, fmt.Errorf("ipv6: truncated fragment header")
+			}
+			proto, offset = datagram[offset], offset+8
+		default:
+			return proto, offset, nil
+		}
+	}
+}
+
+// ExtensionHeader describes one extension header for building datagrams.
+type ExtensionHeader struct {
+	Proto uint8  // which extension (ProtoHopByHop, ProtoRouting, ProtoDestOpts)
+	Body  []byte // options payload; padded to 8n-2 bytes automatically
+}
+
+// BuildDatagram assembles a full datagram: fixed header, the given
+// extension headers in order, then the upper-layer payload. The header's
+// NextHeader and PayloadLen fields are filled in.
+func BuildDatagram(h Header, exts []ExtensionHeader, upperProto uint8, payload []byte) ([]byte, error) {
+	var extBytes []byte
+	for i, e := range exts {
+		if !hasCommonExtLayout(e.Proto) {
+			return nil, fmt.Errorf("ipv6: unsupported extension %d", e.Proto)
+		}
+		next := upperProto
+		if i+1 < len(exts) {
+			next = exts[i+1].Proto
+		}
+		body := e.Body
+		// Round the header to a multiple of 8 bytes (2-byte common part
+		// plus body plus padding).
+		total := 2 + len(body)
+		pad := (8 - total%8) % 8
+		extLen := (total + pad) / 8
+		if extLen > 256 {
+			return nil, fmt.Errorf("ipv6: extension body too long")
+		}
+		extBytes = append(extBytes, next, uint8(extLen-1))
+		extBytes = append(extBytes, body...)
+		extBytes = append(extBytes, make([]byte, pad)...)
+	}
+	if len(exts) > 0 {
+		h.NextHeader = exts[0].Proto
+	} else {
+		h.NextHeader = upperProto
+	}
+	if len(extBytes)+len(payload) > 0xffff {
+		return nil, fmt.Errorf("ipv6: payload too long")
+	}
+	h.PayloadLen = uint16(len(extBytes) + len(payload))
+	out := h.Marshal(make([]byte, 0, HeaderBytes+int(h.PayloadLen)))
+	out = append(out, extBytes...)
+	out = append(out, payload...)
+	return out, nil
+}
+
+// Validate performs the checks the paper's router applies before
+// forwarding: parseable header, consistent length, nonzero hop limit,
+// and a unicast-forwardable source (not multicast).
+func Validate(datagram []byte) (Header, error) {
+	h, err := ParseHeader(datagram)
+	if err != nil {
+		return Header{}, err
+	}
+	if int(h.PayloadLen)+HeaderBytes > len(datagram) {
+		return Header{}, fmt.Errorf("ipv6: payload length %d exceeds datagram of %d bytes",
+			h.PayloadLen, len(datagram))
+	}
+	if h.HopLimit == 0 {
+		return Header{}, fmt.Errorf("ipv6: hop limit exhausted")
+	}
+	if IsMulticast(h.Src) {
+		return Header{}, fmt.Errorf("ipv6: multicast source address")
+	}
+	return h, nil
+}
+
+// DecrementHopLimit rewrites the hop-limit byte of a marshalled datagram
+// in place, returning false when it is already zero.
+func DecrementHopLimit(datagram []byte) bool {
+	if len(datagram) < HeaderBytes || datagram[7] == 0 {
+		return false
+	}
+	datagram[7]--
+	return true
+}

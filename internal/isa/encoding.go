@@ -1,0 +1,164 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary instruction encoding.
+//
+// TACO instruction memory holds one instruction word per cycle; the word
+// carries one move slot per bus. We serialise programs as:
+//
+//	magic   [4]byte "TACO"
+//	version uint16
+//	count   uint32            number of instructions
+//	then per instruction:
+//	  nmoves uint8
+//	  per move:
+//	    head uint64           packed fields, see below
+//	    imm  uint32           present only when the immediate flag is set
+//
+// head packs, from the least significant bit:
+//
+//	bits  0..11  dst socket (12 bits)
+//	bits 12..23  src socket (12 bits, 0 when immediate)
+//	bit  24      immediate flag
+//	bits 25..27  guard term count (0..3)
+//	bits 28..60  guard terms, 11 bits each: signal (10) | negate (1)
+//
+// Labels are a assembly-level artifact and are not serialised.
+
+const (
+	encMagic   = "TACO"
+	encVersion = 1
+
+	socketBits = 12
+	maxSocket  = 1<<socketBits - 1
+	signalBits = 10
+	maxSignal  = 1<<signalBits - 1
+)
+
+// EncodeProgram serialises p into the TACO binary format.
+func EncodeProgram(p *Program) ([]byte, error) {
+	out := make([]byte, 0, 10+16*len(p.Ins))
+	out = append(out, encMagic...)
+	out = binary.BigEndian.AppendUint16(out, encVersion)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(p.Ins)))
+	for ia, in := range p.Ins {
+		if len(in.Moves) > 255 {
+			return nil, fmt.Errorf("isa: instruction %d has %d moves", ia, len(in.Moves))
+		}
+		out = append(out, uint8(len(in.Moves)))
+		for mi, m := range in.Moves {
+			head, imm, hasImm, err := encodeMove(m)
+			if err != nil {
+				return nil, fmt.Errorf("isa: instruction %d move %d: %w", ia, mi, err)
+			}
+			out = binary.BigEndian.AppendUint64(out, head)
+			if hasImm {
+				out = binary.BigEndian.AppendUint32(out, imm)
+			}
+		}
+	}
+	return out, nil
+}
+
+func encodeMove(m Move) (head uint64, imm uint32, hasImm bool, err error) {
+	if m.Dst > maxSocket {
+		return 0, 0, false, fmt.Errorf("dst socket %d exceeds %d", m.Dst, maxSocket)
+	}
+	head = uint64(m.Dst)
+	if m.Src.Imm {
+		head |= 1 << 24
+		imm, hasImm = m.Src.Value, true
+	} else {
+		if m.Src.Socket > maxSocket {
+			return 0, 0, false, fmt.Errorf("src socket %d exceeds %d", m.Src.Socket, maxSocket)
+		}
+		head |= uint64(m.Src.Socket) << socketBits
+	}
+	if len(m.Guard.Terms) > MaxGuardTerms {
+		return 0, 0, false, fmt.Errorf("guard has %d terms", len(m.Guard.Terms))
+	}
+	head |= uint64(len(m.Guard.Terms)) << 25
+	for i, t := range m.Guard.Terms {
+		if t.Signal > maxSignal {
+			return 0, 0, false, fmt.Errorf("signal %d exceeds %d", t.Signal, maxSignal)
+		}
+		field := uint64(t.Signal) << 1
+		if t.Negate {
+			field |= 1
+		}
+		head |= field << (28 + 11*uint(i))
+	}
+	return head, imm, hasImm, nil
+}
+
+// DecodeProgram parses the TACO binary format produced by EncodeProgram.
+func DecodeProgram(data []byte) (*Program, error) {
+	if len(data) < 10 || string(data[:4]) != encMagic {
+		return nil, fmt.Errorf("isa: bad magic")
+	}
+	if v := binary.BigEndian.Uint16(data[4:6]); v != encVersion {
+		return nil, fmt.Errorf("isa: unsupported version %d", v)
+	}
+	count := binary.BigEndian.Uint32(data[6:10])
+	pos := 10
+	// Every instruction costs at least one byte on the wire, so a count
+	// beyond the remaining data is corrupt; checking here also bounds the
+	// preallocation against hostile headers.
+	if int64(count) > int64(len(data)-pos) {
+		return nil, fmt.Errorf("isa: instruction count %d exceeds payload", count)
+	}
+	p := NewProgram()
+	p.Ins = make([]Instruction, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if pos >= len(data) {
+			return nil, fmt.Errorf("isa: truncated at instruction %d", i)
+		}
+		n := int(data[pos])
+		pos++
+		in := Instruction{Moves: make([]Move, 0, n)}
+		for j := 0; j < n; j++ {
+			if pos+8 > len(data) {
+				return nil, fmt.Errorf("isa: truncated move %d.%d", i, j)
+			}
+			head := binary.BigEndian.Uint64(data[pos : pos+8])
+			pos += 8
+			m, needImm := decodeMoveHead(head)
+			if needImm {
+				if pos+4 > len(data) {
+					return nil, fmt.Errorf("isa: truncated immediate %d.%d", i, j)
+				}
+				m.Src.Value = binary.BigEndian.Uint32(data[pos : pos+4])
+				pos += 4
+			}
+			in.Moves = append(in.Moves, m)
+		}
+		p.Ins = append(p.Ins, in)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("isa: %d trailing bytes", len(data)-pos)
+	}
+	return p, nil
+}
+
+func decodeMoveHead(head uint64) (m Move, needImm bool) {
+	m.Dst = SocketID(head & maxSocket)
+	if head&(1<<24) != 0 {
+		m.Src.Imm = true
+		needImm = true
+	} else {
+		m.Src.Socket = SocketID((head >> socketBits) & maxSocket)
+	}
+	nTerms := int((head >> 25) & 0x7)
+	for i := 0; i < nTerms && i < MaxGuardTerms; i++ {
+		field := (head >> (28 + 11*uint(i))) & 0x7ff
+		m.Guard.Terms = append(m.Guard.Terms, GuardTerm{
+			Signal: SignalID(field >> 1),
+			Negate: field&1 != 0,
+		})
+	}
+	return m, needImm
+}

@@ -1,0 +1,49 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics feeds noise and corrupted encodings to the
+// decoder: it must fail cleanly, and anything it does accept must
+// re-encode without error.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	valid, err := EncodeProgram(&Program{
+		Ins: []Instruction{
+			{Moves: []Move{{Src: ImmSrc(42), Dst: 7}}},
+			{Moves: []Move{
+				{Src: SocketSrc(3), Dst: 9},
+				{Guard: Guard{Terms: []GuardTerm{{Signal: 5, Negate: true}}},
+					Src: SocketSrc(2), Dst: 4},
+			}},
+		},
+		Labels: map[string]int{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		var b []byte
+		switch trial % 3 {
+		case 0:
+			b = make([]byte, rng.Intn(80))
+			rng.Read(b)
+		case 1:
+			b = append([]byte(nil), valid[:rng.Intn(len(valid)+1)]...)
+		case 2:
+			b = append([]byte(nil), valid...)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				b[rng.Intn(len(b))] ^= 1 << uint(rng.Intn(8))
+			}
+		}
+		p, err := DecodeProgram(b)
+		if err != nil {
+			continue
+		}
+		if _, err := EncodeProgram(p); err != nil {
+			t.Fatalf("trial %d: decoded program fails to re-encode: %v", trial, err)
+		}
+	}
+}

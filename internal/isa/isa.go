@@ -1,0 +1,216 @@
+// Package isa defines the TACO instruction set: guarded data moves between
+// functional-unit sockets, packed into instruction words that issue up to
+// one move per bus per cycle.
+//
+// A TTA processor executes exactly one kind of instruction — the move.
+// Everything else (arithmetic, comparison, memory access, control flow) is
+// a side effect of moving data into a trigger socket. The instruction word
+// therefore consists mostly of source and destination socket addresses,
+// as described in the paper's §1.
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SocketID addresses one functional-unit register socket on the
+// interconnection network. IDs are assigned by the architecture
+// description (see internal/tta); InvalidSocket is never assigned.
+type SocketID uint16
+
+// InvalidSocket is the zero SocketID, reserved so that an accidentally
+// zero-valued move is caught at run time instead of writing to socket 0.
+const InvalidSocket SocketID = 0
+
+// SignalID addresses one of the 1-bit result lines functional units drive
+// into the interconnection network controller (e.g. a comparator's "eq"
+// output). Signals gate guarded moves.
+type SignalID uint16
+
+// MaxGuardTerms bounds the conjunction width of a guard. Three terms let
+// a single guarded move require, for example, that all three replicated
+// matchers of the 3-bus/3-FU configuration reported a match.
+const MaxGuardTerms = 3
+
+// GuardTerm is one literal in a guard conjunction: a signal, possibly
+// negated.
+type GuardTerm struct {
+	Signal SignalID
+	Negate bool
+}
+
+// Guard is a conjunction of up to MaxGuardTerms terms. The zero Guard
+// (no terms) is always true: the move executes unconditionally.
+type Guard struct {
+	Terms []GuardTerm
+}
+
+// Always is the unconditional guard.
+var Always = Guard{}
+
+// Conditional reports whether g has any terms.
+func (g Guard) Conditional() bool { return len(g.Terms) > 0 }
+
+// Validate checks structural constraints on g.
+func (g Guard) Validate() error {
+	if len(g.Terms) > MaxGuardTerms {
+		return fmt.Errorf("isa: guard has %d terms, max %d", len(g.Terms), MaxGuardTerms)
+	}
+	return nil
+}
+
+// Source is a move's data source: either a socket or a 32-bit immediate
+// encoded in the instruction word.
+type Source struct {
+	Imm    bool
+	Socket SocketID // valid when !Imm
+	Value  uint32   // valid when Imm
+}
+
+// SocketSrc returns a socket source.
+func SocketSrc(s SocketID) Source { return Source{Socket: s} }
+
+// ImmSrc returns an immediate source.
+func ImmSrc(v uint32) Source { return Source{Imm: true, Value: v} }
+
+// Move is the single TACO instruction type: transport Src to Dst when
+// Guard holds.
+type Move struct {
+	Guard Guard
+	Src   Source
+	Dst   SocketID
+
+	// Comment is carried through assembly/disassembly for readability and
+	// ignored by the encoder.
+	Comment string
+}
+
+// Validate checks m's structural constraints.
+func (m Move) Validate() error {
+	if err := m.Guard.Validate(); err != nil {
+		return err
+	}
+	if !m.Src.Imm && m.Src.Socket == InvalidSocket {
+		return fmt.Errorf("isa: move reads invalid socket")
+	}
+	if m.Dst == InvalidSocket {
+		return fmt.Errorf("isa: move writes invalid socket")
+	}
+	return nil
+}
+
+// Instruction is one cycle's worth of moves: at most one per bus. The
+// slice index is the bus the move travels on.
+type Instruction struct {
+	Moves []Move
+}
+
+// Validate checks that in fits on buses buses and that no two moves write
+// the same destination in the same cycle.
+func (in Instruction) Validate(buses int) error {
+	if len(in.Moves) > buses {
+		return fmt.Errorf("isa: instruction has %d moves but only %d buses", len(in.Moves), buses)
+	}
+	seen := make(map[SocketID]bool, len(in.Moves))
+	for i, m := range in.Moves {
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("isa: move %d: %w", i, err)
+		}
+		// Two moves may target the same destination only if their guards
+		// are mutually exclusive; the static checker cannot prove that in
+		// general, so conservatively reject only unguarded conflicts.
+		if !m.Guard.Conditional() && seen[m.Dst] {
+			return fmt.Errorf("isa: move %d: duplicate unguarded write to socket %d", i, m.Dst)
+		}
+		if !m.Guard.Conditional() {
+			seen[m.Dst] = true
+		}
+	}
+	return nil
+}
+
+// Program is a sequence of instructions plus a label table mapping names
+// to instruction addresses (used for jumps and by the disassembler).
+type Program struct {
+	Ins    []Instruction
+	Labels map[string]int
+}
+
+// NewProgram returns an empty program ready for appending.
+func NewProgram() *Program {
+	return &Program{Labels: make(map[string]int)}
+}
+
+// LabelAt returns the first label bound to address addr, or "".
+func (p *Program) LabelAt(addr int) string {
+	best := ""
+	for name, a := range p.Labels {
+		if a == addr && (best == "" || name < best) {
+			best = name
+		}
+	}
+	return best
+}
+
+// Validate checks every instruction against the bus count.
+func (p *Program) Validate(buses int) error {
+	for i, in := range p.Ins {
+		if err := in.Validate(buses); err != nil {
+			return fmt.Errorf("isa: instruction %d: %w", i, err)
+		}
+	}
+	for name, addr := range p.Labels {
+		if addr < 0 || addr > len(p.Ins) {
+			return fmt.Errorf("isa: label %q at %d outside program of %d instructions", name, addr, len(p.Ins))
+		}
+	}
+	return nil
+}
+
+// MoveCount returns the total number of moves in the program — the TTA
+// measure of code size (paper §3: optimizations "reduce code size by
+// reducing the number of transports on buses").
+func (p *Program) MoveCount() int {
+	n := 0
+	for _, in := range p.Ins {
+		n += len(in.Moves)
+	}
+	return n
+}
+
+// String renders a compact numeric listing (socket IDs, not names); the
+// assembler package renders symbolic listings.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, in := range p.Ins {
+		if lbl := p.LabelAt(i); lbl != "" {
+			fmt.Fprintf(&b, "%s:\n", lbl)
+		}
+		fmt.Fprintf(&b, "%4d:", i)
+		for _, m := range in.Moves {
+			b.WriteString(" ")
+			if m.Guard.Conditional() {
+				b.WriteString("?")
+				for j, t := range m.Guard.Terms {
+					if j > 0 {
+						b.WriteString("&")
+					}
+					if t.Negate {
+						b.WriteString("!")
+					}
+					fmt.Fprintf(&b, "s%d", t.Signal)
+				}
+				b.WriteString(" ")
+			}
+			if m.Src.Imm {
+				fmt.Fprintf(&b, "#%d", m.Src.Value)
+			} else {
+				fmt.Fprintf(&b, "%d", m.Src.Socket)
+			}
+			fmt.Fprintf(&b, "->%d;", m.Dst)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

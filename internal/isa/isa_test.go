@@ -1,0 +1,248 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGuardValidate(t *testing.T) {
+	if err := Always.Validate(); err != nil {
+		t.Errorf("Always invalid: %v", err)
+	}
+	g := Guard{Terms: make([]GuardTerm, MaxGuardTerms+1)}
+	if err := g.Validate(); err == nil {
+		t.Error("oversized guard accepted")
+	}
+}
+
+func TestMoveValidate(t *testing.T) {
+	ok := Move{Src: SocketSrc(1), Dst: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid move rejected: %v", err)
+	}
+	if err := (Move{Src: SocketSrc(InvalidSocket), Dst: 2}).Validate(); err == nil {
+		t.Error("invalid src accepted")
+	}
+	if err := (Move{Src: ImmSrc(5), Dst: InvalidSocket}).Validate(); err == nil {
+		t.Error("invalid dst accepted")
+	}
+	// Immediate with socket 0 is fine.
+	if err := (Move{Src: ImmSrc(0), Dst: 3}).Validate(); err != nil {
+		t.Errorf("immediate move rejected: %v", err)
+	}
+}
+
+func TestInstructionValidate(t *testing.T) {
+	in := Instruction{Moves: []Move{
+		{Src: SocketSrc(1), Dst: 2},
+		{Src: SocketSrc(3), Dst: 4},
+	}}
+	if err := in.Validate(2); err != nil {
+		t.Errorf("2 moves on 2 buses rejected: %v", err)
+	}
+	if err := in.Validate(1); err == nil {
+		t.Error("2 moves on 1 bus accepted")
+	}
+	dup := Instruction{Moves: []Move{
+		{Src: SocketSrc(1), Dst: 2},
+		{Src: SocketSrc(3), Dst: 2},
+	}}
+	if err := dup.Validate(2); err == nil {
+		t.Error("duplicate unguarded write accepted")
+	}
+	// Guarded writes to the same destination are allowed (may be
+	// mutually exclusive at run time).
+	g := Guard{Terms: []GuardTerm{{Signal: 1}}}
+	ng := Guard{Terms: []GuardTerm{{Signal: 1, Negate: true}}}
+	excl := Instruction{Moves: []Move{
+		{Guard: g, Src: SocketSrc(1), Dst: 2},
+		{Guard: ng, Src: SocketSrc(3), Dst: 2},
+	}}
+	if err := excl.Validate(2); err != nil {
+		t.Errorf("guarded same-dst writes rejected: %v", err)
+	}
+}
+
+func TestProgramValidateLabels(t *testing.T) {
+	p := NewProgram()
+	p.Ins = []Instruction{{Moves: []Move{{Src: ImmSrc(1), Dst: 5}}}}
+	p.Labels["start"] = 0
+	p.Labels["end"] = 1 // one past the end is allowed (jump target after last)
+	if err := p.Validate(1); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	p.Labels["bad"] = 7
+	if err := p.Validate(1); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestMoveCount(t *testing.T) {
+	p := NewProgram()
+	p.Ins = []Instruction{
+		{Moves: []Move{{Src: ImmSrc(1), Dst: 1}, {Src: ImmSrc(2), Dst: 2}}},
+		{Moves: []Move{{Src: ImmSrc(3), Dst: 3}}},
+		{},
+	}
+	if got := p.MoveCount(); got != 3 {
+		t.Errorf("MoveCount = %d, want 3", got)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := NewProgram()
+	p.Labels["loop"] = 0
+	p.Ins = []Instruction{{Moves: []Move{{
+		Guard: Guard{Terms: []GuardTerm{{Signal: 3, Negate: true}}},
+		Src:   ImmSrc(42),
+		Dst:   9,
+	}}}}
+	s := p.String()
+	for _, want := range []string{"loop:", "?!s3", "#42", "->9"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func randProgram(r *rand.Rand) *Program {
+	p := NewProgram()
+	n := r.Intn(20)
+	for i := 0; i < n; i++ {
+		var in Instruction
+		for j := r.Intn(4); j > 0; j-- {
+			m := Move{Dst: SocketID(1 + r.Intn(maxSocket))}
+			if r.Intn(2) == 0 {
+				m.Src = ImmSrc(r.Uint32())
+			} else {
+				m.Src = SocketSrc(SocketID(1 + r.Intn(maxSocket)))
+			}
+			for k := r.Intn(MaxGuardTerms + 1); k > 0; k-- {
+				m.Guard.Terms = append(m.Guard.Terms, GuardTerm{
+					Signal: SignalID(r.Intn(maxSignal + 1)),
+					Negate: r.Intn(2) == 0,
+				})
+			}
+			in.Moves = append(in.Moves, m)
+		}
+		p.Ins = append(p.Ins, in)
+	}
+	return p
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		p := randProgram(r)
+		data, err := EncodeProgram(p)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		q, err := DecodeProgram(data)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(q.Ins) != len(p.Ins) {
+			t.Fatalf("trial %d: %d instructions, want %d", trial, len(q.Ins), len(p.Ins))
+		}
+		for i := range p.Ins {
+			if len(q.Ins[i].Moves) != len(p.Ins[i].Moves) {
+				t.Fatalf("trial %d ins %d: move count", trial, i)
+			}
+			for j := range p.Ins[i].Moves {
+				a, b := p.Ins[i].Moves[j], q.Ins[i].Moves[j]
+				a.Comment = "" // comments are not serialised
+				if !reflect.DeepEqual(normGuard(a), normGuard(b)) {
+					t.Fatalf("trial %d ins %d move %d:\n got %+v\nwant %+v", trial, i, j, b, a)
+				}
+			}
+		}
+	}
+}
+
+// normGuard maps a nil-terms guard and an empty-slice guard to the same
+// representation for comparison.
+func normGuard(m Move) Move {
+	if len(m.Guard.Terms) == 0 {
+		m.Guard.Terms = nil
+	}
+	return m
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeProgram(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := DecodeProgram([]byte("JUNKjunkjunk")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	p := NewProgram()
+	p.Ins = []Instruction{{Moves: []Move{{Src: ImmSrc(7), Dst: 3}}}}
+	data, err := EncodeProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(data); cut++ {
+		if _, err := DecodeProgram(data[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := DecodeProgram(append(data, 0xff)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Version check.
+	bad := append([]byte(nil), data...)
+	bad[5] = 99
+	if _, err := DecodeProgram(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestEncodeRejectsOversizedFields(t *testing.T) {
+	p := NewProgram()
+	p.Ins = []Instruction{{Moves: []Move{{Src: SocketSrc(maxSocket + 1), Dst: 3}}}}
+	if _, err := EncodeProgram(p); err == nil {
+		t.Error("oversized src socket accepted")
+	}
+	p.Ins = []Instruction{{Moves: []Move{{Src: ImmSrc(1), Dst: maxSocket + 1}}}}
+	if _, err := EncodeProgram(p); err == nil {
+		t.Error("oversized dst socket accepted")
+	}
+	p.Ins = []Instruction{{Moves: []Move{{
+		Guard: Guard{Terms: []GuardTerm{{Signal: maxSignal + 1}}},
+		Src:   ImmSrc(1), Dst: 3,
+	}}}}
+	if _, err := EncodeProgram(p); err == nil {
+		t.Error("oversized signal accepted")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(dst uint16, srcSock uint16, imm uint32, useImm bool, sig uint16, neg bool) bool {
+		m := Move{Dst: SocketID(dst%maxSocket + 1)}
+		if useImm {
+			m.Src = ImmSrc(imm)
+		} else {
+			m.Src = SocketSrc(SocketID(srcSock%maxSocket + 1))
+		}
+		m.Guard.Terms = []GuardTerm{{Signal: SignalID(sig % (maxSignal + 1)), Negate: neg}}
+		p := NewProgram()
+		p.Ins = []Instruction{{Moves: []Move{m}}}
+		data, err := EncodeProgram(p)
+		if err != nil {
+			return false
+		}
+		q, err := DecodeProgram(data)
+		if err != nil || len(q.Ins) != 1 || len(q.Ins[0].Moves) != 1 {
+			return false
+		}
+		got := q.Ins[0].Moves[0]
+		return reflect.DeepEqual(normGuard(got), normGuard(m))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+// Package linecard models the network line cards of the paper's Figure 1
+// router: per-interface cards that deliver fully assembled, decapsulated
+// IPv6 datagrams into input registers readable by the TACO processor, and
+// accept outgoing datagrams through output registers, handling
+// fragmentation/encapsulation and ARP themselves.
+//
+// The model is intentionally behavioural — the paper treats line cards as
+// off-the-shelf parts (Intel IFX18103, Cisco GigE) and evaluates only the
+// TACO processor between them.
+package linecard
+
+import (
+	"fmt"
+)
+
+// Datagram is a fully assembled IPv6 datagram (header plus payload) as a
+// byte slice, paired with bookkeeping for tests and statistics.
+type Datagram struct {
+	Data []byte
+	// Seq is a workload-assigned sequence number used by the differential
+	// tests to match packets across router implementations.
+	Seq int64
+}
+
+// Card is one line card: an input queue of datagrams received from the
+// attached network and an output queue of datagrams to transmit.
+type Card struct {
+	index int
+	in    []Datagram
+	out   []Datagram
+
+	stats Stats
+}
+
+// Stats counts card activity.
+type Stats struct {
+	Received    int64 // datagrams delivered into the input queue
+	Consumed    int64 // datagrams read by the processor
+	Transmitted int64 // datagrams written by the processor
+	DroppedIn   int64 // input datagrams dropped on overflow
+}
+
+// MaxQueue bounds each queue; a full input queue drops (as real cards
+// do under overload).
+const MaxQueue = 4096
+
+// New returns a card with the given interface index.
+func New(index int) *Card { return &Card{index: index} }
+
+// Index returns the card's interface number.
+func (c *Card) Index() int { return c.index }
+
+// Deliver places a received datagram in the input queue (called by the
+// workload/network side). It reports whether the datagram was queued.
+func (c *Card) Deliver(d Datagram) bool {
+	if len(c.in) >= MaxQueue {
+		c.stats.DroppedIn++
+		return false
+	}
+	c.in = append(c.in, d)
+	c.stats.Received++
+	return true
+}
+
+// InputPending reports whether a datagram is waiting.
+func (c *Card) InputPending() bool { return len(c.in) > 0 }
+
+// InputLen returns the input queue depth.
+func (c *Card) InputLen() int { return len(c.in) }
+
+// ReadInput pops the oldest pending datagram (called by the processor's
+// preprocessing unit).
+func (c *Card) ReadInput() (Datagram, bool) {
+	if len(c.in) == 0 {
+		return Datagram{}, false
+	}
+	d := c.in[0]
+	c.in = c.in[1:]
+	c.stats.Consumed++
+	return d, true
+}
+
+// WriteOutput enqueues a datagram for transmission (called by the
+// processor's postprocessing unit).
+func (c *Card) WriteOutput(d Datagram) error {
+	if len(c.out) >= MaxQueue {
+		return fmt.Errorf("linecard %d: output queue full", c.index)
+	}
+	c.out = append(c.out, d)
+	c.stats.Transmitted++
+	return nil
+}
+
+// DrainOutput removes and returns every queued outgoing datagram (called
+// by the network side / test harness).
+func (c *Card) DrainOutput() []Datagram {
+	out := c.out
+	c.out = nil
+	return out
+}
+
+// OutputLen returns the output queue depth.
+func (c *Card) OutputLen() int { return len(c.out) }
+
+// Stats returns a copy of the card's counters.
+func (c *Card) Stats() Stats { return c.stats }
+
+// Reset clears both queues and the statistics.
+func (c *Card) Reset() {
+	c.in, c.out = nil, nil
+	c.stats = Stats{}
+}
+
+// Bank is the router's full set of line cards.
+type Bank struct {
+	cards []*Card
+}
+
+// NewBank creates n cards with interface indices 0..n-1.
+func NewBank(n int) *Bank {
+	b := &Bank{cards: make([]*Card, n)}
+	for i := range b.cards {
+		b.cards[i] = New(i)
+	}
+	return b
+}
+
+// Len returns the number of cards.
+func (b *Bank) Len() int { return len(b.cards) }
+
+// Card returns card i.
+func (b *Bank) Card(i int) *Card { return b.cards[i] }
+
+// Cards returns the underlying slice.
+func (b *Bank) Cards() []*Card { return b.cards }
+
+// AnyPending returns the lowest-numbered card with input pending, or -1 —
+// the scan the preprocessing unit performs over the cards' status
+// registers.
+func (b *Bank) AnyPending() int {
+	for i, c := range b.cards {
+		if c.InputPending() {
+			return i
+		}
+	}
+	return -1
+}
+
+// Reset resets every card.
+func (b *Bank) Reset() {
+	for _, c := range b.cards {
+		c.Reset()
+	}
+}

@@ -1,0 +1,107 @@
+package linecard
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	c := New(0)
+	for i := int64(0); i < 5; i++ {
+		if !c.Deliver(Datagram{Seq: i}) {
+			t.Fatal("deliver failed")
+		}
+	}
+	for i := int64(0); i < 5; i++ {
+		d, ok := c.ReadInput()
+		if !ok || d.Seq != i {
+			t.Fatalf("read %d: got %+v ok=%v", i, d, ok)
+		}
+	}
+	if _, ok := c.ReadInput(); ok {
+		t.Error("read from empty queue succeeded")
+	}
+}
+
+func TestOverflowDrops(t *testing.T) {
+	c := New(1)
+	for i := 0; i < MaxQueue; i++ {
+		if !c.Deliver(Datagram{}) {
+			t.Fatalf("deliver %d failed before limit", i)
+		}
+	}
+	if c.Deliver(Datagram{}) {
+		t.Error("deliver past limit accepted")
+	}
+	st := c.Stats()
+	if st.Received != MaxQueue || st.DroppedIn != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestOutputQueue(t *testing.T) {
+	c := New(2)
+	for i := int64(0); i < 3; i++ {
+		if err := c.WriteOutput(Datagram{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.OutputLen() != 3 {
+		t.Errorf("OutputLen = %d", c.OutputLen())
+	}
+	out := c.DrainOutput()
+	if len(out) != 3 || out[0].Seq != 0 || out[2].Seq != 2 {
+		t.Errorf("drained = %+v", out)
+	}
+	if c.OutputLen() != 0 {
+		t.Error("drain did not clear queue")
+	}
+}
+
+func TestOutputOverflow(t *testing.T) {
+	c := New(0)
+	for i := 0; i < MaxQueue; i++ {
+		if err := c.WriteOutput(Datagram{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WriteOutput(Datagram{}); err == nil {
+		t.Error("output overflow accepted")
+	}
+}
+
+func TestBankScan(t *testing.T) {
+	b := NewBank(4)
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.AnyPending(); got != -1 {
+		t.Errorf("AnyPending on idle bank = %d", got)
+	}
+	b.Card(2).Deliver(Datagram{Seq: 1})
+	b.Card(3).Deliver(Datagram{Seq: 2})
+	if got := b.AnyPending(); got != 2 {
+		t.Errorf("AnyPending = %d, want 2 (lowest)", got)
+	}
+	b.Card(2).ReadInput()
+	if got := b.AnyPending(); got != 3 {
+		t.Errorf("AnyPending = %d, want 3", got)
+	}
+	for i := range b.Cards() {
+		if b.Card(i).Index() != i {
+			t.Errorf("card %d has index %d", i, b.Card(i).Index())
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBank(2)
+	b.Card(0).Deliver(Datagram{})
+	if err := b.Card(1).WriteOutput(Datagram{}); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if b.AnyPending() != -1 || b.Card(1).OutputLen() != 0 {
+		t.Error("Reset left state")
+	}
+	if st := b.Card(0).Stats(); st.Received != 0 {
+		t.Error("Reset left stats")
+	}
+}

@@ -1,0 +1,138 @@
+// Package profile attributes executed machine cycles to program
+// regions, so the evaluation can report *where* a configuration spends
+// its time — the "key bottlenecks" analysis the paper's methodology is
+// for. A region is the half-open address range between two program
+// labels; cycle attribution uses the machine's trace hook.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"taco/internal/isa"
+	"taco/internal/tta"
+)
+
+// Region is one labelled address range with its cycle count.
+type Region struct {
+	Label       string
+	Start, End  int // [Start, End)
+	Cycles      int64
+	MovesIssued int64
+}
+
+// Profile accumulates per-region cycles for one program.
+type Profile struct {
+	regions []Region
+	byAddr  []int // instruction address -> region index
+	total   int64
+}
+
+// New builds a profile over prog's labels. Instructions before the
+// first label belong to a synthetic "(entry)" region.
+func New(prog *isa.Program) *Profile {
+	type lbl struct {
+		name string
+		addr int
+	}
+	var labels []lbl
+	for name, addr := range prog.Labels {
+		labels = append(labels, lbl{name, addr})
+	}
+	sort.Slice(labels, func(i, j int) bool {
+		if labels[i].addr != labels[j].addr {
+			return labels[i].addr < labels[j].addr
+		}
+		return labels[i].name < labels[j].name
+	})
+	p := &Profile{byAddr: make([]int, len(prog.Ins))}
+	add := func(name string, start, end int) {
+		if start >= end {
+			return
+		}
+		p.regions = append(p.regions, Region{Label: name, Start: start, End: end})
+		for a := start; a < end && a < len(p.byAddr); a++ {
+			p.byAddr[a] = len(p.regions) - 1
+		}
+	}
+	prev := lbl{"(entry)", 0}
+	for _, l := range labels {
+		if l.addr == prev.addr {
+			// Two labels at one address: collapse into one region name,
+			// dropping the synthetic entry marker.
+			if prev.name == "(entry)" {
+				prev.name = l.name
+			} else {
+				prev.name = prev.name + "/" + l.name
+			}
+			continue
+		}
+		add(prev.name, prev.addr, l.addr)
+		prev = l
+	}
+	add(prev.name, prev.addr, len(prog.Ins))
+	return p
+}
+
+// Hook returns a trace function to install as Machine.Trace.
+func (p *Profile) Hook() func(tta.TraceRecord) {
+	return func(r tta.TraceRecord) {
+		p.total++
+		if r.PC < 0 || r.PC >= len(p.byAddr) {
+			return
+		}
+		reg := &p.regions[p.byAddr[r.PC]]
+		reg.Cycles++
+		for _, m := range r.Moves {
+			if m.Executed {
+				reg.MovesIssued++
+			}
+		}
+	}
+}
+
+// Total returns the number of traced cycles.
+func (p *Profile) Total() int64 { return p.total }
+
+// Regions returns the regions sorted by descending cycle count.
+func (p *Profile) Regions() []Region {
+	out := append([]Region(nil), p.regions...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// RegionCycles returns the cycle count for a named region (0 when the
+// label does not exist).
+func (p *Profile) RegionCycles(label string) int64 {
+	for _, r := range p.regions {
+		if r.Label == label || strings.Contains(r.Label, label) {
+			return r.Cycles
+		}
+	}
+	return 0
+}
+
+// String renders the profile as a table.
+func (p *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %8s %7s %8s\n", "region", "addr", "cycles", "%", "moves")
+	for _, r := range p.Regions() {
+		if r.Cycles == 0 {
+			continue
+		}
+		pct := 0.0
+		if p.total > 0 {
+			pct = 100 * float64(r.Cycles) / float64(p.total)
+		}
+		fmt.Fprintf(&b, "%-14s %4d-%-4d %8d %6.1f%% %8d\n",
+			r.Label, r.Start, r.End-1, r.Cycles, pct, r.MovesIssued)
+	}
+	fmt.Fprintf(&b, "total cycles: %d\n", p.total)
+	return b.String()
+}

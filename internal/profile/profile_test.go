@@ -1,0 +1,146 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/isa"
+	"taco/internal/linecard"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+type progT = isa.Program
+
+func newProg() *progT           { return isa.NewProgram() }
+func emptyIns() isa.Instruction { return isa.Instruction{} }
+
+// buildRouter returns a running-ready TACO router with a profile
+// attached to its machine.
+func profiledRouter(t *testing.T, kind rtable.Kind, cfg fu.Config, entries int) (*router.TACO, *Profile) {
+	t.Helper()
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: entries, Ifaces: 4, Seed: 1})
+	tbl := rtable.New(kind)
+	if err := rtable.InsertAll(tbl, routes); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := router.NewTACO(cfg, tbl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(tr.Sched.Program)
+	tr.Machine.Trace = p.Hook()
+	pkts, err := workload.GenerateTraffic(routes, workload.PaperTrafficSpec(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pk := range pkts {
+		tr.Deliver(i%4, linecard.Datagram{Data: pk.Data, Seq: pk.Seq})
+	}
+	if err := tr.Run(int64(len(pkts)), 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return tr, p
+}
+
+func TestProfileAccountsEveryCycle(t *testing.T) {
+	tr, p := profiledRouter(t, rtable.BalancedTree, fu.Config3Bus1FU(rtable.BalancedTree), 100)
+	if p.Total() != tr.Machine.Stats().Cycles {
+		t.Fatalf("profiled %d cycles, machine ran %d", p.Total(), tr.Machine.Stats().Cycles)
+	}
+	var sum int64
+	for _, r := range p.Regions() {
+		sum += r.Cycles
+	}
+	if sum != p.Total() {
+		t.Fatalf("regions sum to %d of %d cycles", sum, p.Total())
+	}
+}
+
+// TestSequentialBottleneckIsTheScan verifies the paper's key bottleneck
+// finding mechanically: on the sequential organisation, the scan loop
+// dominates the per-datagram cycles.
+func TestSequentialBottleneckIsTheScan(t *testing.T) {
+	_, p := profiledRouter(t, rtable.Sequential, fu.Config1Bus1FU(rtable.Sequential), 100)
+	scan := p.RegionCycles("seqloop")
+	if scan == 0 {
+		t.Fatal("no cycles attributed to the scan loop")
+	}
+	if frac := float64(scan) / float64(p.Total()); frac < 0.8 {
+		t.Errorf("scan loop is only %.0f%% of cycles; expected the dominant bottleneck", frac*100)
+	}
+}
+
+// TestCAMBottleneckIsNotTheLookup: with the CAM the lookup shrinks to a
+// wait loop and the fixed per-datagram work dominates instead.
+func TestCAMBottleneckIsNotTheLookup(t *testing.T) {
+	_, p := profiledRouter(t, rtable.CAM, fu.Config3Bus1FU(rtable.CAM), 100)
+	wait := p.RegionCycles("camwait")
+	if frac := float64(wait) / float64(p.Total()); frac > 0.5 {
+		t.Errorf("CAM wait is %.0f%% of cycles; lookup should no longer dominate", frac*100)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	_, p := profiledRouter(t, rtable.BalancedTree, fu.Config3Bus1FU(rtable.BalancedTree), 50)
+	s := p.String()
+	for _, want := range []string{"region", "treeloop", "total cycles"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("profile output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRegionsCoverProgram(t *testing.T) {
+	tr, _ := profiledRouter(t, rtable.CAM, fu.Config1Bus1FU(rtable.CAM), 10)
+	p := New(tr.Sched.Program)
+	covered := make([]bool, len(tr.Sched.Program.Ins))
+	for _, r := range p.Regions() {
+		for a := r.Start; a < r.End; a++ {
+			if covered[a] {
+				t.Fatalf("address %d in two regions", a)
+			}
+			covered[a] = true
+		}
+	}
+	for a, c := range covered {
+		if !c {
+			t.Fatalf("address %d in no region", a)
+		}
+	}
+}
+
+func TestColocatedLabels(t *testing.T) {
+	// Two labels bound to one address (including a non-zero one) must
+	// collapse into a single region without panicking.
+	prog := isaProgram(6, map[string]int{
+		"a": 0, "b": 0, "x": 3, "y": 3,
+	})
+	p := New(prog)
+	regions := p.Regions()
+	if len(regions) != 2 {
+		t.Fatalf("%d regions: %+v", len(regions), regions)
+	}
+	for _, r := range regions {
+		if r.Label == "" {
+			t.Error("empty region label")
+		}
+	}
+	if p.RegionCycles("x") != 0 { // nothing traced yet
+		t.Error("phantom cycles")
+	}
+}
+
+// isaProgram builds a trivial n-instruction program with the given labels.
+func isaProgram(n int, labels map[string]int) *progT {
+	p := newProg()
+	for i := 0; i < n; i++ {
+		p.Ins = append(p.Ins, emptyIns())
+	}
+	for k, v := range labels {
+		p.Labels[k] = v
+	}
+	return p
+}

@@ -1,0 +1,90 @@
+package program
+
+import (
+	"taco/internal/asm"
+	"taco/internal/isa"
+	"taco/internal/sched"
+	"taco/internal/tta"
+)
+
+// ChecksumVerify generates the control-plane helper program that
+// verifies the UDP checksum of a datagram held in data memory — the
+// work the Checksum unit exists for: RIPng rides on UDP, and RFC 2460
+// makes the UDP checksum (over a pseudo-header) mandatory, so the
+// router must verify one for every routing update it accepts.
+//
+// Inputs (general-purpose registers, set by the caller):
+//
+//	gpr.r0  word pointer to the datagram
+//	gpr.r1  total UDP segment length in bytes (IPv6 payload length)
+//
+// Output: gpr.r15 = 1 when the checksum verifies, else 0. The machine
+// halts when done.
+//
+// The program folds, in order: the 16-bit halves of the source and
+// destination addresses (header words 2..9), the upper-layer length,
+// the protocol number (17), and every word of the UDP segment
+// (header words 10 onward) — exactly the RFC 2460 §8.1 pseudo-header
+// sum. A datagram whose checksum field is correct folds to 0xffff,
+// which the Checksum unit reports on its "valid" signal.
+//
+// The segment is processed in whole 32-bit words; the preprocessing
+// unit zero-pads the final word of a datagram, which is exactly the
+// zero-padding the Internet checksum prescribes for odd-length data.
+// The program uses two counters (cnt0 for the address walk, cnt1 for
+// the word count), so it requires a configuration with Counters ≥ 2.
+func ChecksumVerify(m *tta.Machine) (*isa.Program, *sched.Result, error) {
+	b := asm.NewBuilder(m)
+
+	b.Label("cksum")
+	b.Imm(0, "chk0.tclr")
+	b.Imm(0, "gpr.r15")
+
+	// Addresses: header words 2..9 (src + dst), summed via the unit.
+	// cnt0 walks the word address; cnt1 counts the 8 words down.
+	b.Imm(2, "cnt0.o")
+	b.Move("gpr.r0", "cnt0.tadd") // cnt0.r = ptr+2
+	b.Imm(8, "cnt1.tld")
+	b.Label("ckaddr")
+	b.Move("cnt0.r", "mmu.tr")
+	b.Imm(1, "cnt0.o")
+	b.Move("cnt0.r", "cnt0.tadd")
+	b.Move("mmu.r", "chk0.tadd")
+	b.Move("cnt1.r", "cnt1.tdec")
+	b.JumpIf(b.Guard("!cnt1.zero"), "ckaddr")
+
+	// Pseudo-header tail: upper-layer length and protocol (UDP = 17).
+	b.Move("gpr.r1", "chk0.tadd")
+	b.Imm(17, "chk0.tadd")
+
+	// The UDP segment: ceil(len/4) words starting at header word 10.
+	// Compute the word count with the shifter: (len+3) >> 2.
+	b.Imm(3, "cnt1.o")
+	b.Move("gpr.r1", "cnt1.tadd")
+	b.Imm(2, "shf0.amt")
+	b.Move("cnt1.r", "shf0.tr")
+	b.Move("shf0.r", "cnt1.tld") // cnt1 = word count
+	// cnt0 already points at header word 10 after the address loop.
+	b.Label("ckdata")
+	b.JumpIf(b.Guard("cnt1.zero"), "ckdone")
+	b.Move("cnt0.r", "mmu.tr")
+	b.Imm(1, "cnt0.o")
+	b.Move("cnt0.r", "cnt0.tadd")
+	b.Move("mmu.r", "chk0.tadd")
+	b.Move("cnt1.r", "cnt1.tdec")
+	b.Jump("ckdata")
+
+	b.Label("ckdone")
+	b.GuardedImm(b.Guard("chk0.valid"), 1, "gpr.r15")
+	b.Halt()
+
+	seq, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sched.Compile(seq, m, sched.AllOptimizations)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Program, res, nil
+}

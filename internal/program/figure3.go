@@ -1,0 +1,97 @@
+package program
+
+import (
+	"taco/internal/asm"
+	"taco/internal/isa"
+	"taco/internal/sched"
+	"taco/internal/tta"
+)
+
+// Figure3Result carries both versions of the paper's Figure 3 example —
+// the expression a = (b*2 + c) / 4 — as runnable TACO programs, plus
+// their move counts: the "Non-optimized" general-purpose-style code that
+// stages every operand through registers, and the "TACO TTA-optimized
+// code" in which operands flow directly between functional units.
+type Figure3Result struct {
+	NonOptimized *isa.Program
+	Optimized    *isa.Program
+	// MovesNonOpt and MovesOpt are the data-transport counts of the two
+	// versions — the TTA code-size measure Figure 3 illustrates.
+	MovesNonOpt, MovesOpt int
+	// CyclesNonOpt and CyclesOpt are the static instruction counts after
+	// bus scheduling.
+	CyclesNonOpt, CyclesOpt int
+}
+
+// ResultAddr is the data-memory word where both Figure 3 programs store
+// the final value of a.
+const ResultAddr = 16
+
+// Figure3 builds both versions for machine m with inputs b and c. The
+// optimized version is produced by the very passes the paper names:
+// bypassing, operand sharing and dead-move elimination, followed by bus
+// scheduling.
+func Figure3(m *tta.Machine, b, c uint32) (*Figure3Result, error) {
+	nonOpt, err := figure3NonOptimized(m, b, c)
+	if err != nil {
+		return nil, err
+	}
+	// The optimized code is the same program compiled with the TTA
+	// optimizations enabled.
+	res, err := sched.Compile(nonOpt, m, sched.AllOptimizations)
+	if err != nil {
+		return nil, err
+	}
+	packedNonOpt, err := sched.Compile(nonOpt, m, sched.NoOptimizations)
+	if err != nil {
+		return nil, err
+	}
+	return &Figure3Result{
+		NonOptimized: packedNonOpt.Program,
+		Optimized:    res.Program,
+		MovesNonOpt:  packedNonOpt.MovesOut,
+		MovesOpt:     res.MovesOut,
+		CyclesNonOpt: packedNonOpt.Cycles,
+		CyclesOpt:    res.Cycles,
+	}, nil
+}
+
+// figure3NonOptimized emits the register-staged version: every operand
+// and intermediate passes through a general-purpose register, exactly as
+// the left column of Figure 3 (Mov b,R1 ... Mov R7,a).
+func figure3NonOptimized(m *tta.Machine, bVal, cVal uint32) (*isa.Program, error) {
+	b := asm.NewBuilder(m)
+	// Mov(b, R1); Mov(2, R2); Mov(c, R3); Mov(4, R4)
+	b.Imm(bVal, "gpr.r1")
+	b.Imm(2, "gpr.r2") // staged like the paper's R2 = 2 (the shifter's *2 makes it dead)
+	b.Imm(cVal, "gpr.r3")
+	b.Imm(2, "gpr.r4") // shift amount for /4
+	// Mul2(R1, R2, R5): R5 = R1 * 2 via the shifter.
+	b.Move("gpr.r1", "shf0.tmul2")
+	b.Move("shf0.r", "gpr.r5")
+	// Add(R5, R3, R6): R6 = R5 + R3 via the counter.
+	b.Move("gpr.r3", "cnt0.o")
+	b.Move("gpr.r5", "cnt0.tadd")
+	b.Move("cnt0.r", "gpr.r6")
+	// Div2(R6, R4, R7): R7 = R6 >> 2 via the shifter.
+	b.Move("gpr.r4", "shf0.amt")
+	b.Move("gpr.r6", "shf0.tr")
+	b.Move("shf0.r", "gpr.r7")
+	// Mov(R7, a): store to memory.
+	b.Move("gpr.r7", "mmu.ow")
+	b.Imm(ResultAddr, "mmu.tw")
+	b.Halt()
+	return b.Build()
+}
+
+// RunFigure3 executes prog on m and returns the stored value of a.
+func RunFigure3(m *tta.Machine, prog *isa.Program, readWord func(addr int) uint32) (uint32, error) {
+	m.Reset()
+	if err := m.Load(prog); err != nil {
+		return 0, err
+	}
+	if _, err := m.Run(1000); err != nil {
+		return 0, err
+	}
+	return readWord(ResultAddr), nil
+}

@@ -1,0 +1,322 @@
+// Package program generates the TACO application code of the paper's
+// case study: the IPv6 datagram forwarding program, specialised to each
+// routing-table implementation and tuned to each architecture instance
+// ("the application code needs to be tuned for each instance
+// separately", paper §2) — plus the Figure 3 expression example.
+//
+// The generators emit sequential move streams; internal/sched then
+// optimizes them and packs them onto the instance's buses, so a 1-bus
+// and a 3-bus processor run the same logical program at different
+// instruction-level parallelism.
+package program
+
+import (
+	"fmt"
+
+	"taco/internal/asm"
+	"taco/internal/fu"
+	"taco/internal/isa"
+	"taco/internal/rtable"
+	"taco/internal/sched"
+	"taco/internal/tta"
+)
+
+// Register allocation for the forwarding program (gpr.rN).
+const (
+	rPtr      = "gpr.r0" // datagram word pointer
+	rInIfc    = "gpr.r1" // arrival interface
+	rLen      = "gpr.r2" // datagram byte length
+	rDst0     = "gpr.r3" // destination address word 0 (most significant)
+	rDst1     = "gpr.r4"
+	rDst2     = "gpr.r5"
+	rDst3     = "gpr.r6"
+	rBestLen  = "gpr.r7"  // best match length+1 (sequential scan)
+	rOutIfc   = "gpr.r8"  // chosen output interface
+	rW1       = "gpr.r9"  // header word 1 (paylen | next-header | hop limit)
+	rPtrPlus1 = "gpr.r10" // address of header word 1
+	rNode     = "gpr.r11" // current tree node
+	rW0       = "gpr.r12" // header word 0
+)
+
+// Forwarding generates, optimizes and schedules the datagram forwarding
+// program for machine m built from cfg. The returned program loops
+// forever: wait for a datagram, validate, look up, rewrite, transmit.
+//
+// Program labels exposed to the harness: "main" (the poll loop head).
+func Forwarding(m *tta.Machine, cfg fu.Config) (*isa.Program, *sched.Result, error) {
+	b := asm.NewBuilder(m)
+	emitProlog(b)
+	switch cfg.Table {
+	case rtable.Sequential:
+		emitSeqLookup(b, cfg)
+	case rtable.BalancedTree:
+		emitTreeLookup(b, cfg)
+	case rtable.CAM:
+		emitCAMLookup(b)
+	default:
+		return nil, nil, fmt.Errorf("program: no forwarding program for %v tables", cfg.Table)
+	}
+	emitEpilog(b)
+	seq, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sched.Compile(seq, m, sched.AllOptimizations)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Program, res, nil
+}
+
+// emitProlog emits the poll loop, descriptor pop, header fetch and the
+// validation checks of paper §3: right addressing and fields.
+func emitProlog(b *asm.Builder) {
+	pending := b.Guard("ippu.pending")
+
+	b.Label("main")
+	b.JumpIf(pending, "got")
+	b.Jump("main")
+
+	b.Label("got")
+	b.Imm(0, "ippu.tpop")
+	b.Move("ippu.ptr", rPtr)
+	b.Move("ippu.ifc", rInIfc)
+	b.Move("ippu.len", rLen)
+
+	// Runt datagrams (shorter than the 40-byte fixed header) cannot be
+	// parsed; drop them before touching memory.
+	b.Imm(40, "cmp0.o")
+	b.Move(rLen, "cmp0.t")
+	b.JumpIf(b.Guard("cmp0.lt"), "drop")
+
+	// Header word 0: version / traffic class / flow label.
+	b.Move(rPtr, "mmu.tr")
+	b.Move("mmu.r", rW0)
+	b.Imm(0xf0000000, "mat0.mask")
+	b.Imm(0x60000000, "mat0.ref")
+	b.Move(rW0, "mat0.t")
+	b.JumpIf(b.Guard("!mat0.match"), "drop") // not IPv6
+
+	// Header word 1: payload length | next header | hop limit.
+	b.Imm(1, "cnt0.o")
+	b.Move(rPtr, "cnt0.tadd")
+	b.Move("cnt0.r", rPtrPlus1)
+	b.Move("cnt0.r", "mmu.tr")
+	b.Move("mmu.r", rW1)
+	// Hop limit (low byte) must exceed 1 to be forwardable.
+	b.Imm(0x000000ff, "msk0.mask")
+	b.Move(rW1, "msk0.val")
+	b.Imm(0, "msk0.t") // r = w1 & 0xff
+	b.Imm(1, "cmp0.o")
+	b.Move("msk0.r", "cmp0.t")
+	b.JumpIf(b.Guard("!cmp0.gt"), "drop") // hop limit 0 or 1: not forwarded
+
+	// Destination address words 6..9.
+	for i, reg := range []string{rDst0, rDst1, rDst2, rDst3} {
+		b.Imm(uint32(6+i), "cnt0.o")
+		b.Move(rPtr, "cnt0.tadd")
+		b.Move("cnt0.r", "mmu.tr")
+		b.Move("mmu.r", reg)
+	}
+
+	// Multicast destination (ff00::/8) is delivered locally — the RIPng
+	// group among others; the router does not forward multicast.
+	b.Imm(0xff000000, "mat0.mask")
+	b.Imm(0xff000000, "mat0.ref")
+	b.Move(rDst0, "mat0.t")
+	b.JumpIf(b.Guard("mat0.match"), "local")
+
+	// One of the router's own unicast addresses?
+	b.Move(rDst0, "liu.a0")
+	b.Move(rDst1, "liu.a1")
+	b.Move(rDst2, "liu.a2")
+	b.Move(rDst3, "liu.tchk")
+	b.JumpIf(b.Guard("liu.mine"), "local")
+}
+
+// emitEpilog emits the hop-limit rewrite, the transmit path, the local
+// delivery path and the drop path. The lookup code falls through to
+// "send" with the output interface in rOutIfc, or jumps to "drop".
+func emitEpilog(b *asm.Builder) {
+	b.Label("send")
+	// Decrement the hop limit: it is the low byte of word 1 and was
+	// checked > 1, so plain word arithmetic cannot borrow.
+	b.Imm(1, "cnt0.o")
+	b.Move(rW1, "cnt0.tsub")
+	b.Move("cnt0.r", "mmu.ow")
+	b.Move(rPtrPlus1, "mmu.tw")
+	// Hand the datagram to the postprocessing unit.
+	b.Move(rPtr, "oppu.ptr")
+	b.Move(rLen, "oppu.len")
+	b.Move(rOutIfc, "oppu.tsend")
+	b.Jump("main")
+
+	b.Label("local")
+	// Local traffic goes to the host queue: line card index nifc.
+	b.Move(rPtr, "oppu.ptr")
+	b.Move(rLen, "oppu.len")
+	b.Move("liu.nifc", "oppu.tsend")
+	b.Jump("main")
+
+	b.Label("drop")
+	b.Jump("main")
+}
+
+// emitSeqLookup emits the linear scan over the sequential routing table:
+// every entry is loaded and all four masked address words are matched;
+// among matching entries the longest prefix wins (tracked in rBestLen as
+// length+1 so that a ::/0 default route still beats "no match").
+func emitSeqLookup(b *asm.Builder, cfg fu.Config) {
+	b.Move("rtu.count", "cnt0.stop")
+	b.Imm(0, "cnt0.tld")
+	b.Imm(0, rBestLen)
+
+	dst := []string{rDst0, rDst1, rDst2, rDst3}
+	wide := cfg.Matchers >= 3
+	if wide {
+		// The destination words are loop constants: preload them as the
+		// matcher reference operands once per datagram (operand sharing
+		// across the scan, paper §3).
+		b.Move(rDst0, "mat0.ref")
+		b.Move(rDst1, "mat1.ref")
+		b.Move(rDst2, "mat2.ref")
+	}
+	// Bottom-tested loop; guard the empty table up front.
+	b.JumpIf(b.Guard("cnt0.done"), "seqdone")
+
+	b.Label("seqloop")
+	b.Move("cnt0.r", "rtu.tidx")
+	b.Move("cnt0.r", "cnt0.tinc")
+
+	if wide {
+		// Words 0..2 in parallel on mat0..mat2, word 3 folded into mat0.
+		for w := 0; w < 3; w++ {
+			b.Move(fmt.Sprintf("rtu.m%d", w), fmt.Sprintf("mat%d.mask", w))
+		}
+		for w := 0; w < 3; w++ {
+			b.Move(fmt.Sprintf("rtu.p%d", w), fmt.Sprintf("mat%d.t", w))
+		}
+		b.Move(rDst3, "mat0.ref")
+		b.Move("rtu.m3", "mat0.mask")
+		b.Move("rtu.p3", "mat0.tand")
+		b.JumpIf(b.Guard("mat0.match", "mat1.match", "mat2.match"), "seqmatched")
+		b.Move(rDst0, "mat0.ref") // restore the loop-constant reference
+		b.JumpIf(b.Guard("!cnt0.done"), "seqloop")
+		b.Jump("seqdone")
+	} else {
+		// Single matcher: fold the four words in sequence.
+		for w := 0; w < 4; w++ {
+			b.Move(fmt.Sprintf("rtu.m%d", w), "mat0.mask")
+			b.Move(dst[w], "mat0.ref")
+			trig := "mat0.tand"
+			if w == 0 {
+				trig = "mat0.t"
+			}
+			b.Move(fmt.Sprintf("rtu.p%d", w), trig)
+		}
+		b.JumpIf(b.Guard("mat0.match"), "seqmatched")
+		b.JumpIf(b.Guard("!cnt0.done"), "seqloop")
+		b.Jump("seqdone")
+	}
+
+	// Entry matches: keep it if it is the longest so far.
+	b.Label("seqmatched")
+	cmp := "cmp0"
+	if cfg.Comparators >= 2 {
+		cmp = "cmp1" // leave cmp0 free for the epilogue on wide configs
+	}
+	b.Move(rBestLen, cmp+".o")
+	b.Move("rtu.lenp1", cmp+".t")
+	gt := b.Guard(cmp + ".gt")
+	b.GuardedMove(gt, "rtu.lenp1", rBestLen)
+	b.GuardedMove(gt, "rtu.ifc", rOutIfc)
+	if wide {
+		b.Move(rDst0, "mat0.ref")
+	}
+	b.JumpIf(b.Guard("!cnt0.done"), "seqloop")
+
+	b.Label("seqdone")
+	b.Imm(0, "cmp0.o")
+	b.Move(rBestLen, "cmp0.t")
+	b.JumpIf(b.Guard("cmp0.eq"), "drop") // nothing matched
+	// Fall through to "send" with rOutIfc set.
+}
+
+// emitTreeLookup emits the balanced-range-tree walk: at each node the
+// 128-bit destination is compared against the node's [first,last] range
+// word by word; the walk descends left/right or terminates with a hit.
+func emitTreeLookup(b *asm.Builder, cfg fu.Config) {
+	b.Move("rtu.root", rNode)
+
+	b.Label("treeloop")
+	b.Move(rNode, "rtu.tnode")
+	b.JumpIf(b.Guard("!rtu.valid"), "drop") // ran off the tree: no range covers dst
+
+	dst := []string{rDst0, rDst1, rDst2, rDst3}
+	if cfg.Comparators >= 3 {
+		// Fast path: compare word 0 against both range bounds at once
+		// (cmp0: first, cmp1: last). Strict outcomes resolve the node in
+		// one step; equality with either bound falls back to the full
+		// word-by-word cascade.
+		b.Move("rtu.f0", "cmp0.o")
+		b.Move(dst[0], "cmp0.t")
+		b.Move("rtu.l0", "cmp1.o")
+		b.Move(dst[0], "cmp1.t")
+		b.JumpIf(b.Guard("cmp0.lt"), "goleft")
+		b.JumpIf(b.Guard("cmp1.gt"), "goright")
+		b.JumpIf(b.Guard("cmp0.gt", "cmp1.lt"), "hit") // strictly inside
+		// dst word 0 equals first[0] or last[0]: decide the slow way.
+	}
+	// Full cascade (the only path on narrow configs, the boundary slow
+	// path on wide ones): addr < first → left; addr > first → check the
+	// last bound.
+	for w := 0; w < 4; w++ {
+		b.Move(fmt.Sprintf("rtu.f%d", w), "cmp0.o")
+		b.Move(dst[w], "cmp0.t")
+		b.JumpIf(b.Guard("cmp0.lt"), "goleft")
+		if w < 3 {
+			b.JumpIf(b.Guard("cmp0.gt"), "chklast")
+		}
+	}
+	b.Label("chklast")
+	// addr > last → right; addr < last → hit.
+	for w := 0; w < 4; w++ {
+		b.Move(fmt.Sprintf("rtu.l%d", w), "cmp0.o")
+		b.Move(dst[w], "cmp0.t")
+		b.JumpIf(b.Guard("cmp0.gt"), "goright")
+		if w < 3 {
+			b.JumpIf(b.Guard("cmp0.lt"), "hit")
+		}
+	}
+
+	b.Label("hit")
+	b.Move("rtu.ifc", rOutIfc)
+	b.Jump("send")
+
+	b.Label("goleft")
+	b.Move("rtu.left", rNode)
+	b.Jump("treeloop")
+
+	b.Label("goright")
+	b.Move("rtu.right", rNode)
+	b.Jump("treeloop")
+
+	// The epilogue's "send" label follows; nothing falls through here
+	// (every path above jumps), but Build still needs the block order.
+}
+
+// emitCAMLookup emits the CAM search: load the address, trigger, wait
+// for the fixed-latency search, branch on hit.
+func emitCAMLookup(b *asm.Builder) {
+	b.Move(rDst0, "rtu.a0")
+	b.Move(rDst1, "rtu.a1")
+	b.Move(rDst2, "rtu.a2")
+	b.Move(rDst3, "rtu.tlook")
+	b.Label("camwait")
+	b.JumpIf(b.Guard("rtu.ready"), "camdone")
+	b.Jump("camwait")
+	b.Label("camdone")
+	b.JumpIf(b.Guard("!rtu.hit"), "drop")
+	b.Move("rtu.ifc", rOutIfc)
+	// Fall through to "send".
+}

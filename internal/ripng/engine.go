@@ -1,0 +1,377 @@
+package ripng
+
+import (
+	"fmt"
+	"sort"
+
+	"taco/internal/bits"
+	"taco/internal/ipv6"
+	"taco/internal/rtable"
+)
+
+// Timer defaults (RFC 2080 §2.3). Statistics in the paper note that
+// once the topology stabilises, updates arrive on the order of minutes —
+// these timers are why.
+const (
+	DefaultUpdateSeconds  = 30
+	DefaultTimeoutSeconds = 180
+	DefaultGCSeconds      = 120
+)
+
+// Clock is engine time in seconds since an arbitrary epoch; the caller
+// advances it (no wall-clock dependence).
+type Clock int64
+
+// Iface describes one router interface for RIPng purposes.
+type Iface struct {
+	// LinkLocal is the interface's link-local address, used as the
+	// source of updates and as the next hop learned by neighbours.
+	LinkLocal ipv6.Addr
+	// Cost is added to metrics learned through this interface (≥1).
+	Cost int
+}
+
+// OutPacket is a RIPng packet queued for transmission.
+type OutPacket struct {
+	Iface int
+	Dst   ipv6.Addr
+	Pkt   Packet
+}
+
+type ripRoute struct {
+	prefix  bits.Prefix
+	nextHop ipv6.Addr
+	iface   int
+	metric  int
+	tag     uint16
+	direct  bool // connected network: never expires
+	expires Clock
+	gcAt    Clock
+	changed bool
+}
+
+// Engine is one router's RIPng process. It maintains the router's
+// forwarding table (an rtable.Table of any implementation) from received
+// responses, answers requests, and emits periodic, triggered and
+// garbage-collection updates.
+type Engine struct {
+	table  rtable.Table
+	ifaces []Iface
+	routes map[bits.Prefix]*ripRoute
+
+	now        Clock
+	nextUpdate Clock
+	update     Clock
+	timeout    Clock
+	gc         Clock
+
+	out []OutPacket
+
+	// Stats counters.
+	responsesIn, requestsIn, updatesOut int64
+}
+
+// NewEngine returns an engine over the given forwarding table and
+// interfaces, using default timers. The engine schedules its first
+// periodic update one interval after start.
+func NewEngine(table rtable.Table, ifaces []Iface, start Clock) *Engine {
+	e := &Engine{
+		table:   table,
+		ifaces:  append([]Iface(nil), ifaces...),
+		routes:  make(map[bits.Prefix]*ripRoute),
+		now:     start,
+		update:  DefaultUpdateSeconds,
+		timeout: DefaultTimeoutSeconds,
+		gc:      DefaultGCSeconds,
+	}
+	e.nextUpdate = start + e.update
+	return e
+}
+
+// Start queues the RFC 2080 §2.5.1 startup behaviour: a whole-table
+// request multicast on every interface, so neighbours answer with their
+// tables immediately instead of waiting for their periodic updates.
+func (e *Engine) Start() {
+	for i := range e.ifaces {
+		e.out = append(e.out, OutPacket{
+			Iface: i,
+			Dst:   ipv6.AllRIPRouters,
+			Pkt:   WholeTableRequest(),
+		})
+	}
+}
+
+// SetTimers overrides the protocol timers (tests and examples).
+func (e *Engine) SetTimers(update, timeout, gc Clock) {
+	e.update, e.timeout, e.gc = update, timeout, gc
+	e.nextUpdate = e.now + update
+}
+
+// Table returns the forwarding table the engine maintains.
+func (e *Engine) Table() rtable.Table { return e.table }
+
+// AddDirect installs a connected network on iface: metric 1, never aged.
+func (e *Engine) AddDirect(prefix bits.Prefix, iface int) error {
+	if iface < 0 || iface >= len(e.ifaces) {
+		return fmt.Errorf("ripng: interface %d out of range", iface)
+	}
+	r := &ripRoute{prefix: prefix, iface: iface, metric: 1, direct: true}
+	e.routes[prefix] = r
+	return e.install(r)
+}
+
+func (e *Engine) install(r *ripRoute) error {
+	if r.metric >= Infinity {
+		e.table.Delete(r.prefix)
+		return nil
+	}
+	return e.table.Insert(rtable.Route{
+		Prefix:  r.prefix,
+		NextHop: r.nextHop,
+		Iface:   r.iface,
+		Metric:  r.metric,
+		Tag:     r.tag,
+	})
+}
+
+// Receive processes a RIPng packet arriving on iface from src (the
+// neighbour's link-local address). Outgoing packets it provokes are
+// queued for Collect.
+func (e *Engine) Receive(iface int, src ipv6.Addr, p Packet) error {
+	if iface < 0 || iface >= len(e.ifaces) {
+		return fmt.Errorf("ripng: interface %d out of range", iface)
+	}
+	switch p.Command {
+	case CommandRequest:
+		e.requestsIn++
+		return e.handleRequest(iface, src, p)
+	case CommandResponse:
+		e.responsesIn++
+		return e.handleResponse(iface, src, p)
+	}
+	return fmt.Errorf("ripng: command %d", p.Command)
+}
+
+func (e *Engine) handleRequest(iface int, src ipv6.Addr, p Packet) error {
+	if IsWholeTableRequest(p) {
+		rtes := e.exportRTEs(iface)
+		e.queueResponses(iface, src, rtes)
+		return nil
+	}
+	// Specific-prefix request: answer with our metric for each entry
+	// (Infinity when unknown), no split horizon (RFC 2080 §2.4.1).
+	resp := Packet{Command: CommandResponse}
+	for _, q := range p.RTEs {
+		m := uint8(Infinity)
+		var tag uint16
+		if r, ok := e.routes[q.Prefix]; ok {
+			m = uint8(r.metric)
+			tag = r.tag
+		}
+		resp.RTEs = append(resp.RTEs, RTE{Prefix: q.Prefix, Metric: m, Tag: tag})
+	}
+	e.out = append(e.out, OutPacket{Iface: iface, Dst: src, Pkt: resp})
+	return nil
+}
+
+func (e *Engine) handleResponse(iface int, src ipv6.Addr, p Packet) error {
+	// RFC 2080 §2.4.2: responses must come from a link-local address.
+	if !ipv6.IsLinkLocal(src) {
+		return fmt.Errorf("ripng: response from non-link-local source %s", ipv6.FormatAddr(src))
+	}
+	cost := e.ifaces[iface].Cost
+	if cost < 1 {
+		cost = 1
+	}
+	for _, rte := range p.RTEs {
+		if rte.Metric == NextHopMetric {
+			continue // next-hop RTEs only redirect; our topology model doesn't need them
+		}
+		if ipv6.IsMulticast(rte.Prefix.Addr) || ipv6.IsLinkLocal(rte.Prefix.Addr) {
+			continue // never route to multicast or link-local prefixes
+		}
+		metric := int(rte.Metric) + cost
+		if metric > Infinity {
+			metric = Infinity
+		}
+		e.updateRoute(rte.Prefix, src, iface, metric, rte.Tag)
+	}
+	return nil
+}
+
+// updateRoute applies the RFC 2080 §2.4.2 distance-vector rules.
+func (e *Engine) updateRoute(prefix bits.Prefix, nextHop ipv6.Addr, iface, metric int, tag uint16) {
+	r, exists := e.routes[prefix]
+	switch {
+	case !exists:
+		if metric >= Infinity {
+			return // don't add unreachable routes
+		}
+		r = &ripRoute{prefix: prefix, nextHop: nextHop, iface: iface,
+			metric: metric, tag: tag, changed: true, expires: e.now + e.timeout}
+		e.routes[prefix] = r
+		_ = e.install(r)
+	case r.direct:
+		return // connected routes never learned over
+	case r.nextHop == nextHop && r.iface == iface:
+		// Same gateway: always believe it; refresh the timer.
+		r.expires = e.now + e.timeout
+		if metric != r.metric {
+			e.setMetric(r, metric, tag)
+		}
+	case metric < r.metric:
+		// Strictly better route through a different gateway.
+		r.nextHop, r.iface = nextHop, iface
+		r.expires = e.now + e.timeout
+		e.setMetric(r, metric, tag)
+	}
+}
+
+func (e *Engine) setMetric(r *ripRoute, metric int, tag uint16) {
+	r.metric, r.tag, r.changed = metric, tag, true
+	if metric >= Infinity {
+		r.gcAt = e.now + e.gc
+	} else {
+		r.gcAt = 0
+	}
+	_ = e.install(r)
+}
+
+// Tick advances engine time, firing timeouts, garbage collection,
+// triggered updates and the periodic update.
+func (e *Engine) Tick(now Clock) {
+	if now < e.now {
+		return
+	}
+	e.now = now
+	for _, r := range e.routes {
+		if r.direct || r.metric >= Infinity {
+			continue
+		}
+		if r.expires != 0 && now >= r.expires {
+			e.setMetric(r, Infinity, r.tag) // route timed out: poison it
+		}
+	}
+	for p, r := range e.routes {
+		if r.metric >= Infinity && r.gcAt != 0 && now >= r.gcAt {
+			delete(e.routes, p)
+			e.table.Delete(p)
+		}
+	}
+	if now >= e.nextUpdate {
+		e.emitPeriodic()
+		e.nextUpdate = now + e.update
+	} else if e.anyChanged() {
+		e.emitTriggered()
+	}
+}
+
+func (e *Engine) anyChanged() bool {
+	for _, r := range e.routes {
+		if r.changed {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) emitPeriodic() {
+	for i := range e.ifaces {
+		rtes := e.exportRTEs(i)
+		e.queueResponses(i, ipv6.AllRIPRouters, rtes)
+	}
+	for _, r := range e.routes {
+		r.changed = false
+	}
+	e.updatesOut++
+}
+
+func (e *Engine) emitTriggered() {
+	for i := range e.ifaces {
+		var rtes []RTE
+		for _, r := range e.sortedRoutes() {
+			if !r.changed {
+				continue
+			}
+			rtes = append(rtes, e.exportOne(r, i))
+		}
+		if len(rtes) > 0 {
+			e.queueResponses(i, ipv6.AllRIPRouters, rtes)
+		}
+	}
+	for _, r := range e.routes {
+		r.changed = false
+	}
+	e.updatesOut++
+}
+
+// exportOne applies split horizon with poisoned reverse: routes learned
+// through the interface being advertised are sent with metric Infinity.
+func (e *Engine) exportOne(r *ripRoute, iface int) RTE {
+	m := uint8(r.metric)
+	if !r.direct && r.iface == iface {
+		m = Infinity
+	}
+	return RTE{Prefix: r.prefix, Metric: m, Tag: r.tag}
+}
+
+func (e *Engine) exportRTEs(iface int) []RTE {
+	var rtes []RTE
+	for _, r := range e.sortedRoutes() {
+		rtes = append(rtes, e.exportOne(r, iface))
+	}
+	return rtes
+}
+
+// sortedRoutes returns routes in deterministic prefix order.
+func (e *Engine) sortedRoutes() []*ripRoute {
+	out := make([]*ripRoute, 0, len(e.routes))
+	for _, r := range e.routes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].prefix.Addr.Cmp(out[j].prefix.Addr); c != 0 {
+			return c < 0
+		}
+		return out[i].prefix.Len < out[j].prefix.Len
+	})
+	return out
+}
+
+// queueResponses splits rtes across MTU-sized packets.
+func (e *Engine) queueResponses(iface int, dst ipv6.Addr, rtes []RTE) {
+	for len(rtes) > 0 {
+		n := len(rtes)
+		if n > MaxRTEsPerPacket {
+			n = MaxRTEsPerPacket
+		}
+		e.out = append(e.out, OutPacket{
+			Iface: iface, Dst: dst,
+			Pkt: Packet{Command: CommandResponse, RTEs: append([]RTE(nil), rtes[:n]...)},
+		})
+		rtes = rtes[n:]
+	}
+}
+
+// Collect drains the queued outgoing packets.
+func (e *Engine) Collect() []OutPacket {
+	out := e.out
+	e.out = nil
+	return out
+}
+
+// RouteCount returns the number of RIPng routes (including poisoned ones
+// awaiting garbage collection).
+func (e *Engine) RouteCount() int { return len(e.routes) }
+
+// LinkLocal returns iface's link-local address.
+func (e *Engine) LinkLocal(iface int) ipv6.Addr { return e.ifaces[iface].LinkLocal }
+
+// Ifaces returns the interface count.
+func (e *Engine) Ifaces() int { return len(e.ifaces) }
+
+// Stats returns protocol counters: responses and requests received,
+// updates emitted.
+func (e *Engine) Stats() (responsesIn, requestsIn, updatesOut int64) {
+	return e.responsesIn, e.requestsIn, e.updatesOut
+}

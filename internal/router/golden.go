@@ -1,0 +1,113 @@
+// Package router assembles the paper's Figure 1 system: line cards
+// around a forwarding engine. Two engines are provided with identical
+// semantics — a golden pure-Go router (the reference model) and the
+// TACO router, which executes the generated forwarding program on the
+// cycle-accurate TTA machine. The differential tests in this package
+// drive both with the same workload and require identical outputs.
+package router
+
+import (
+	"fmt"
+
+	"taco/internal/bits"
+	"taco/internal/ipv6"
+	"taco/internal/rtable"
+)
+
+// Action classifies what the router did with a datagram.
+type Action int
+
+const (
+	// Forward means the datagram was sent out an interface.
+	Forward Action = iota
+	// Local means the datagram was delivered to the router itself
+	// (multicast, or one of the router's own addresses).
+	Local
+	// Drop means the datagram was discarded (validation failure, hop
+	// limit exhausted, or no matching route).
+	Drop
+)
+
+func (a Action) String() string {
+	switch a {
+	case Forward:
+		return "forward"
+	case Local:
+		return "local"
+	case Drop:
+		return "drop"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Decision is the outcome of processing one datagram.
+type Decision struct {
+	Action   Action
+	OutIface int // valid when Action == Forward
+}
+
+// Stats counts datagram outcomes.
+type Stats struct {
+	Received, Forwarded, LocalDelivered, Dropped int64
+}
+
+// Golden is the reference software router. Its decision order matches
+// the TACO forwarding program exactly (see internal/program):
+// version check, hop-limit check, multicast/local check, longest-prefix
+// lookup, hop-limit rewrite.
+type Golden struct {
+	table  rtable.Table
+	local  map[bits.Word128]bool
+	ifaces int
+	stats  Stats
+}
+
+// NewGolden returns a golden router forwarding over table with the given
+// interface count.
+func NewGolden(table rtable.Table, ifaces int) *Golden {
+	return &Golden{table: table, local: make(map[bits.Word128]bool), ifaces: ifaces}
+}
+
+// AddLocal registers an address as the router's own (unicast addresses
+// and joined multicast groups are both delivered locally).
+func (g *Golden) AddLocal(addr ipv6.Addr) { g.local[addr] = true }
+
+// Table returns the forwarding table.
+func (g *Golden) Table() rtable.Table { return g.table }
+
+// Ifaces returns the interface count.
+func (g *Golden) Ifaces() int { return g.ifaces }
+
+// Process decides a datagram's fate and returns the (possibly rewritten)
+// datagram to transmit. The returned slice aliases d when no rewrite was
+// needed, and is a fresh copy when the header was rewritten.
+func (g *Golden) Process(d []byte) (Decision, []byte) {
+	g.stats.Received++
+	h, err := ipv6.ParseHeader(d)
+	if err != nil {
+		g.stats.Dropped++
+		return Decision{Action: Drop}, nil
+	}
+	// Hop limit must exceed 1 for the datagram to be forwardable; this
+	// check precedes the local check to mirror the hardware program.
+	if h.HopLimit <= 1 {
+		g.stats.Dropped++
+		return Decision{Action: Drop}, nil
+	}
+	if ipv6.IsMulticast(h.Dst) || g.local[h.Dst] {
+		g.stats.LocalDelivered++
+		return Decision{Action: Local}, d
+	}
+	r, ok := g.table.Lookup(h.Dst)
+	if !ok {
+		g.stats.Dropped++
+		return Decision{Action: Drop}, nil
+	}
+	out := append([]byte(nil), d...)
+	ipv6.DecrementHopLimit(out)
+	g.stats.Forwarded++
+	return Decision{Action: Forward, OutIface: r.Iface}, out
+}
+
+// Stats returns the outcome counters.
+func (g *Golden) Stats() Stats { return g.stats }

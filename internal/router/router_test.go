@@ -1,0 +1,488 @@
+package router
+
+import (
+	"bytes"
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/ipv6"
+	"taco/internal/linecard"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+const nIfaces = 4
+
+var routerAddr = ipv6.MustParseAddr("2001:db8:cafe::1")
+
+// buildWorkload generates the standard differential workload: table hits,
+// misses, hop-limit-1 datagrams, plus hand-made local and multicast
+// datagrams appended at the end.
+func buildWorkload(t *testing.T, packets int) ([]rtable.Route, []workload.Packet) {
+	t.Helper()
+	routes := workload.GenerateRoutes(workload.PaperTableSpec())
+	spec := workload.PaperTrafficSpec(packets)
+	spec.MissRatio = 0.15
+	spec.HopLimitOneRatio = 0.1
+	pkts, err := workload.GenerateTraffic(routes, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(dst ipv6.Addr, hop uint8) workload.Packet {
+		h := ipv6.Header{HopLimit: hop, Src: ipv6.MustParseAddr("2001:db8::99"), Dst: dst}
+		d, err := ipv6.BuildDatagram(h, nil, ipv6.ProtoNoNext, []byte{1, 2, 3, 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Packet{Data: d, Seq: int64(len(pkts)), Dst: dst}
+	}
+	extra := []workload.Packet{
+		mk(routerAddr, 64),          // router's own unicast address
+		mk(ipv6.AllRIPRouters, 255), // RIPng multicast group
+		mk(ipv6.AllNodes, 1),        // multicast with exhausted hop limit: drop
+	}
+	for i := range extra {
+		extra[i].Seq = int64(packets + i)
+	}
+	return routes, append(pkts, extra...)
+}
+
+func fillTable(t *testing.T, kind rtable.Kind, routes []rtable.Route) rtable.Table {
+	t.Helper()
+	tbl := rtable.New(kind)
+	for _, r := range routes {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+type expected struct {
+	perIface [][]byte // concatenated expected datagram bytes per interface
+	local    []byte   // concatenated locally delivered datagram bytes
+	forwards int64
+	locals   int64
+	drops    int64
+}
+
+// processingOrder returns packet indices in the order the TACO router
+// consumes them: the preprocessing unit serves the lowest-numbered card
+// with pending input first, and the test delivers packet i to card
+// i%nIfaces, so consumption groups by card.
+func processingOrder(n int) []int {
+	var order []int
+	for c := 0; c < nIfaces; c++ {
+		for i := c; i < n; i += nIfaces {
+			order = append(order, i)
+		}
+	}
+	return order
+}
+
+func goldenRun(t *testing.T, kind rtable.Kind, routes []rtable.Route, pkts []workload.Packet) expected {
+	t.Helper()
+	g := NewGolden(fillTable(t, kind, routes), nIfaces)
+	g.AddLocal(routerAddr)
+	var exp expected
+	exp.perIface = make([][]byte, nIfaces)
+	ordered := make([]workload.Packet, 0, len(pkts))
+	for _, i := range processingOrder(len(pkts)) {
+		ordered = append(ordered, pkts[i])
+	}
+	for _, p := range ordered {
+		dec, out := g.Process(p.Data)
+		switch dec.Action {
+		case Forward:
+			exp.perIface[dec.OutIface] = append(exp.perIface[dec.OutIface], out...)
+			exp.forwards++
+		case Local:
+			exp.local = append(exp.local, out...)
+			exp.locals++
+		case Drop:
+			exp.drops++
+		}
+	}
+	st := g.Stats()
+	if st.Received != int64(len(pkts)) {
+		t.Fatalf("golden received %d of %d", st.Received, len(pkts))
+	}
+	return exp
+}
+
+func tacoRun(t *testing.T, cfg fu.Config, routes []rtable.Route, pkts []workload.Packet) (*TACO, [][]byte, [][]byte) {
+	t.Helper()
+	tbl := fillTable(t, cfg.Table, routes)
+	tr, err := NewTACO(cfg, tbl, nIfaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AddLocal(routerAddr)
+	for i, p := range pkts {
+		// Spread arrivals over the interfaces deterministically.
+		if !tr.Deliver(i%nIfaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+			t.Fatalf("deliver %d failed", i)
+		}
+	}
+	if err := tr.Run(int64(len(pkts)), 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]byte, nIfaces)
+	for i := 0; i < nIfaces; i++ {
+		for _, d := range tr.Outputs(i) {
+			got[i] = append(got[i], d.Data...)
+		}
+	}
+	var localFlat []byte
+	for _, d := range tr.LocalQueue() {
+		localFlat = append(localFlat, d.Data...)
+	}
+	return tr, got, [][]byte{localFlat}
+}
+
+// TestDifferentialAllKindsAllConfigs is the central integration test:
+// for every routing-table implementation and every Table 1 architecture
+// instance, the TACO router's outputs must be byte-identical to the
+// golden router's, interface by interface, in order.
+func TestDifferentialAllKindsAllConfigs(t *testing.T) {
+	routes, pkts := buildWorkload(t, 40)
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		exp := goldenRun(t, kind, routes, pkts)
+		for _, cfg := range fu.PaperConfigs(kind) {
+			name := kind.String() + "/" + cfg.Name
+			t.Run(name, func(t *testing.T) {
+				tr, got, local := tacoRun(t, cfg, routes, pkts)
+				for i := 0; i < nIfaces; i++ {
+					if !bytes.Equal(got[i], exp.perIface[i]) {
+						t.Errorf("interface %d: %d bytes out, want %d",
+							i, len(got[i]), len(exp.perIface[i]))
+					}
+				}
+				if !bytes.Equal(local[0], exp.local) {
+					t.Errorf("local queue: %d bytes, want %d", len(local[0]), len(exp.local))
+				}
+				sent := tr.Units.OPPU.Sent()
+				if sent != exp.forwards+exp.locals {
+					t.Errorf("sent %d datagrams, want %d", sent, exp.forwards+exp.locals)
+				}
+				if tr.Units.IPPU.Popped() != int64(len(pkts)) {
+					t.Errorf("popped %d, want %d", tr.Units.IPPU.Popped(), len(pkts))
+				}
+			})
+		}
+	}
+}
+
+// TestCyclesOrdering verifies Table 1's qualitative shape on cycle
+// counts: sequential ≫ balanced tree ≫ CAM, and wider configurations
+// are faster within each implementation.
+func TestCyclesOrdering(t *testing.T) {
+	routes, pkts := buildWorkload(t, 30)
+	cycles := map[string]float64{}
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		for _, cfg := range fu.PaperConfigs(kind) {
+			tr, _, _ := tacoRun(t, cfg, routes, pkts)
+			cycles[kind.String()+"/"+cfg.Name] = tr.CyclesPerPacket()
+		}
+	}
+	t.Logf("cycles/packet: %v", cycles)
+	// Implementation ordering at every configuration.
+	for _, cfgName := range []string{"1BUS/1FU", "3BUS/1FU", "3BUS/3CNT,3CMP,3M"} {
+		seq := cycles["sequential/"+cfgName]
+		tree := cycles["balanced-tree/"+cfgName]
+		cam := cycles["cam/"+cfgName]
+		if !(seq > tree && tree > cam) {
+			t.Errorf("%s: want seq > tree > cam, got %.0f / %.0f / %.0f",
+				cfgName, seq, tree, cam)
+		}
+	}
+	// Configuration ordering within each implementation.
+	for _, kind := range []string{"sequential", "balanced-tree", "cam"} {
+		b1 := cycles[kind+"/1BUS/1FU"]
+		b3 := cycles[kind+"/3BUS/1FU"]
+		f3 := cycles[kind+"/3BUS/3CNT,3CMP,3M"]
+		if !(b1 > b3) {
+			t.Errorf("%s: 3 buses not faster than 1 (%.0f vs %.0f)", kind, b3, b1)
+		}
+		if f3 > b3 {
+			t.Errorf("%s: replicated FUs slower than single (%.0f vs %.0f)", kind, f3, b3)
+		}
+	}
+	// The sequential 1-bus configuration must be in the multi-thousand
+	// cycle range (the paper's 6 GHz row) and CAM in the tens.
+	if c := cycles["sequential/1BUS/1FU"]; c < 800 {
+		t.Errorf("sequential 1-bus suspiciously fast: %.0f cycles/packet", c)
+	}
+	if c := cycles["cam/3BUS/3CNT,3CMP,3M"]; c > 120 {
+		t.Errorf("CAM wide config suspiciously slow: %.0f cycles/packet", c)
+	}
+}
+
+func TestGoldenDecisions(t *testing.T) {
+	tbl := rtable.NewSequential()
+	p := ipv6.MustParsePrefix("2001:db8::/32")
+	if err := tbl.Insert(rtable.Route{Prefix: p, Iface: 2, Metric: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGolden(tbl, nIfaces)
+	g.AddLocal(routerAddr)
+
+	mk := func(dst ipv6.Addr, hop uint8) []byte {
+		h := ipv6.Header{HopLimit: hop, Src: ipv6.MustParseAddr("2001:db8::9"), Dst: dst}
+		d, err := ipv6.BuildDatagram(h, nil, ipv6.ProtoNoNext, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	cases := []struct {
+		name string
+		d    []byte
+		want Action
+	}{
+		{"forward", mk(ipv6.MustParseAddr("2001:db8::1234"), 64), Forward},
+		{"miss", mk(ipv6.MustParseAddr("3fff::1"), 64), Drop},
+		{"hop1", mk(ipv6.MustParseAddr("2001:db8::1234"), 1), Drop},
+		{"local", mk(routerAddr, 64), Local},
+		{"multicast", mk(ipv6.AllRIPRouters, 255), Local},
+		{"garbage", []byte{1, 2, 3}, Drop},
+	}
+	for _, c := range cases {
+		dec, out := g.Process(c.d)
+		if dec.Action != c.want {
+			t.Errorf("%s: action %v, want %v", c.name, dec.Action, c.want)
+		}
+		if dec.Action == Forward {
+			if dec.OutIface != 2 {
+				t.Errorf("%s: iface %d", c.name, dec.OutIface)
+			}
+			h, _ := ipv6.ParseHeader(out)
+			if h.HopLimit != 63 {
+				t.Errorf("%s: hop limit %d after forward", c.name, h.HopLimit)
+			}
+			// The original datagram must be untouched.
+			oh, _ := ipv6.ParseHeader(c.d)
+			if oh.HopLimit != 64 {
+				t.Errorf("%s: input mutated", c.name)
+			}
+		}
+	}
+	st := g.Stats()
+	if st.Forwarded != 1 || st.LocalDelivered != 2 || st.Dropped != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestDefaultRouteThroughTACO exercises the length+1 best-match encoding:
+// a ::/0 default route must win over "no match" in the sequential scan.
+func TestDefaultRouteThroughTACO(t *testing.T) {
+	routes := []rtable.Route{
+		{Prefix: ipv6.MustParsePrefix("::/0"), Iface: 3, Metric: 1},
+		{Prefix: ipv6.MustParsePrefix("2001:db8::/32"), Iface: 1, Metric: 1},
+	}
+	h := ipv6.Header{HopLimit: 9, Src: ipv6.MustParseAddr("2001:db8::9"),
+		Dst: ipv6.MustParseAddr("3fff::77")}
+	d, err := ipv6.BuildDatagram(h, nil, ipv6.ProtoNoNext, []byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := h
+	h2.Dst = ipv6.MustParseAddr("2001:db8::77")
+	d2, err := ipv6.BuildDatagram(h2, nil, ipv6.ProtoNoNext, []byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		cfg := fu.Config1Bus1FU(kind)
+		tr, err := NewTACO(cfg, fillTable(t, kind, routes), nIfaces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.Deliver(0, linecard.Datagram{Data: d, Seq: 0})
+		tr.Deliver(0, linecard.Datagram{Data: d2, Seq: 1})
+		if err := tr.Run(2, 1_000_000); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if got := tr.Outputs(3); len(got) != 1 {
+			t.Errorf("%v: default route sent %d datagrams on iface 3", kind, len(got))
+		}
+		if got := tr.Outputs(1); len(got) != 1 {
+			t.Errorf("%v: specific route sent %d datagrams on iface 1", kind, len(got))
+		}
+	}
+}
+
+// TestForwardingRewritesHopLimit checks the in-memory header rewrite.
+func TestForwardingRewritesHopLimit(t *testing.T) {
+	routes := []rtable.Route{{Prefix: ipv6.MustParsePrefix("2001:db8::/32"), Iface: 0, Metric: 1}}
+	h := ipv6.Header{HopLimit: 17, Src: ipv6.MustParseAddr("2001:db8::9"),
+		Dst: ipv6.MustParseAddr("2001:db8::1")}
+	d, err := ipv6.BuildDatagram(h, nil, ipv6.ProtoNoNext, []byte{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fu.Config3Bus3FU(rtable.Sequential)
+	tr, err := NewTACO(cfg, fillTable(t, rtable.Sequential, routes), nIfaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Deliver(2, linecard.Datagram{Data: d, Seq: 7})
+	if err := tr.Run(1, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Outputs(0)
+	if len(out) != 1 {
+		t.Fatalf("%d outputs", len(out))
+	}
+	oh, err := ipv6.ParseHeader(out[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oh.HopLimit != 16 {
+		t.Errorf("hop limit = %d, want 16", oh.HopLimit)
+	}
+	if out[0].Seq != 7 {
+		t.Errorf("seq = %d", out[0].Seq)
+	}
+	if out[0].Data[len(out[0].Data)-1] != 42 {
+		t.Error("payload corrupted")
+	}
+}
+
+// TestDifferentialMultiSeed fuzzes the differential check across
+// workload seeds on a rotating (kind, config) selection, so each seed
+// exercises a different corner of the space.
+func TestDifferentialMultiSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed differential is slow")
+	}
+	kinds := []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM}
+	for seed := uint64(100); seed < 106; seed++ {
+		kind := kinds[int(seed)%len(kinds)]
+		cfg := fu.PaperConfigs(kind)[int(seed/2)%3]
+		routes := workload.GenerateRoutes(workload.TableSpec{
+			Entries: 40 + int(seed%3)*30, Ifaces: nIfaces, Seed: seed,
+		})
+		spec := workload.PaperTrafficSpec(30)
+		spec.Seed = seed
+		spec.MissRatio = 0.2
+		spec.HopLimitOneRatio = 0.15
+		pkts, err := workload.GenerateTraffic(routes, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp := goldenRun(t, kind, routes, pkts)
+		_, got, local := tacoRun(t, cfg, routes, pkts)
+		for i := 0; i < nIfaces; i++ {
+			if !bytes.Equal(got[i], exp.perIface[i]) {
+				t.Errorf("seed %d %v/%s iface %d: outputs differ", seed, kind, cfg.Name, i)
+			}
+		}
+		if !bytes.Equal(local[0], exp.local) {
+			t.Errorf("seed %d %v/%s: local queues differ", seed, kind, cfg.Name)
+		}
+	}
+}
+
+// TestMalformedTrafficDifferential injects runt and non-IPv6 datagrams:
+// both routers must drop them identically and keep processing good
+// traffic afterwards.
+func TestMalformedTrafficDifferential(t *testing.T) {
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 20, Ifaces: nIfaces, Seed: 77})
+	good, err := workload.GenerateTraffic(routes, workload.PaperTrafficSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []workload.Packet{
+		{Data: []byte{0x60, 1, 2}, Seq: 100},                        // runt with IPv6 nibble
+		{Data: []byte{0x45, 0, 0, 40}, Seq: 101},                    // IPv4-looking runt
+		{Data: make([]byte, 39), Seq: 102},                          // one byte short of a header
+		{Data: append([]byte{0x40}, make([]byte, 60)...), Seq: 103}, // version 4, full length
+	}
+	pkts := append(append([]workload.Packet{}, good[:4]...), bad...)
+	pkts = append(pkts, good[4:]...)
+	for i := range pkts {
+		pkts[i].Seq = int64(i)
+	}
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		exp := goldenRun(t, kind, routes, pkts)
+		cfg := fu.Config3Bus1FU(kind)
+		tr, got, local := tacoRun(t, cfg, routes, pkts)
+		for i := 0; i < nIfaces; i++ {
+			if !bytes.Equal(got[i], exp.perIface[i]) {
+				t.Errorf("%v iface %d: outputs differ (%d vs %d bytes)",
+					kind, i, len(got[i]), len(exp.perIface[i]))
+			}
+		}
+		if !bytes.Equal(local[0], exp.local) {
+			t.Errorf("%v: local queues differ", kind)
+		}
+		if tr.Units.IPPU.Popped() != int64(len(pkts)) {
+			t.Errorf("%v: router wedged after malformed input: %d of %d popped",
+				kind, tr.Units.IPPU.Popped(), len(pkts))
+		}
+	}
+}
+
+// TestLatencyTracking: every sent datagram gets a plausible
+// store-to-transmit latency, and queueing under load raises the maximum
+// well above the minimum (later arrivals wait for earlier ones).
+func TestLatencyTracking(t *testing.T) {
+	routes, pkts := buildWorkload(t, 20)
+	tr, _, _ := tacoRun(t, fu.Config3Bus1FU(rtable.BalancedTree), routes, pkts)
+	lat := tr.Latency()
+	sent := int(tr.Units.OPPU.Sent())
+	if lat.Count != sent {
+		t.Fatalf("latencies for %d of %d sent datagrams", lat.Count, sent)
+	}
+	if lat.MinCycles <= 0 {
+		t.Errorf("min latency %d", lat.MinCycles)
+	}
+	if lat.MeanCycles < float64(lat.MinCycles) || float64(lat.MaxCycles) < lat.MeanCycles {
+		t.Errorf("mean %f outside [min %d, max %d]", lat.MeanCycles, lat.MinCycles, lat.MaxCycles)
+	}
+	if lat.P99Cycles < lat.MinCycles || lat.P99Cycles > lat.MaxCycles {
+		t.Errorf("p99 %d outside range", lat.P99Cycles)
+	}
+	// With all datagrams pre-delivered, the last one queues behind the
+	// rest: max must far exceed min.
+	if lat.MaxCycles < 3*lat.MinCycles {
+		t.Errorf("no queueing visible: min %d, max %d", lat.MinCycles, lat.MaxCycles)
+	}
+}
+
+// TestExtensionHeaderDatagrams: datagrams with hop-by-hop and
+// destination-options chains forward identically through both routers —
+// the reason the paper's router stores whole datagrams ("the IP header
+// can be accompanied by a variable number of extension headers").
+func TestExtensionHeaderDatagrams(t *testing.T) {
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 30, Ifaces: nIfaces, Seed: 55})
+	mk := func(dst ipv6.Addr, exts []ipv6.ExtensionHeader, seq int64) workload.Packet {
+		h := ipv6.Header{HopLimit: 9, Src: ipv6.MustParseAddr("2001:db8::1"), Dst: dst}
+		d, err := ipv6.BuildDatagram(h, exts, ipv6.ProtoNoNext, []byte{0xaa, 0xbb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Packet{Data: d, Seq: seq, Dst: dst}
+	}
+	hbh := []ipv6.ExtensionHeader{{Proto: ipv6.ProtoHopByHop, Body: []byte{5, 2, 0, 0, 0, 0}}}
+	chain := []ipv6.ExtensionHeader{
+		{Proto: ipv6.ProtoHopByHop, Body: []byte{1, 2, 3, 4, 5, 6}},
+		{Proto: ipv6.ProtoDestOpts, Body: make([]byte, 20)},
+	}
+	inside := routes[3].Prefix.Addr
+	pkts := []workload.Packet{
+		mk(inside, hbh, 0),
+		mk(inside, chain, 1),
+		mk(ipv6.MustParseAddr("3fff::1"), hbh, 2), // miss with extensions
+	}
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		exp := goldenRun(t, kind, routes, pkts)
+		_, got, _ := tacoRun(t, fu.Config3Bus1FU(kind), routes, pkts)
+		for i := 0; i < nIfaces; i++ {
+			if !bytes.Equal(got[i], exp.perIface[i]) {
+				t.Errorf("%v iface %d: extension-header outputs differ", kind, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"taco/internal/fu"
+	"taco/internal/ipv6"
+	"taco/internal/linecard"
+	"taco/internal/program"
+	"taco/internal/rtable"
+	"taco/internal/sched"
+	"taco/internal/tta"
+)
+
+// TACO is the router built around a TACO protocol processor: the
+// generated forwarding program runs on the cycle-accurate machine,
+// moving datagrams between the line cards through the data memory
+// (paper Figure 1 + Figure 2).
+//
+// The bank holds ifaces+1 line cards; card index ifaces is the host
+// queue receiving locally delivered traffic (the path the RIPng process
+// reads).
+type TACO struct {
+	Machine *tta.Machine
+	Units   *fu.RouterUnits
+	Bank    *linecard.Bank
+	Sched   *sched.Result
+
+	cfg        fu.Config
+	ifaces     int
+	localAddrs []ipv6.Addr
+}
+
+// NewTACO builds the processor for cfg over tbl, generates and loads the
+// forwarding program, and wires ifaces network cards plus the host card.
+func NewTACO(cfg fu.Config, tbl rtable.Table, ifaces int) (*TACO, error) {
+	bank := linecard.NewBank(ifaces + 1)
+	m, units, err := fu.NewRouterMachine(cfg, tbl, bank)
+	if err != nil {
+		return nil, err
+	}
+	units.LIU.SetIfaceCount(ifaces) // the host card index doubles as count
+	prog, res, err := program.Forwarding(m, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Load(prog); err != nil {
+		return nil, err
+	}
+	return &TACO{
+		Machine: m, Units: units, Bank: bank, Sched: res,
+		cfg: cfg, ifaces: ifaces,
+	}, nil
+}
+
+// Config returns the architecture configuration.
+func (t *TACO) Config() fu.Config { return t.cfg }
+
+// Ifaces returns the network interface count (excluding the host card).
+func (t *TACO) Ifaces() int { return t.ifaces }
+
+// AddLocal registers a local address with the local info unit.
+func (t *TACO) AddLocal(addr ipv6.Addr) {
+	t.localAddrs = append(t.localAddrs, addr)
+	t.Units.LIU.SetLocal(t.localAddrs)
+}
+
+// Deliver places a datagram in iface's input queue.
+func (t *TACO) Deliver(iface int, d linecard.Datagram) bool {
+	return t.Bank.Card(iface).Deliver(d)
+}
+
+// Run executes the forwarding program until expected datagrams have been
+// popped and fully processed (the machine is back at its poll loop with
+// an empty descriptor queue), or maxCycles elapse.
+func (t *TACO) Run(expected int64, maxCycles int64) error {
+	mainAddr := t.mainAddr()
+	start := t.Machine.Stats().Cycles
+	for {
+		if t.Machine.Stats().Cycles-start > maxCycles {
+			return fmt.Errorf("router: exceeded %d cycles with %d of %d datagrams popped",
+				maxCycles, t.Units.IPPU.Popped(), expected)
+		}
+		if t.Units.IPPU.Popped() >= expected &&
+			t.Units.IPPU.QueueLen() == 0 &&
+			t.Machine.PC() == mainAddr &&
+			t.Bank.AnyPending() < 0 {
+			return nil
+		}
+		if err := t.Machine.Step(); err != nil {
+			return err
+		}
+		if t.Machine.Halted() {
+			return fmt.Errorf("router: machine halted unexpectedly at pc %d", t.Machine.PC())
+		}
+	}
+}
+
+func (t *TACO) mainAddr() int {
+	prog := t.Sched.Program
+	return prog.Labels["main"]
+}
+
+// Outputs drains the transmitted datagrams of a network interface.
+func (t *TACO) Outputs(iface int) []linecard.Datagram {
+	return t.Bank.Card(iface).DrainOutput()
+}
+
+// LocalQueue drains the host queue (locally delivered datagrams).
+func (t *TACO) LocalQueue() []linecard.Datagram {
+	return t.Bank.Card(t.ifaces).DrainOutput()
+}
+
+// LatencySummary characterises store-to-transmit datagram latency in
+// machine cycles.
+type LatencySummary struct {
+	Count                int
+	MinCycles, MaxCycles int64
+	MeanCycles           float64
+	P99Cycles            int64
+}
+
+// Latency summarises the per-datagram latencies recorded by the
+// postprocessing unit (input-DMA completion to output-buffer write).
+func (t *TACO) Latency() LatencySummary {
+	ls := t.Units.OPPU.Latencies()
+	if len(ls) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]int64(nil), ls...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum int64
+	for _, v := range sorted {
+		sum += v
+	}
+	p99 := sorted[(len(sorted)*99)/100]
+	return LatencySummary{
+		Count:      len(sorted),
+		MinCycles:  sorted[0],
+		MaxCycles:  sorted[len(sorted)-1],
+		MeanCycles: float64(sum) / float64(len(sorted)),
+		P99Cycles:  p99,
+	}
+}
+
+// CyclesPerPacket reports total executed cycles divided by datagrams
+// popped — the metric behind Table 1's required clock frequency.
+func (t *TACO) CyclesPerPacket() float64 {
+	popped := t.Units.IPPU.Popped()
+	if popped == 0 {
+		return 0
+	}
+	return float64(t.Machine.Stats().Cycles) / float64(popped)
+}

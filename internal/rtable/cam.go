@@ -1,0 +1,126 @@
+package rtable
+
+import (
+	"fmt"
+	"sort"
+
+	"taco/internal/bits"
+)
+
+// CAMConfig models the hardware parameters of the content-addressable
+// memory solution in the paper's §4: a 136-bit-wide CAM (128 address
+// bits + 8 prefix-length bits) combined with a commercial SRAM holding
+// the associated next-hop data.
+type CAMConfig struct {
+	// SearchNs is the total routing-table search time: CAM match plus
+	// SRAM read. The paper calculates 40 ns for the combined circuits.
+	SearchNs float64
+	// Capacity is the number of 136-bit entries; the paper's reference
+	// part is the Micron Harmony 1 Mb CAM (≈ 7700 entries at 136 bits).
+	Capacity int
+	// ChipPowerW is the average power drawn by the external CAM chip;
+	// the Micron Harmony consumes 1.5–2 W at 133 MHz. It is *not*
+	// included in the TACO processor's own power estimate, mirroring the
+	// paper's Table 1 footnote.
+	ChipPowerW float64
+	// WidthBits is the CAM word width (136 in the paper).
+	WidthBits int
+}
+
+// DefaultCAMConfig returns the paper's CAM parameters.
+func DefaultCAMConfig() CAMConfig {
+	return CAMConfig{SearchNs: 40, Capacity: 7700, ChipPowerW: 1.75, WidthBits: 136}
+}
+
+// CAMTable models the CAM+SRAM routing table: every lookup is a single
+// fixed-latency associative search over all entries, with longest-prefix
+// priority resolved by the CAM's priority encoder.
+type CAMTable struct {
+	cfg     CAMConfig
+	entries []Route // kept sorted by prefix length descending (priority order)
+	stats   Stats
+}
+
+// NewCAM returns an empty CAM table.
+func NewCAM(cfg CAMConfig) *CAMTable {
+	if cfg.WidthBits == 0 {
+		cfg = DefaultCAMConfig()
+	}
+	return &CAMTable{cfg: cfg}
+}
+
+// Kind implements Table.
+func (t *CAMTable) Kind() Kind { return CAM }
+
+// Config returns the hardware parameters.
+func (t *CAMTable) Config() CAMConfig { return t.cfg }
+
+// Insert adds or replaces the route for r.Prefix. It fails when the CAM
+// is full — a real capacity limit of the hardware solution.
+func (t *CAMTable) Insert(r Route) error {
+	r.Prefix = bits.MakePrefix(r.Prefix.Addr, r.Prefix.Len)
+	for i := range t.entries {
+		if t.entries[i].Prefix == r.Prefix {
+			t.entries[i] = r
+			return nil
+		}
+	}
+	if len(t.entries) >= t.cfg.Capacity {
+		return fmt.Errorf("rtable: CAM full (%d entries)", t.cfg.Capacity)
+	}
+	t.entries = append(t.entries, r)
+	// Priority order: longest prefix first; stable on value for
+	// determinism.
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Prefix.Len != t.entries[j].Prefix.Len {
+			return t.entries[i].Prefix.Len > t.entries[j].Prefix.Len
+		}
+		return t.entries[i].Prefix.Addr.Less(t.entries[j].Prefix.Addr)
+	})
+	return nil
+}
+
+// Delete removes the route for p.
+func (t *CAMTable) Delete(p bits.Prefix) bool {
+	p = bits.MakePrefix(p.Addr, p.Len)
+	for i := range t.entries {
+		if t.entries[i].Prefix == p {
+			t.entries = append(t.entries[:i], t.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup performs one associative search: the first entry in priority
+// order whose masked value matches wins. One lookup costs one probe
+// regardless of the entry count — the CAM's defining property.
+func (t *CAMTable) Lookup(addr bits.Word128) (Route, bool) {
+	t.stats.Lookups++
+	t.stats.Probes++ // a single parallel search
+	for i := range t.entries {
+		if t.entries[i].Prefix.Contains(addr) {
+			return t.entries[i], true
+		}
+	}
+	return Route{}, false
+}
+
+// Len returns the entry count.
+func (t *CAMTable) Len() int { return len(t.entries) }
+
+// Routes returns the entries in deterministic order.
+func (t *CAMTable) Routes() []Route {
+	out := append([]Route(nil), t.entries...)
+	sortRoutes(out)
+	return out
+}
+
+// SearchNs returns the modelled search latency in nanoseconds.
+func (t *CAMTable) SearchNs() float64 { return t.cfg.SearchNs }
+
+// Stats implements Table.
+func (t *CAMTable) Stats() Stats { return t.stats }
+
+// ResetStats implements Table.
+func (t *CAMTable) ResetStats() { t.stats = Stats{} }

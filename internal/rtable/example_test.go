@@ -1,0 +1,34 @@
+package rtable_test
+
+import (
+	"fmt"
+	"log"
+
+	"taco/internal/ipv6"
+	"taco/internal/rtable"
+)
+
+// Example shows longest-prefix matching across the paper's three
+// routing-table implementations: same answers, very different probe
+// costs.
+func Example() {
+	routes := []rtable.Route{
+		{Prefix: ipv6.MustParsePrefix("2001:db8::/32"), Iface: 1, Metric: 1},
+		{Prefix: ipv6.MustParsePrefix("2001:db8:aaaa::/48"), Iface: 2, Metric: 1},
+		{Prefix: ipv6.MustParsePrefix("::/0"), Iface: 3, Metric: 5},
+	}
+	dst := ipv6.MustParseAddr("2001:db8:aaaa::77")
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		tbl := rtable.New(kind)
+		if err := rtable.InsertAll(tbl, routes); err != nil {
+			log.Fatal(err)
+		}
+		r, ok := tbl.Lookup(dst)
+		fmt.Printf("%-13s -> iface %d (hit=%v, probes=%d)\n",
+			tbl.Kind(), r.Iface, ok, tbl.Stats().Probes)
+	}
+	// Output:
+	// sequential    -> iface 2 (hit=true, probes=3)
+	// balanced-tree -> iface 2 (hit=true, probes=1)
+	// cam           -> iface 2 (hit=true, probes=1)
+}

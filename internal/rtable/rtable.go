@@ -1,0 +1,135 @@
+// Package rtable provides the routing-table implementations evaluated in
+// the paper's §4: sequential (linear-scan) organisation, a balanced tree
+// with logarithmic search time, and a content-addressable memory (CAM)
+// model, plus a patricia-trie baseline used by the extension benchmarks.
+//
+// All implementations answer IPv6 longest-prefix-match queries and expose
+// access statistics so the evaluation layer can validate the cycle costs
+// charged by the TACO programs.
+package rtable
+
+import (
+	"fmt"
+	"sort"
+
+	"taco/internal/bits"
+)
+
+// Route is one routing-table entry.
+type Route struct {
+	Prefix  bits.Prefix
+	NextHop bits.Word128 // next-hop router address (informational)
+	Iface   int          // output interface index
+	Metric  int          // RIPng metric, 1..16 (16 = unreachable)
+	Tag     uint16       // RIPng route tag
+}
+
+// String formats the route for diagnostics.
+func (r Route) String() string {
+	return fmt.Sprintf("%v -> if%d metric %d", r.Prefix, r.Iface, r.Metric)
+}
+
+// Kind names a routing-table implementation.
+type Kind int
+
+const (
+	// Sequential stores entries in arrival order and scans all of them on
+	// every lookup: O(n) search, trivial update.
+	Sequential Kind = iota
+	// BalancedTree stores the disjoint address ranges induced by the
+	// prefix set in a balanced binary tree: O(log n) search, complex
+	// update (the ranges must be re-split), as discussed in the paper.
+	BalancedTree
+	// CAM models a 136-bit-wide content-addressable memory with an
+	// associated SRAM: single fixed-latency search.
+	CAM
+	// Trie is a patricia-trie baseline (not in the paper's Table 1; used
+	// by the extension ablations).
+	Trie
+)
+
+// Kinds lists the implementations in the paper's Table 1 order, then the
+// extension baseline.
+var Kinds = []Kind{Sequential, BalancedTree, CAM, Trie}
+
+func (k Kind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case BalancedTree:
+		return "balanced-tree"
+	case CAM:
+		return "cam"
+	case Trie:
+		return "trie"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Stats counts the table's primitive accesses; the evaluation layer uses
+// them to cross-check simulated cycle counts.
+type Stats struct {
+	Lookups int64
+	// Probes counts implementation-level steps: entries scanned
+	// (Sequential), tree nodes visited (BalancedTree, Trie), or CAM
+	// searches (CAM).
+	Probes int64
+}
+
+// Table is the longest-prefix-match interface shared by all
+// implementations. Inserting a route whose prefix is already present
+// replaces it.
+type Table interface {
+	Kind() Kind
+	Insert(r Route) error
+	Delete(p bits.Prefix) bool
+	Lookup(addr bits.Word128) (Route, bool)
+	Len() int
+	Routes() []Route
+	Stats() Stats
+	ResetStats()
+}
+
+// BulkLoader is implemented by tables with a cheaper batch-insert path.
+type BulkLoader interface {
+	InsertAll(rs []Route) error
+}
+
+// InsertAll inserts every route into tbl, using the table's bulk path
+// when it has one.
+func InsertAll(tbl Table, rs []Route) error {
+	if bl, ok := tbl.(BulkLoader); ok {
+		return bl.InsertAll(rs)
+	}
+	for _, r := range rs {
+		if err := tbl.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// New constructs an empty table of the given kind.
+func New(k Kind) Table {
+	switch k {
+	case Sequential:
+		return NewSequential()
+	case BalancedTree:
+		return NewBalancedTree()
+	case CAM:
+		return NewCAM(DefaultCAMConfig())
+	case Trie:
+		return NewTrie()
+	}
+	panic(fmt.Sprintf("rtable: unknown kind %d", int(k)))
+}
+
+// routesOf copies and sorts routes for deterministic listings.
+func sortRoutes(rs []Route) {
+	sort.Slice(rs, func(i, j int) bool {
+		if c := rs[i].Prefix.Addr.Cmp(rs[j].Prefix.Addr); c != 0 {
+			return c < 0
+		}
+		return rs[i].Prefix.Len < rs[j].Prefix.Len
+	})
+}

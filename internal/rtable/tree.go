@@ -1,0 +1,178 @@
+package rtable
+
+import (
+	"taco/internal/bits"
+)
+
+// TreeNode is one node of the balanced search tree in the flattened
+// array layout the TACO routing-table unit exposes to the processor:
+// a disjoint address range, child indices, and the owning route. Index
+// -1 means "no child".
+type TreeNode struct {
+	First, Last bits.Word128
+	Left, Right int
+	Route       Route
+}
+
+// BalancedTreeTable implements the paper's second case: a balanced tree
+// with logarithmic search complexity and "much more complex" insertion
+// and deletion.
+//
+// A longest-prefix match does not map directly onto a binary search, so
+// the table stores the *disjoint address ranges* induced by the prefix
+// set (binary search on ranges, Lampson/Srinivasan/Varghese 1998): each
+// range is owned by the longest covering prefix, ranges partition the
+// matched address space, and a lookup is a pure root-to-leaf walk. The
+// price is paid on update — inserting or deleting one prefix re-splits
+// the affected ranges, which is why routing-table updates are expensive
+// in this organisation (the paper notes updates are rare: once the
+// topology stabilises RIPng updates arrive on the order of minutes).
+type BalancedTreeTable struct {
+	routes map[bits.Prefix]Route
+	nodes  []TreeNode
+	root   int
+	stats  Stats
+}
+
+// NewBalancedTree returns an empty balanced-tree table.
+func NewBalancedTree() *BalancedTreeTable {
+	return &BalancedTreeTable{routes: make(map[bits.Prefix]Route), root: -1}
+}
+
+// Kind implements Table.
+func (t *BalancedTreeTable) Kind() Kind { return BalancedTree }
+
+// Insert adds or replaces the route for r.Prefix and rebuilds the range
+// tree (the complex update of the paper's discussion).
+func (t *BalancedTreeTable) Insert(r Route) error {
+	r.Prefix = bits.MakePrefix(r.Prefix.Addr, r.Prefix.Len)
+	t.routes[r.Prefix] = r
+	t.rebuild()
+	return nil
+}
+
+// InsertAll adds or replaces a batch of routes with a single rebuild —
+// the bulk-load path for large tables (the per-insert rebuild is the
+// "complex update" the paper discusses; amortising it is how a real
+// control plane would apply a full RIPng table transfer).
+func (t *BalancedTreeTable) InsertAll(rs []Route) error {
+	for _, r := range rs {
+		r.Prefix = bits.MakePrefix(r.Prefix.Addr, r.Prefix.Len)
+		t.routes[r.Prefix] = r
+	}
+	t.rebuild()
+	return nil
+}
+
+// Delete removes the route for p and rebuilds the range tree.
+func (t *BalancedTreeTable) Delete(p bits.Prefix) bool {
+	p = bits.MakePrefix(p.Addr, p.Len)
+	if _, ok := t.routes[p]; !ok {
+		return false
+	}
+	delete(t.routes, p)
+	t.rebuild()
+	return true
+}
+
+func (t *BalancedTreeTable) rebuild() {
+	rs := t.Routes() // deterministic order so Owner indices are stable
+	prefixes := make([]bits.Prefix, len(rs))
+	for i, r := range rs {
+		prefixes[i] = r.Prefix
+	}
+	ranges := bits.DisjointRanges(prefixes)
+	t.nodes = make([]TreeNode, 0, len(ranges))
+	t.root = t.build(ranges, rs)
+}
+
+// build constructs a perfectly balanced BST over the sorted disjoint
+// ranges, returning the root's index into t.nodes.
+func (t *BalancedTreeTable) build(ranges []bits.RangeOwner, rs []Route) int {
+	if len(ranges) == 0 {
+		return -1
+	}
+	mid := len(ranges) / 2
+	idx := len(t.nodes)
+	t.nodes = append(t.nodes, TreeNode{}) // reserve
+	left := t.build(ranges[:mid], rs)
+	right := t.build(ranges[mid+1:], rs)
+	t.nodes[idx] = TreeNode{
+		First: ranges[mid].Range.First,
+		Last:  ranges[mid].Range.Last,
+		Left:  left,
+		Right: right,
+		Route: rs[ranges[mid].Owner],
+	}
+	return idx
+}
+
+// Lookup walks the tree from the root: left when addr precedes the
+// node's range, right when it follows, hit when it falls inside — the
+// same walk the TACO tree forwarding program performs node by node.
+func (t *BalancedTreeTable) Lookup(addr bits.Word128) (Route, bool) {
+	t.stats.Lookups++
+	i := t.root
+	for i >= 0 {
+		t.stats.Probes++
+		n := &t.nodes[i]
+		switch {
+		case addr.Less(n.First):
+			i = n.Left
+		case n.Last.Less(addr):
+			i = n.Right
+		default:
+			return n.Route, true
+		}
+	}
+	return Route{}, false
+}
+
+// Len returns the number of installed prefixes (not tree nodes).
+func (t *BalancedTreeTable) Len() int { return len(t.routes) }
+
+// Routes returns the installed routes in deterministic order.
+func (t *BalancedTreeTable) Routes() []Route {
+	out := make([]Route, 0, len(t.routes))
+	for _, r := range t.routes {
+		out = append(out, r)
+	}
+	sortRoutes(out)
+	return out
+}
+
+// Nodes exposes the flattened node array (the hardware view used by the
+// TACO routing-table unit) and the root index.
+func (t *BalancedTreeTable) Nodes() ([]TreeNode, int) { return t.nodes, t.root }
+
+// NodeAt returns node i, or false when i is out of range — the
+// routing-table unit's node-register load.
+func (t *BalancedTreeTable) NodeAt(i int) (TreeNode, bool) {
+	if i < 0 || i >= len(t.nodes) {
+		return TreeNode{}, false
+	}
+	return t.nodes[i], true
+}
+
+// Root returns the root node index (-1 when empty).
+func (t *BalancedTreeTable) Root() int { return t.root }
+
+// Depth returns the tree height (0 for an empty tree).
+func (t *BalancedTreeTable) Depth() int { return t.depth(t.root) }
+
+func (t *BalancedTreeTable) depth(i int) int {
+	if i < 0 {
+		return 0
+	}
+	l, r := t.depth(t.nodes[i].Left), t.depth(t.nodes[i].Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Stats implements Table.
+func (t *BalancedTreeTable) Stats() Stats { return t.stats }
+
+// ResetStats implements Table.
+func (t *BalancedTreeTable) ResetStats() { t.stats = Stats{} }

@@ -1,0 +1,174 @@
+package sched
+
+import (
+	"taco/internal/isa"
+	"taco/internal/tta"
+)
+
+// optimizeBlock applies the enabled passes to one block until fixpoint.
+func optimizeBlock(b *block, t Target, opt Options) {
+	for {
+		changed := false
+		if opt.Bypass {
+			changed = bypass(b, t) || changed
+		}
+		if opt.PropagateImmediates {
+			changed = propagateImmediates(b, t) || changed
+		}
+		if opt.ShareOperands {
+			changed = shareOperands(b, t) || changed
+		}
+		if opt.EliminateDeadMoves {
+			changed = eliminateDead(b, t) || changed
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func kindOf(t Target, id isa.SocketID) tta.SocketKind {
+	k, _ := t.SocketKindOf(id)
+	return k
+}
+
+// bypass rewrites register-mediated forwarding: when `u.r -> gpr.rX` is
+// followed by reads of rX with no intervening write to rX and no
+// intervening trigger of u, the reads take u.r directly (paper §3:
+// "moving operands from an output register to an input register without
+// additional temporary storage").
+func bypass(b *block, t Target) bool {
+	changed := false
+	for i := range b.moves {
+		m := &b.moves[i].m
+		if m.Src.Imm || m.Guard.Conditional() {
+			continue
+		}
+		if kindOf(t, m.Src.Socket) != tta.Result || kindOf(t, m.Dst) != tta.Register {
+			continue
+		}
+		srcUnit, _ := t.SocketUnit(m.Src.Socket)
+		reg := m.Dst
+		for j := i + 1; j < len(b.moves); j++ {
+			mj := &b.moves[j].m
+			// Stop when the register is overwritten or the producing
+			// unit is retriggered (its result changes).
+			if mj.Dst == reg {
+				break
+			}
+			if trigUnit, isTrig := triggerUnit(t, mj.Dst); isTrig && trigUnit == srcUnit {
+				break
+			}
+			if !mj.Src.Imm && mj.Src.Socket == reg {
+				mj.Src = isa.SocketSrc(m.Src.Socket)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// triggerUnit reports whether dst is a trigger socket and of which unit.
+func triggerUnit(t Target, dst isa.SocketID) (int, bool) {
+	if kindOf(t, dst) != tta.Trigger {
+		return 0, false
+	}
+	u, _ := t.SocketUnit(dst)
+	return u, true
+}
+
+// propagateImmediates rewrites reads of a register whose value is a
+// statically known immediate (written unguarded earlier in the block
+// with no intervening write) into immediate sources.
+func propagateImmediates(b *block, t Target) bool {
+	changed := false
+	for i := range b.moves {
+		m := &b.moves[i].m
+		if !m.Src.Imm || m.Guard.Conditional() || kindOf(t, m.Dst) != tta.Register {
+			continue
+		}
+		reg, val := m.Dst, m.Src.Value
+		for j := i + 1; j < len(b.moves); j++ {
+			mj := &b.moves[j].m
+			if !mj.Src.Imm && mj.Src.Socket == reg {
+				mj.Src = isa.ImmSrc(val)
+				changed = true
+			}
+			if mj.Dst == reg {
+				break // overwritten (even guarded: value no longer static)
+			}
+		}
+	}
+	return changed
+}
+
+// shareOperands removes a write of an immediate to an operand socket
+// that already holds that immediate (operand registers are latched, so
+// repeated loop iterations need not reload constants).
+func shareOperands(b *block, t Target) bool {
+	type known struct {
+		val uint32
+		ok  bool
+	}
+	held := make(map[isa.SocketID]known)
+	changed := false
+	out := b.moves[:0]
+	for _, fm := range b.moves {
+		m := fm.m
+		if kindOf(t, m.Dst) == tta.Operand && m.Src.Imm && !m.Guard.Conditional() && !fm.isJump && !fm.isHalt {
+			if h := held[m.Dst]; h.ok && h.val == m.Src.Value {
+				changed = true
+				continue // redundant: operand already holds the value
+			}
+			held[m.Dst] = known{val: m.Src.Value, ok: true}
+		} else if kindOf(t, m.Dst) == tta.Operand {
+			// Non-immediate or guarded write: value no longer statically known.
+			held[m.Dst] = known{}
+		}
+		out = append(out, fm)
+	}
+	b.moves = out
+	return changed
+}
+
+// eliminateDead removes unguarded register writes whose value is
+// overwritten before any read within the block. Registers possibly read
+// after the block (or by a taken jump) are conservatively kept.
+func eliminateDead(b *block, t Target) bool {
+	changed := false
+	out := b.moves[:0]
+	for i, fm := range b.moves {
+		m := fm.m
+		dead := false
+		if kindOf(t, m.Dst) == tta.Register && !m.Guard.Conditional() && !fm.isJump && !fm.isHalt {
+			// Walk forward: dead if overwritten (unguarded) before any
+			// read, with no intervening jump (a taken jump could lead to
+			// a reader).
+		scan:
+			for j := i + 1; j < len(b.moves); j++ {
+				nj := b.moves[j]
+				if !nj.m.Src.Imm && nj.m.Src.Socket == m.Dst {
+					break scan // read: live
+				}
+				if nj.isHalt && !nj.m.Guard.Conditional() {
+					dead = true // nothing executes after an unguarded halt
+					break scan
+				}
+				if nj.isJump {
+					break scan
+				}
+				if nj.m.Dst == m.Dst && !nj.m.Guard.Conditional() {
+					dead = true
+					break scan
+				}
+			}
+		}
+		if dead {
+			changed = true
+			continue
+		}
+		out = append(out, fm)
+	}
+	b.moves = out
+	return changed
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"taco/internal/asm"
+	"taco/internal/fu"
+)
+
+// genProgram builds a random but well-formed TACO program from a small
+// vocabulary of operations: register loads, counter/shifter arithmetic
+// staged through registers, guarded stores, and bounded loops. Every
+// generated program terminates (loops count a counter down from a small
+// start) and leaves its observable state in the GPR file.
+func genProgram(r *rand.Rand) string {
+	var b strings.Builder
+	regs := []string{"gpr.r0", "gpr.r1", "gpr.r2", "gpr.r3", "gpr.r4", "gpr.r5"}
+	reg := func() string { return regs[r.Intn(len(regs))] }
+	imm := func() uint32 { return uint32(r.Intn(100)) }
+
+	// Initialise a few registers.
+	for i := 0; i < 3+r.Intn(3); i++ {
+		fmt.Fprintf(&b, "#%d -> %s\n", imm(), reg())
+	}
+	nOps := 4 + r.Intn(10)
+	for i := 0; i < nOps; i++ {
+		switch r.Intn(6) {
+		case 0: // add: dst = src + imm
+			fmt.Fprintf(&b, "#%d -> cnt0.o\n", imm())
+			fmt.Fprintf(&b, "%s -> cnt0.tadd\n", reg())
+			fmt.Fprintf(&b, "cnt0.r -> %s\n", reg())
+		case 1: // sub via cnt1
+			fmt.Fprintf(&b, "#%d -> cnt1.o\n", imm())
+			fmt.Fprintf(&b, "%s -> cnt1.tsub\n", reg())
+			fmt.Fprintf(&b, "cnt1.r -> %s\n", reg())
+		case 2: // shift
+			fmt.Fprintf(&b, "#%d -> shf0.amt\n", r.Intn(5))
+			fmt.Fprintf(&b, "%s -> shf0.tl\n", reg())
+			fmt.Fprintf(&b, "shf0.r -> %s\n", reg())
+		case 3: // mask
+			fmt.Fprintf(&b, "#%d -> msk0.mask\n", imm())
+			fmt.Fprintf(&b, "#%d -> msk0.val\n", imm())
+			fmt.Fprintf(&b, "%s -> msk0.t\n", reg())
+			fmt.Fprintf(&b, "msk0.r -> %s\n", reg())
+		case 4: // guarded store on a comparison
+			fmt.Fprintf(&b, "#%d -> cmp0.o\n", imm())
+			fmt.Fprintf(&b, "%s -> cmp0.t\n", reg())
+			fmt.Fprintf(&b, "?cmp0.gt #%d -> %s\n", imm(), reg())
+			fmt.Fprintf(&b, "?!cmp0.gt #%d -> %s\n", imm(), reg())
+		case 5: // register copy
+			fmt.Fprintf(&b, "%s -> %s\n", reg(), reg())
+		}
+	}
+	// A bounded countdown loop accumulating into r6 via cnt2.
+	iters := 1 + r.Intn(5)
+	fmt.Fprintf(&b, "#%d -> cnt2.tld\n", iters)
+	fmt.Fprintf(&b, "#0 -> gpr.r6\n")
+	fmt.Fprintf(&b, "loop%d:\n", iters)
+	fmt.Fprintf(&b, "#1 -> cnt0.o\n")
+	fmt.Fprintf(&b, "gpr.r6 -> cnt0.tadd\n")
+	fmt.Fprintf(&b, "cnt0.r -> gpr.r6\n")
+	fmt.Fprintf(&b, "cnt2.r -> cnt2.tdec\n")
+	fmt.Fprintf(&b, "?!cnt2.zero @loop%d -> nc.jmp\n", iters)
+	b.WriteString("#0 -> nc.halt\n")
+	return b.String()
+}
+
+// runAndSnapshot executes src on a machine with the given bus count and
+// optimizations, returning the final GPR state.
+func runAndSnapshot(t *testing.T, src string, buses int, opt Options) ([8]uint32, error) {
+	t.Helper()
+	cfg := fu.Config3Bus3FU(0)
+	cfg.Buses = buses
+	m, err := fu.NewComputeMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, src)
+	}
+	res, err := Compile(prog, m, opt)
+	if err != nil {
+		return [8]uint32{}, err
+	}
+	if err := m.Load(res.Program); err != nil {
+		return [8]uint32{}, err
+	}
+	if _, err := m.Run(10000); err != nil {
+		return [8]uint32{}, err
+	}
+	var snap [8]uint32
+	for i := range snap {
+		v, err := m.ReadSocket(fmt.Sprintf("gpr.r%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap[i] = v
+	}
+	return snap, nil
+}
+
+// TestRandomProgramsSemanticPreservation is the scheduler's central
+// property: for random programs, every (bus count, optimization) build
+// computes the same final register state as the sequential unoptimized
+// reference.
+func TestRandomProgramsSemanticPreservation(t *testing.T) {
+	r := rand.New(rand.NewSource(20030310))
+	trials := 120
+	if testing.Short() {
+		trials = 25
+	}
+	for trial := 0; trial < trials; trial++ {
+		src := genProgram(r)
+		want, err := runAndSnapshot(t, src, 1, NoOptimizations)
+		if err != nil {
+			t.Fatalf("trial %d reference: %v\n%s", trial, err, src)
+		}
+		for _, buses := range []int{1, 2, 3, 4} {
+			for _, opt := range []Options{NoOptimizations, AllOptimizations,
+				{Bypass: true}, {EliminateDeadMoves: true}, {PropagateImmediates: true, ShareOperands: true}} {
+				got, err := runAndSnapshot(t, src, buses, opt)
+				if err != nil {
+					t.Fatalf("trial %d buses=%d opt=%+v: %v\n%s", trial, buses, opt, err, src)
+				}
+				if got != want {
+					t.Fatalf("trial %d buses=%d opt=%+v:\n got %v\nwant %v\nprogram:\n%s",
+						trial, buses, opt, got, want, src)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizationNeverGrowsCode: the passes may only remove moves.
+func TestOptimizationNeverGrowsCode(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		src := genProgram(r)
+		cfg := fu.Config3Bus3FU(0)
+		m, err := fu.NewComputeMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := asm.Assemble(src, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Compile(prog, m, AllOptimizations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MovesOut > res.MovesIn {
+			t.Fatalf("trial %d: %d -> %d moves", trial, res.MovesIn, res.MovesOut)
+		}
+	}
+}
+
+// TestWiderNeverSlower: adding buses must not increase scheduled cycles.
+func TestWiderNeverSlower(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 40; trial++ {
+		src := genProgram(r)
+		var prev int
+		for i, buses := range []int{1, 2, 3} {
+			cfg := fu.Config3Bus3FU(0)
+			cfg.Buses = buses
+			m, err := fu.NewComputeMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := asm.Assemble(src, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Compile(prog, m, NoOptimizations)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 && res.Cycles > prev {
+				t.Fatalf("trial %d: %d buses slower than %d (%d > %d)\n%s",
+					trial, buses, buses-1, res.Cycles, prev, src)
+			}
+			prev = res.Cycles
+		}
+	}
+}

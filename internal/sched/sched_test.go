@@ -1,0 +1,380 @@
+package sched
+
+import (
+	"testing"
+
+	"taco/internal/asm"
+	"taco/internal/fu"
+	"taco/internal/tta"
+)
+
+func machine(t *testing.T, buses int) *tta.Machine {
+	t.Helper()
+	cfg := fu.Config3Bus3FU(0)
+	cfg.Buses = buses
+	m, err := fu.NewComputeMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompilePreservesSemanticsAcrossBusCounts(t *testing.T) {
+	// A loop that sums 1..5 into gpr.r1 via the counter.
+	src := `
+    #0 -> gpr.r1
+    #5 -> cnt1.tld        ; loop counter in cnt1
+loop:
+    cnt1.r -> cnt0.o      ; o = i
+    gpr.r1 -> cnt0.tadd   ; r = r1 + i
+    cnt0.r -> gpr.r1
+    cnt1.r -> cnt1.tdec
+    ?!cnt1.zero @loop -> nc.jmp
+    #0 -> nc.halt
+`
+	for _, buses := range []int{1, 2, 3} {
+		for _, opt := range []Options{NoOptimizations, AllOptimizations} {
+			m := machine(t, buses)
+			orig, err := asm.Assemble(src, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Compile(orig, m, opt)
+			if err != nil {
+				t.Fatalf("buses=%d: %v", buses, err)
+			}
+			if err := m.Load(res.Program); err != nil {
+				t.Fatalf("buses=%d: %v", buses, err)
+			}
+			if _, err := m.Run(1000); err != nil {
+				t.Fatalf("buses=%d opt=%+v: %v", buses, opt, err)
+			}
+			if got, _ := m.ReadSocket("gpr.r1"); got != 15 {
+				t.Errorf("buses=%d opt=%+v: sum = %d, want 15", buses, opt, got)
+			}
+		}
+	}
+}
+
+func TestMoreBusesFewerCycles(t *testing.T) {
+	src := `
+    #1 -> gpr.r0
+    #2 -> gpr.r1
+    #3 -> gpr.r2
+    #4 -> gpr.r3
+    #5 -> gpr.r4
+    #6 -> gpr.r5
+`
+	m1 := machine(t, 1)
+	p1, err := asm.Assemble(src, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Compile(p1, m1, NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := machine(t, 3)
+	p3, err := asm.Assemble(src, m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := Compile(p3, m3, NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles != 6 || r3.Cycles != 2 {
+		t.Errorf("cycles = %d (1 bus), %d (3 buses); want 6 and 2", r1.Cycles, r3.Cycles)
+	}
+}
+
+func TestOperandTriggerShareCycle(t *testing.T) {
+	// An operand write and its trigger pack into one cycle on 2+ buses.
+	src := `
+    #10 -> cnt0.o
+    #32 -> cnt0.tadd
+    cnt0.r -> gpr.r0
+`
+	m := machine(t, 3)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(p, m, NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2 (operand+trigger share, result read next)", res.Cycles)
+	}
+	if err := m.Load(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadSocket("gpr.r0"); got != 42 {
+		t.Errorf("r0 = %d, want 42", got)
+	}
+}
+
+func TestTriggerResultDistance(t *testing.T) {
+	// A result read cannot share a cycle with its trigger even with
+	// plenty of buses.
+	src := `
+    #5 -> cnt0.tinc
+    cnt0.r -> gpr.r0
+`
+	m := machine(t, 3)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(p, m, NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2", res.Cycles)
+	}
+}
+
+func TestDeadMoveElimination(t *testing.T) {
+	src := `
+    #1 -> gpr.r0
+    #2 -> gpr.r0
+    gpr.r0 -> gpr.r1
+`
+	m := machine(t, 1)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(p, m, Options{EliminateDeadMoves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MovesOut != 2 {
+		t.Errorf("moves = %d, want 2 (dead store removed)", res.MovesOut)
+	}
+	if err := m.Load(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadSocket("gpr.r1"); got != 2 {
+		t.Errorf("r1 = %d, want 2", got)
+	}
+}
+
+func TestBypassing(t *testing.T) {
+	// r -> gpr.r0 -> shifter becomes r -> shifter; the copy then dies
+	// only if r0 is overwritten, which it is not here, so the copy stays
+	// but the shifter reads the result socket directly.
+	src := `
+    #21 -> cnt0.tinc
+    cnt0.r -> gpr.r0
+    gpr.r0 -> shf0.tmul2
+    shf0.r -> gpr.r1
+`
+	m := machine(t, 1)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(p, m, Options{Bypass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadSocket("gpr.r1"); got != 44 {
+		t.Errorf("r1 = %d, want 44", got)
+	}
+	// With bypassing + dead-move elimination and the register never read
+	// again... r0 is still live at block end, so moves stay at 4; verify
+	// the bypass rewrote the shifter's source by checking it still
+	// computes correctly when the copy is displaced by scheduling.
+	if res.MovesOut > res.MovesIn {
+		t.Errorf("optimization added moves: %d -> %d", res.MovesIn, res.MovesOut)
+	}
+}
+
+func TestBypassWithDeadElimRemovesCopy(t *testing.T) {
+	src := `
+    #21 -> cnt0.tinc
+    cnt0.r -> gpr.r0
+    gpr.r0 -> shf0.tmul2
+    #0 -> gpr.r0          ; r0 overwritten: copy becomes dead after bypass
+    shf0.r -> gpr.r1
+`
+	m := machine(t, 1)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(p, m, AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MovesOut != res.MovesIn-1 {
+		t.Errorf("moves %d -> %d, want copy eliminated", res.MovesIn, res.MovesOut)
+	}
+	if err := m.Load(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadSocket("gpr.r1"); got != 44 {
+		t.Errorf("r1 = %d, want 44", got)
+	}
+}
+
+func TestOperandSharing(t *testing.T) {
+	// The mask constant is reloaded redundantly; sharing removes one.
+	src := `
+    #0xff -> mat0.mask
+    #1 -> mat0.ref
+    #1 -> mat0.t
+    #0xff -> mat0.mask   ; redundant
+    #2 -> mat0.t
+`
+	m := machine(t, 1)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(p, m, Options{ShareOperands: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MovesOut != 4 {
+		t.Errorf("moves = %d, want 4", res.MovesOut)
+	}
+}
+
+func TestControlBarrier(t *testing.T) {
+	// The store after the guarded jump must not execute when the jump is
+	// taken, even on a wide machine that could pack it earlier.
+	src := `
+    #5 -> cmp0.o
+    #5 -> cmp0.t
+    ?cmp0.eq @skip -> nc.jmp
+    #99 -> gpr.r0
+skip:
+    #0 -> nc.halt
+`
+	m := machine(t, 3)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(p, m, AllOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadSocket("gpr.r0"); got != 0 {
+		t.Errorf("move after taken jump executed: r0 = %d", got)
+	}
+}
+
+func TestGuardReadAfterTrigger(t *testing.T) {
+	// A guard on cmp0.eq must not share a cycle with the compare trigger
+	// it depends on.
+	src := `
+    #5 -> cmp0.o
+    #5 -> cmp0.t
+    ?cmp0.eq #1 -> gpr.r0
+`
+	m := machine(t, 3)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(p, m, NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadSocket("gpr.r0"); got != 1 {
+		t.Errorf("guarded move missed fresh signal: r0 = %d", got)
+	}
+	if res.Cycles < 2 {
+		t.Errorf("cycles = %d; trigger and dependent guard shared a cycle", res.Cycles)
+	}
+}
+
+func TestStructuralOneTriggerPerUnit(t *testing.T) {
+	// Two triggers of the same counter cannot share a cycle.
+	src := `
+    #1 -> cnt0.tinc
+    #2 -> cnt0.tinc
+`
+	m := machine(t, 3)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compile(p, m, NoOptimizations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2 {
+		t.Errorf("cycles = %d, want 2", res.Cycles)
+	}
+	if err := m.Load(res.Program); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := m.ReadSocket("cnt0.r"); got != 3 {
+		t.Errorf("cnt0.r = %d, want 3 (last trigger wins)", got)
+	}
+}
+
+func TestComputedJumpRejected(t *testing.T) {
+	src := `
+    gpr.r0 -> nc.jmp
+`
+	m := machine(t, 1)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(p, m, NoOptimizations); err == nil {
+		t.Error("computed jump accepted")
+	}
+}
+
+func TestJumpToUnlabelledAddressRejected(t *testing.T) {
+	src := `
+    #1 -> nc.jmp
+    nop
+`
+	m := machine(t, 1)
+	p, err := asm.Assemble(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(p, m, NoOptimizations); err == nil {
+		t.Error("jump to unlabelled address accepted")
+	}
+}

@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"fmt"
+
+	"taco/internal/isa"
+	"taco/internal/tta"
+)
+
+// schedule list-schedules each block's moves onto t's buses and splices
+// the blocks into a program, relocating labels and jump targets.
+func schedule(blocks []block, t Target) (*isa.Program, error) {
+	buses := t.Buses()
+	out := isa.NewProgram()
+
+	type patch struct {
+		ins, move int
+		label     string
+	}
+	var patches []patch
+
+	for _, blk := range blocks {
+		base := len(out.Ins)
+		for _, l := range blk.labels {
+			if _, dup := out.Labels[l]; dup {
+				return nil, fmt.Errorf("sched: duplicate label %q", l)
+			}
+			out.Labels[l] = base
+		}
+		cycles, jumpPatches, err := scheduleBlock(blk, t, buses)
+		if err != nil {
+			return nil, err
+		}
+		for _, jp := range jumpPatches {
+			patches = append(patches, patch{ins: base + jp.cycle, move: jp.move, label: jp.label})
+		}
+		out.Ins = append(out.Ins, cycles...)
+	}
+	for _, pt := range patches {
+		addr, ok := out.Labels[pt.label]
+		if !ok {
+			return nil, fmt.Errorf("sched: jump to unknown label %q", pt.label)
+		}
+		out.Ins[pt.ins].Moves[pt.move].Src = isa.ImmSrc(uint32(addr))
+	}
+	if err := out.Validate(buses); err != nil {
+		return nil, fmt.Errorf("sched: produced invalid program: %w", err)
+	}
+	return out, nil
+}
+
+type jumpPatch struct {
+	cycle, move int
+	label       string
+}
+
+// scheduleBlock places blk's moves into cycles 0..n-1, honouring the
+// dependency rules of the TACO machine model:
+//
+//   - result and signal values become visible the cycle after the
+//     producing trigger;
+//   - register writes become visible the next cycle; a read and a write
+//     of the same register may share a cycle (read-before-write);
+//   - an operand write and the trigger consuming it may share a cycle
+//     (operand commits first), but an operand write for a *later* trigger
+//     must not share a cycle with an earlier trigger;
+//   - one trigger per unit per cycle, one move per bus per cycle, one
+//     write per socket per cycle;
+//   - a control transfer (nc.jmp / nc.halt) may share a cycle with any
+//     move that precedes it in program order, but every move after it in
+//     program order must be scheduled strictly later.
+func scheduleBlock(blk block, t Target, buses int) ([]isa.Instruction, []jumpPatch, error) {
+	lastWrite := map[isa.SocketID]int{}   // socket -> last write cycle
+	lastRegRead := map[isa.SocketID]int{} // register socket -> last read cycle
+	lastTrigger := map[int]int{}          // unit -> last trigger cycle
+	lastResultRead := map[int]int{}       // unit -> last result-socket read cycle
+	lastGuardRead := map[int]int{}        // unit -> last guard (signal) read cycle
+	lastHazard := map[string]int{}        // hazard class -> last trigger cycle
+
+	// get returns the recorded cycle or -1.
+	getS := func(m map[isa.SocketID]int, k isa.SocketID) int {
+		if v, ok := m[k]; ok {
+			return v
+		}
+		return -1
+	}
+	getU := func(m map[int]int, k int) int {
+		if v, ok := m[k]; ok {
+			return v
+		}
+		return -1
+	}
+
+	var cycles []isa.Instruction
+	slotCount := func(c int) int { return len(cycles[c].Moves) }
+	triggeredAt := map[[2]int]bool{} // {cycle, unit}
+	writtenAt := map[[2]int]bool{}   // {cycle, socket}
+
+	floor := 0      // control barrier
+	maxPlaced := -1 // highest cycle used so far (for control transfers)
+	var patches []jumpPatch
+
+	for _, fm := range blk.moves {
+		m := fm.m
+		e := floor
+
+		for _, g := range m.Guard.Terms {
+			if u, ok := t.SignalUnit(g.Signal); ok {
+				if c := getU(lastTrigger, u); c >= 0 && c+1 > e {
+					e = c + 1
+				}
+			}
+		}
+		if !m.Src.Imm {
+			switch kindOf(t, m.Src.Socket) {
+			case tta.Register:
+				if c := getS(lastWrite, m.Src.Socket); c >= 0 && c+1 > e {
+					e = c + 1
+				}
+			case tta.Result:
+				if u, ok := t.SocketUnit(m.Src.Socket); ok {
+					if c := getU(lastTrigger, u); c >= 0 && c+1 > e {
+						e = c + 1
+					}
+				}
+			}
+		}
+		// Destination constraints.
+		if c := getS(lastWrite, m.Dst); c >= 0 && c+1 > e {
+			e = c + 1 // WAW: distinct cycles
+		}
+		dstKind := kindOf(t, m.Dst)
+		dstUnit, _ := t.SocketUnit(m.Dst)
+		switch dstKind {
+		case tta.Register:
+			if c := getS(lastRegRead, m.Dst); c > e {
+				e = c // WAR: same cycle allowed
+			}
+		case tta.Trigger:
+			if c := getU(lastTrigger, dstUnit); c >= 0 && c+1 > e {
+				e = c + 1
+			}
+			if h := t.UnitHazardClass(dstUnit); h != "" {
+				if c, ok := lastHazard[h]; ok && c+1 > e {
+					e = c + 1
+				}
+			}
+			for _, o := range t.UnitOperandSockets(dstUnit) {
+				if c := getS(lastWrite, o); c > e {
+					e = c // operand write may share the trigger's cycle
+				}
+			}
+			if c := getU(lastResultRead, dstUnit); c > e {
+				e = c
+			}
+			if c := getU(lastGuardRead, dstUnit); c > e {
+				e = c
+			}
+		case tta.Operand:
+			if dstUnit >= 0 {
+				if c := getU(lastTrigger, dstUnit); c >= 0 && c+1 > e {
+					e = c + 1 // operand for the next trigger: after the last one
+				}
+			}
+		}
+		if fm.isJump || fm.isHalt {
+			if maxPlaced > e {
+				e = maxPlaced // all prior moves must execute with or before it
+			}
+		}
+
+		// Find the first legal cycle ≥ e.
+		c := e
+		for {
+			for len(cycles) <= c {
+				cycles = append(cycles, isa.Instruction{})
+			}
+			ok := slotCount(c) < buses && !writtenAt[[2]int{c, int(m.Dst)}]
+			if ok && dstKind == tta.Trigger {
+				ok = !triggeredAt[[2]int{c, dstUnit}]
+			}
+			if ok {
+				break
+			}
+			c++
+		}
+		for len(cycles) <= c {
+			cycles = append(cycles, isa.Instruction{})
+		}
+		cycles[c].Moves = append(cycles[c].Moves, m)
+		if fm.jumpTo != "" {
+			patches = append(patches, jumpPatch{cycle: c, move: len(cycles[c].Moves) - 1, label: fm.jumpTo})
+		}
+
+		// Bookkeeping.
+		writtenAt[[2]int{c, int(m.Dst)}] = true
+		lastWrite[m.Dst] = maxInt(getS(lastWrite, m.Dst), c)
+		if dstKind == tta.Trigger {
+			triggeredAt[[2]int{c, dstUnit}] = true
+			lastTrigger[dstUnit] = maxInt(getU(lastTrigger, dstUnit), c)
+			if h := t.UnitHazardClass(dstUnit); h != "" {
+				if old, ok := lastHazard[h]; !ok || c > old {
+					lastHazard[h] = c
+				}
+			}
+		}
+		if !m.Src.Imm {
+			switch kindOf(t, m.Src.Socket) {
+			case tta.Register:
+				lastRegRead[m.Src.Socket] = maxInt(getS(lastRegRead, m.Src.Socket), c)
+			case tta.Result:
+				if u, ok := t.SocketUnit(m.Src.Socket); ok {
+					lastResultRead[u] = maxInt(getU(lastResultRead, u), c)
+				}
+			}
+		}
+		for _, g := range m.Guard.Terms {
+			if u, ok := t.SignalUnit(g.Signal); ok {
+				lastGuardRead[u] = maxInt(getU(lastGuardRead, u), c)
+			}
+		}
+		if c > maxPlaced {
+			maxPlaced = c
+		}
+		if fm.isJump || fm.isHalt {
+			floor = c + 1
+		}
+	}
+	return cycles, patches, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

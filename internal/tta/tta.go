@@ -1,0 +1,596 @@
+// Package tta implements the transport-triggered processor model used by
+// TACO: functional units connected by an interconnection network of data
+// buses, controlled by an interconnection network controller.
+//
+// The machine executes one instruction per clock cycle; an instruction
+// carries at most one move per bus. Moving data into a trigger socket
+// starts the unit's operation, whose results (and 1-bit signals into the
+// network controller) become visible at the start of the next cycle —
+// every TACO functional unit completes in one clock cycle (paper §1).
+package tta
+
+import (
+	"fmt"
+
+	"taco/internal/isa"
+)
+
+// SocketKind classifies a functional-unit socket.
+type SocketKind int
+
+const (
+	// Operand sockets are write-only inputs that do not trigger the unit.
+	Operand SocketKind = iota
+	// Trigger sockets are write-only inputs that launch the unit's
+	// operation this cycle.
+	Trigger
+	// Result sockets are read-only outputs.
+	Result
+	// Register sockets are both readable and writable (general-purpose
+	// registers); a write becomes visible at the next cycle.
+	Register
+)
+
+func (k SocketKind) String() string {
+	switch k {
+	case Operand:
+		return "operand"
+	case Trigger:
+		return "trigger"
+	case Result:
+		return "result"
+	case Register:
+		return "register"
+	}
+	return fmt.Sprintf("SocketKind(%d)", int(k))
+}
+
+// SocketSpec describes one socket a unit exposes. Name is local to the
+// unit ("add", "r3"); the machine prefixes it with the unit name.
+type SocketSpec struct {
+	Name string
+	Kind SocketKind
+}
+
+// Unit is a TACO functional unit. The machine drives it with the
+// following per-cycle protocol:
+//
+//  1. moves read Result/Register sockets via Read (observing the state
+//     latched at the end of the previous cycle),
+//  2. moves write Operand/Trigger/Register sockets via Write,
+//  3. the machine calls Clock once, at which point the unit commits
+//     pending writes and, if a trigger socket was written, computes its
+//     operation into its result registers and signal lines.
+type Unit interface {
+	// Name returns the instance name, e.g. "cnt0".
+	Name() string
+	// Sockets lists the unit's sockets; indices are the "local" socket
+	// numbers used by Read and Write.
+	Sockets() []SocketSpec
+	// Signals lists the unit's 1-bit result lines into the network
+	// controller; indices are the local signal numbers used by Signal.
+	Signals() []string
+	// Read returns the visible value of a Result or Register socket.
+	Read(local int) uint32
+	// Write latches a value into an Operand, Trigger or Register socket.
+	Write(local int, v uint32)
+	// Clock advances the unit one cycle, committing writes and executing
+	// a triggered operation. It returns an error for unit-level faults
+	// (e.g. an out-of-range memory access), which halt the machine.
+	Clock() error
+	// Signal returns the current value of a signal line.
+	Signal(local int) bool
+	// Reset returns the unit to its power-on state.
+	Reset()
+}
+
+// Controller socket names. The interconnection network controller
+// exposes destinations for control flow; they belong to pseudo-unit "nc".
+const (
+	ncJump = "nc.jmp"  // write: next PC = value
+	ncHalt = "nc.halt" // write: stop the machine after this cycle
+)
+
+// socketRef resolves a SocketID to its unit and local index.
+type socketRef struct {
+	unit  int // -1 for controller sockets
+	local int
+	kind  SocketKind
+	name  string
+	ctl   int // controller socket code when unit == -1
+}
+
+const (
+	ctlJump = iota
+	ctlHalt
+)
+
+type signalRef struct {
+	unit  int
+	local int
+	name  string
+}
+
+// Machine is a configured TACO processor instance: a set of functional
+// units, a bus count, and the socket/signal address maps.
+type Machine struct {
+	name  string
+	buses int
+	units []Unit
+
+	sockets   []socketRef // index = SocketID-1
+	socketIDs map[string]isa.SocketID
+	signals   []signalRef // index = SignalID
+	signalIDs map[string]isa.SignalID
+
+	prog   *isa.Program
+	pc     int
+	nextPC int
+	jumped bool
+	halted bool
+
+	stats Stats
+
+	// Trace, when non-nil, receives one record per executed cycle.
+	Trace func(TraceRecord)
+
+	// scratch reused across cycles
+	writes []pendingWrite
+}
+
+type pendingWrite struct {
+	ref socketRef
+	val uint32
+	bus int
+}
+
+// Stats accumulates execution counters.
+type Stats struct {
+	Cycles        int64 // executed cycles
+	SlotsTotal    int64 // cycles × buses
+	SlotsEncoded  int64 // bus slots carrying a move (guard true or false)
+	MovesExecuted int64 // moves whose guard held
+}
+
+// BusUtilization returns the fraction of bus slots carrying an encoded
+// move — the paper's "Bus util. [%]" metric, as a value in [0,1].
+func (s Stats) BusUtilization() float64 {
+	if s.SlotsTotal == 0 {
+		return 0
+	}
+	return float64(s.SlotsEncoded) / float64(s.SlotsTotal)
+}
+
+// TraceRecord describes one executed cycle for debugging.
+type TraceRecord struct {
+	Cycle int64
+	PC    int
+	Moves []TraceMove
+}
+
+// TraceMove describes one move in a trace record.
+type TraceMove struct {
+	Bus      int
+	Executed bool // guard held
+	Src, Dst string
+	Value    uint32
+}
+
+// New assembles a machine from its units. Unit instance names must be
+// unique; the pseudo-unit name "nc" is reserved for the controller.
+func New(name string, buses int, units []Unit) (*Machine, error) {
+	if buses < 1 {
+		return nil, fmt.Errorf("tta: need at least one bus, got %d", buses)
+	}
+	m := &Machine{
+		name:      name,
+		buses:     buses,
+		units:     units,
+		socketIDs: make(map[string]isa.SocketID),
+		signalIDs: make(map[string]isa.SignalID),
+	}
+	addSocket := func(ref socketRef) error {
+		if _, dup := m.socketIDs[ref.name]; dup {
+			return fmt.Errorf("tta: duplicate socket %q", ref.name)
+		}
+		m.sockets = append(m.sockets, ref)
+		m.socketIDs[ref.name] = isa.SocketID(len(m.sockets)) // IDs start at 1
+		return nil
+	}
+	// Controller sockets first so every machine shares their IDs.
+	if err := addSocket(socketRef{unit: -1, ctl: ctlJump, kind: Operand, name: ncJump}); err != nil {
+		return nil, err
+	}
+	if err := addSocket(socketRef{unit: -1, ctl: ctlHalt, kind: Operand, name: ncHalt}); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{"nc": true}
+	for ui, u := range units {
+		if seen[u.Name()] {
+			return nil, fmt.Errorf("tta: duplicate unit name %q", u.Name())
+		}
+		seen[u.Name()] = true
+		for li, spec := range u.Sockets() {
+			ref := socketRef{unit: ui, local: li, kind: spec.Kind,
+				name: u.Name() + "." + spec.Name}
+			if err := addSocket(ref); err != nil {
+				return nil, err
+			}
+		}
+		for li, sig := range u.Signals() {
+			name := u.Name() + "." + sig
+			if _, dup := m.signalIDs[name]; dup {
+				return nil, fmt.Errorf("tta: duplicate signal %q", name)
+			}
+			m.signals = append(m.signals, signalRef{unit: ui, local: li, name: name})
+			m.signalIDs[name] = isa.SignalID(len(m.signals) - 1)
+		}
+	}
+	return m, nil
+}
+
+// Name returns the machine's configuration name.
+func (m *Machine) Name() string { return m.name }
+
+// Buses returns the interconnection network width.
+func (m *Machine) Buses() int { return m.buses }
+
+// Units returns the machine's functional units.
+func (m *Machine) Units() []Unit { return m.units }
+
+// Socket resolves a fully qualified socket name ("cnt0.add") to its ID.
+func (m *Machine) Socket(name string) (isa.SocketID, error) {
+	id, ok := m.socketIDs[name]
+	if !ok {
+		return isa.InvalidSocket, fmt.Errorf("tta: unknown socket %q", name)
+	}
+	return id, nil
+}
+
+// MustSocket is Socket for statically known names; it panics on failure.
+func (m *Machine) MustSocket(name string) isa.SocketID {
+	id, err := m.Socket(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// HasSocket reports whether name exists on this machine.
+func (m *Machine) HasSocket(name string) bool {
+	_, ok := m.socketIDs[name]
+	return ok
+}
+
+// Signal resolves a fully qualified signal name ("cmp0.eq") to its ID.
+func (m *Machine) Signal(name string) (isa.SignalID, error) {
+	id, ok := m.signalIDs[name]
+	if !ok {
+		return 0, fmt.Errorf("tta: unknown signal %q", name)
+	}
+	return id, nil
+}
+
+// MustSignal is Signal for statically known names; it panics on failure.
+func (m *Machine) MustSignal(name string) isa.SignalID {
+	id, err := m.Signal(name)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// SocketName returns the fully qualified name for id, or "" if unknown.
+func (m *Machine) SocketName(id isa.SocketID) string {
+	if id == isa.InvalidSocket || int(id) > len(m.sockets) {
+		return ""
+	}
+	return m.sockets[id-1].name
+}
+
+// SignalName returns the fully qualified name for id, or "" if unknown.
+func (m *Machine) SignalName(id isa.SignalID) string {
+	if int(id) >= len(m.signals) {
+		return ""
+	}
+	return m.signals[id].name
+}
+
+// SocketKindOf returns the kind of socket id.
+func (m *Machine) SocketKindOf(id isa.SocketID) (SocketKind, bool) {
+	if id == isa.InvalidSocket || int(id) > len(m.sockets) {
+		return 0, false
+	}
+	return m.sockets[id-1].kind, true
+}
+
+// SocketUnit returns the index of the unit owning socket id, or -1 for
+// the network controller's own sockets.
+func (m *Machine) SocketUnit(id isa.SocketID) (int, bool) {
+	if id == isa.InvalidSocket || int(id) > len(m.sockets) {
+		return 0, false
+	}
+	return m.sockets[id-1].unit, true
+}
+
+// SignalUnit returns the index of the unit driving signal id.
+func (m *Machine) SignalUnit(id isa.SignalID) (int, bool) {
+	if int(id) >= len(m.signals) {
+		return 0, false
+	}
+	return m.signals[id].unit, true
+}
+
+// Hazarder is implemented by units that share an out-of-band resource
+// (e.g. the data memory a DMA unit reads behind the MMU's back). The
+// scheduler keeps triggers within one hazard class in program order.
+type Hazarder interface {
+	HazardClass() string
+}
+
+// UnitHazardClass returns unit u's hazard class, or "" when it has none.
+func (m *Machine) UnitHazardClass(u int) string {
+	if u < 0 || u >= len(m.units) {
+		return ""
+	}
+	if h, ok := m.units[u].(Hazarder); ok {
+		return h.HazardClass()
+	}
+	return ""
+}
+
+// UnitOperandSockets returns the socket IDs of every Operand socket of
+// unit u (used by the scheduler's operand-to-trigger dependency rule).
+func (m *Machine) UnitOperandSockets(u int) []isa.SocketID {
+	var out []isa.SocketID
+	for i, s := range m.sockets {
+		if s.unit == u && s.kind == Operand {
+			out = append(out, isa.SocketID(i+1))
+		}
+	}
+	return out
+}
+
+// SocketNames lists every socket name in ID order.
+func (m *Machine) SocketNames() []string {
+	out := make([]string, len(m.sockets))
+	for i, s := range m.sockets {
+		out[i] = s.name
+	}
+	return out
+}
+
+// SignalNames lists every signal name in ID order.
+func (m *Machine) SignalNames() []string {
+	out := make([]string, len(m.signals))
+	for i, s := range m.signals {
+		out[i] = s.name
+	}
+	return out
+}
+
+// Load installs a program and resets control flow (but not unit state or
+// statistics; use Reset for a full power-on reset).
+func (m *Machine) Load(p *isa.Program) error {
+	if err := p.Validate(m.buses); err != nil {
+		return err
+	}
+	m.prog = p
+	m.pc = 0
+	m.halted = false
+	return nil
+}
+
+// Reset restores power-on state: units, statistics and control flow.
+func (m *Machine) Reset() {
+	for _, u := range m.units {
+		u.Reset()
+	}
+	m.pc = 0
+	m.halted = false
+	m.stats = Stats{}
+}
+
+// PC returns the current program counter.
+func (m *Machine) PC() int { return m.pc }
+
+// SetPC places control at addr (e.g. a label) before running.
+func (m *Machine) SetPC(addr int) { m.pc = addr; m.halted = false }
+
+// Halted reports whether the machine has stopped.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Stats returns a copy of the accumulated counters.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// ReadSocket reads a Result or Register socket by name — a debugging and
+// test aid, not part of the machine's own semantics.
+func (m *Machine) ReadSocket(name string) (uint32, error) {
+	id, err := m.Socket(name)
+	if err != nil {
+		return 0, err
+	}
+	ref := m.sockets[id-1]
+	if ref.unit < 0 {
+		return 0, fmt.Errorf("tta: socket %q is not readable", name)
+	}
+	if ref.kind != Result && ref.kind != Register {
+		return 0, fmt.Errorf("tta: socket %q (%v) is not readable", name, ref.kind)
+	}
+	return m.units[ref.unit].Read(ref.local), nil
+}
+
+// SignalValue reads a signal line by name (test aid).
+func (m *Machine) SignalValue(name string) (bool, error) {
+	id, err := m.Signal(name)
+	if err != nil {
+		return false, err
+	}
+	ref := m.signals[id]
+	return m.units[ref.unit].Signal(ref.local), nil
+}
+
+// guardHolds evaluates a guard against the current signal state.
+func (m *Machine) guardHolds(g isa.Guard) (bool, error) {
+	for _, t := range g.Terms {
+		if int(t.Signal) >= len(m.signals) {
+			return false, fmt.Errorf("tta: guard references unknown signal %d", t.Signal)
+		}
+		ref := m.signals[t.Signal]
+		v := m.units[ref.unit].Signal(ref.local)
+		if v == t.Negate { // v XOR want: term fails
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Step executes one cycle. Running past the end of the program halts the
+// machine, as does a write to nc.halt.
+func (m *Machine) Step() error {
+	if m.halted {
+		return nil
+	}
+	if m.prog == nil {
+		return fmt.Errorf("tta: no program loaded")
+	}
+	if m.pc < 0 || m.pc >= len(m.prog.Ins) {
+		m.halted = true
+		return nil
+	}
+	in := m.prog.Ins[m.pc]
+	if len(in.Moves) > m.buses {
+		return fmt.Errorf("tta: pc %d: %d moves exceed %d buses", m.pc, len(in.Moves), m.buses)
+	}
+
+	m.writes = m.writes[:0]
+	m.jumped = false
+	m.nextPC = m.pc + 1
+	haltReq := false
+
+	var trace *TraceRecord
+	if m.Trace != nil {
+		trace = &TraceRecord{Cycle: m.stats.Cycles, PC: m.pc}
+	}
+
+	triggered := make(map[int]bool) // unit index -> triggered this cycle
+	written := make(map[isa.SocketID]bool)
+
+	for bus, mv := range in.Moves {
+		executed, err := m.guardHolds(mv.Guard)
+		if err != nil {
+			return fmt.Errorf("tta: pc %d bus %d: %w", m.pc, bus, err)
+		}
+		var val uint32
+		var srcName string
+		if executed {
+			val, srcName, err = m.readSource(mv.Src)
+			if err != nil {
+				return fmt.Errorf("tta: pc %d bus %d: %w", m.pc, bus, err)
+			}
+		} else if mv.Src.Imm {
+			srcName = fmt.Sprintf("#%d", mv.Src.Value)
+		} else {
+			srcName = m.SocketName(mv.Src.Socket)
+		}
+		if trace != nil {
+			trace.Moves = append(trace.Moves, TraceMove{
+				Bus: bus, Executed: executed,
+				Src: srcName, Dst: m.SocketName(mv.Dst), Value: val,
+			})
+		}
+		if !executed {
+			continue
+		}
+		if mv.Dst == isa.InvalidSocket || int(mv.Dst) > len(m.sockets) {
+			return fmt.Errorf("tta: pc %d bus %d: bad destination socket %d", m.pc, bus, mv.Dst)
+		}
+		if written[mv.Dst] {
+			return fmt.Errorf("tta: pc %d: conflicting writes to %s", m.pc, m.SocketName(mv.Dst))
+		}
+		written[mv.Dst] = true
+		ref := m.sockets[mv.Dst-1]
+		switch {
+		case ref.unit < 0: // controller
+			switch ref.ctl {
+			case ctlJump:
+				m.nextPC = int(val)
+				m.jumped = true
+			case ctlHalt:
+				haltReq = true
+			}
+		default:
+			if ref.kind == Result {
+				return fmt.Errorf("tta: pc %d: write to result socket %s", m.pc, ref.name)
+			}
+			if ref.kind == Trigger {
+				if triggered[ref.unit] {
+					return fmt.Errorf("tta: pc %d: unit %s triggered twice in one cycle",
+						m.pc, m.units[ref.unit].Name())
+				}
+				triggered[ref.unit] = true
+			}
+			m.writes = append(m.writes, pendingWrite{ref: ref, val: val, bus: bus})
+		}
+		m.stats.MovesExecuted++
+	}
+
+	// Commit unit writes, then clock every unit once.
+	for _, w := range m.writes {
+		m.units[w.ref.unit].Write(w.ref.local, w.val)
+	}
+	for _, u := range m.units {
+		if err := u.Clock(); err != nil {
+			return fmt.Errorf("tta: pc %d: unit %s: %w", m.pc, u.Name(), err)
+		}
+	}
+
+	m.stats.Cycles++
+	m.stats.SlotsTotal += int64(m.buses)
+	m.stats.SlotsEncoded += int64(len(in.Moves))
+
+	if trace != nil {
+		m.Trace(*trace)
+	}
+
+	if haltReq {
+		m.halted = true
+	}
+	m.pc = m.nextPC
+	if m.pc < 0 || m.pc >= len(m.prog.Ins) {
+		m.halted = true
+	}
+	return nil
+}
+
+func (m *Machine) readSource(src isa.Source) (uint32, string, error) {
+	if src.Imm {
+		return src.Value, fmt.Sprintf("#%d", src.Value), nil
+	}
+	if src.Socket == isa.InvalidSocket || int(src.Socket) > len(m.sockets) {
+		return 0, "", fmt.Errorf("bad source socket %d", src.Socket)
+	}
+	ref := m.sockets[src.Socket-1]
+	if ref.unit < 0 {
+		return 0, "", fmt.Errorf("controller socket %s is not readable", ref.name)
+	}
+	if ref.kind != Result && ref.kind != Register {
+		return 0, "", fmt.Errorf("socket %s (%v) is not readable", ref.name, ref.kind)
+	}
+	return m.units[ref.unit].Read(ref.local), ref.name, nil
+}
+
+// Run executes until the machine halts or maxCycles elapse. It returns
+// the number of cycles executed by this call.
+func (m *Machine) Run(maxCycles int64) (int64, error) {
+	start := m.stats.Cycles
+	for !m.halted {
+		if maxCycles >= 0 && m.stats.Cycles-start >= maxCycles {
+			return m.stats.Cycles - start, fmt.Errorf("tta: exceeded %d cycles (pc=%d)", maxCycles, m.pc)
+		}
+		if err := m.Step(); err != nil {
+			return m.stats.Cycles - start, err
+		}
+	}
+	return m.stats.Cycles - start, nil
+}

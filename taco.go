@@ -1,0 +1,174 @@
+// Package taco is a Go reproduction of "Fast Evaluation of Protocol
+// Processor Architectures for IPv6 Routing" (Lilius, Truscan, Virtanen;
+// DATE 2003): a cycle-accurate simulator for TACO transport-triggered
+// protocol processors, the IPv6/RIPng router case study built on it, a
+// physical area/power estimation model, and the fast-evaluation
+// methodology that co-analyses both to regenerate the paper's Table 1.
+//
+// This package is a façade over the implementation packages:
+//
+//	internal/tta      transport-triggered machine model
+//	internal/fu       TACO functional units and architecture configs
+//	internal/isa      move instruction set and binary encoding
+//	internal/asm      assembler / disassembler / program builder
+//	internal/sched    TTA code optimization and bus scheduling
+//	internal/ipv6     IPv6 headers, extension chains, UDP/ICMPv6
+//	internal/ripng    RIPng (RFC 2080) protocol engine
+//	internal/rtable   sequential / balanced-tree / CAM / trie tables
+//	internal/linecard line-card model
+//	internal/program  generated forwarding programs, Figure 3 example
+//	internal/router   golden and TACO routers, RIPng host bridge
+//	internal/estimate 0.18 µm area/power/frequency model
+//	internal/core     the fast-evaluation methodology (Table 1)
+//	internal/dse      design-space sweeps and automated exploration
+//	internal/workload deterministic tables and traffic
+//
+// A typical evaluation reproduces the paper's headline table:
+//
+//	metrics, err := taco.EvaluateAll(taco.PaperConstraints(), taco.DefaultSimOptions())
+//	fmt.Print(taco.FormatTable1(metrics))
+package taco
+
+import (
+	"taco/internal/core"
+	"taco/internal/dse"
+	"taco/internal/estimate"
+	"taco/internal/fu"
+	"taco/internal/linecard"
+	"taco/internal/profile"
+	"taco/internal/ripng"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// Architecture configuration (the paper's design-space axes).
+type (
+	// Config describes one TACO architecture instance.
+	Config = fu.Config
+	// TableKind selects a routing-table implementation.
+	TableKind = rtable.Kind
+)
+
+// The paper's three architecture instances.
+var (
+	Config1Bus1FU = fu.Config1Bus1FU
+	Config3Bus1FU = fu.Config3Bus1FU
+	Config3Bus3FU = fu.Config3Bus3FU
+	PaperConfigs  = fu.PaperConfigs
+)
+
+// Routing-table implementations (paper §4 plus the trie baseline).
+const (
+	Sequential   = rtable.Sequential
+	BalancedTree = rtable.BalancedTree
+	CAM          = rtable.CAM
+	Trie         = rtable.Trie
+)
+
+// NewTable constructs an empty routing table of the given kind.
+var NewTable = rtable.New
+
+// Evaluation methodology (the paper's contribution).
+type (
+	// Constraints are the application requirements (line rate, table
+	// size, technology, acceptability thresholds).
+	Constraints = core.Constraints
+	// Metrics is one co-analysed Table 1 row.
+	Metrics = core.Metrics
+	// SimOptions tunes the simulation workload.
+	SimOptions = core.SimOptions
+)
+
+var (
+	// PaperConstraints returns the §4 requirements (10 Gbps, ≤100
+	// routing entries, 0.18 µm).
+	PaperConstraints = core.PaperConstraints
+	// DefaultSimOptions returns the standard evaluation workload.
+	DefaultSimOptions = core.DefaultSimOptions
+	// Evaluate runs the methodology for one instance.
+	Evaluate = core.Evaluate
+	// EvaluateAll runs the methodology over the paper's nine instances.
+	EvaluateAll = core.EvaluateAll
+	// SelectBest picks the lowest-power acceptable instance.
+	SelectBest = core.SelectBest
+	// EvaluateCAMConverged iterates the CAM search latency to its
+	// clock-dependent fixed point.
+	EvaluateCAMConverged = core.EvaluateCAMConverged
+	// FormatTable1 renders metrics in the paper's Table 1 layout.
+	FormatTable1 = core.FormatTable1
+)
+
+// Design-space exploration (sweeps and the automated future-work tool).
+var (
+	SweepTableSize   = dse.SweepTableSize
+	SweepBuses       = dse.SweepBuses
+	SweepPacketSize  = dse.SweepPacketSize
+	SweepReplication = dse.SweepReplication
+	Explore          = dse.Explore
+	Pareto           = dse.Pareto
+)
+
+// Routers.
+type (
+	// Router is the TACO-processor router (Figure 1 + Figure 2).
+	Router = router.TACO
+	// GoldenRouter is the pure-Go reference router.
+	GoldenRouter = router.Golden
+	// Host bridges the router's local queue to a RIPng engine.
+	Host = router.Host
+	// Datagram is a line-card datagram.
+	Datagram = linecard.Datagram
+	// RIPngEngine is the RFC 2080 protocol process.
+	RIPngEngine = ripng.Engine
+)
+
+var (
+	// NewRouter builds a TACO router over a table.
+	NewRouter = router.NewTACO
+	// NewGoldenRouter builds the reference router.
+	NewGoldenRouter = router.NewGolden
+	// NewHost attaches a RIPng engine to a TACO router.
+	NewHost = router.NewHost
+	// NewRIPngEngine builds a RIPng process over a table.
+	NewRIPngEngine = ripng.NewEngine
+)
+
+// Profiling.
+type (
+	// Profile attributes executed cycles to program regions.
+	Profile = profile.Profile
+)
+
+// NewProfile builds a cycle profile over a program's labels; install
+// its Hook as the machine's Trace to collect.
+var NewProfile = profile.New
+
+// Physical estimation.
+type (
+	// Tech is an implementation technology.
+	Tech = estimate.Tech
+	// Estimate is a physical characterisation at one clock.
+	Estimate = estimate.Estimate
+)
+
+var (
+	// Default180nm is the paper's 0.18 µm technology.
+	Default180nm = estimate.Default180nm
+	// Physical estimates a configuration at a clock frequency.
+	Physical = estimate.Physical
+	// FormatHz renders a frequency Table 1 style.
+	FormatHz = estimate.FormatHz
+)
+
+// Workload generation.
+var (
+	// GenerateRoutes produces a deterministic routing table.
+	GenerateRoutes = workload.GenerateRoutes
+	// GenerateTraffic produces deterministic datagrams for routes.
+	GenerateTraffic = workload.GenerateTraffic
+	// PaperTableSpec is the 100-entry table of the paper's constraint.
+	PaperTableSpec = workload.PaperTableSpec
+	// PaperTrafficSpec is the 512-byte datagram model.
+	PaperTrafficSpec = workload.PaperTrafficSpec
+)
