@@ -1,0 +1,39 @@
+# Tier-1 gate plus the heavier verification jobs. Every target uses only
+# the Go toolchain; no external dependencies.
+
+GO ?= go
+
+.PHONY: all build test race fuzz bench snapshot vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the default suite, including the workers=1 vs workers=8
+# determinism tests and the bench_snapshot.txt cycle-count guard.
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over everything, exercising the dse worker pool
+# and the parallel sweep benchmarks' setup under -race.
+race:
+	$(GO) test -race ./...
+
+# Short differential fuzz burst (golden router vs TACO); extend
+# FUZZTIME for longer campaigns.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/router -run xxx -fuzz FuzzGoldenVsTACO -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench . -benchmem
+
+# Regenerate the reference snapshot the regression guard checks against.
+# Only commit the result when cycle counts are intentionally unchanged —
+# TestBenchSnapshotCycles fails otherwise.
+snapshot:
+	$(GO) test -run xxx -bench . -benchtime 2x -benchmem . > bench_snapshot.txt
+
+vet:
+	$(GO) vet ./...

@@ -1,0 +1,131 @@
+// Benchmark regression guard: bench_snapshot.txt records the repo's
+// reference benchmark run, and cycles/packet for the nine Table 1 cells
+// is the paper's ground truth — host-speed optimisation must never move
+// it. This test re-simulates every cell and fails if the result drifts
+// from the snapshot at the snapshot's printed precision.
+package taco_test
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/linecard"
+	"taco/internal/router"
+	"taco/internal/rtable"
+)
+
+// snapshotMetrics is the recorded (cycles/packet, busUtil%) pair of one
+// benchmark line, kept as the literal printed tokens so live values can
+// be compared at exactly the snapshot's precision.
+type snapshotMetrics struct {
+	cycles, busUtil string
+}
+
+// parseSnapshot extracts the named metrics from bench_snapshot.txt,
+// keyed by benchmark name with any -GOMAXPROCS suffix stripped.
+func parseSnapshot(t *testing.T) map[string]snapshotMetrics {
+	t.Helper()
+	f, err := os.Open("bench_snapshot.txt")
+	if err != nil {
+		t.Fatalf("bench_snapshot.txt missing: %v", err)
+	}
+	defer f.Close()
+	out := map[string]snapshotMetrics{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// fields[1] is the iteration count; value/unit pairs follow.
+		var m snapshotMetrics
+		for i := 2; i+1 < len(fields); i += 2 {
+			switch fields[i+1] {
+			case "cycles/packet":
+				m.cycles = fields[i]
+			case "busUtil%":
+				m.busUtil = fields[i]
+			}
+		}
+		if m.cycles != "" {
+			out[name] = m
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// formatLike renders v with the same number of decimal places as the
+// snapshot token, so comparison happens at the precision the snapshot
+// actually recorded.
+func formatLike(v float64, token string) string {
+	decimals := 0
+	if i := strings.IndexByte(token, '.'); i >= 0 {
+		decimals = len(token) - i - 1
+	}
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}
+
+// simulateCell runs the exact BenchmarkTable1 batch for one cell and
+// returns (cycles/packet, busUtil%).
+func simulateCell(t *testing.T, kind rtable.Kind, cfg fu.Config) (float64, float64) {
+	t.Helper()
+	const packets = 32
+	tbl, pkts := benchWorkload(t, kind, 100, packets)
+	tr, err := router.NewTACO(cfg, tbl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, p := range pkts {
+		tr.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq})
+	}
+	if err := tr.Run(packets, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return tr.CyclesPerPacket(), tr.Machine.Stats().BusUtilization() * 100
+}
+
+// TestBenchSnapshotCycles locks the nine Table 1 cells to the snapshot.
+func TestBenchSnapshotCycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("snapshot guard re-simulates all nine Table 1 cells")
+	}
+	snap := parseSnapshot(t)
+	cells := 0
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		for _, cfg := range fu.PaperConfigs(kind) {
+			name := fmt.Sprintf("BenchmarkTable1/%s/%s", kind, cfg.Name)
+			rec, ok := snap[name]
+			if !ok {
+				t.Errorf("%s: not recorded in bench_snapshot.txt", name)
+				continue
+			}
+			cells++
+			cycles, busUtil := simulateCell(t, kind, cfg)
+			if got := formatLike(cycles, rec.cycles); got != rec.cycles {
+				t.Errorf("%s: cycles/packet drifted: simulated %s, snapshot %s",
+					name, got, rec.cycles)
+			}
+			if got := formatLike(busUtil, rec.busUtil); got != rec.busUtil {
+				t.Errorf("%s: busUtil%% drifted: simulated %s, snapshot %s",
+					name, got, rec.busUtil)
+			}
+		}
+	}
+	if cells != 9 {
+		t.Errorf("guarded %d Table 1 cells, want 9", cells)
+	}
+}

@@ -7,11 +7,14 @@
 package taco_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"taco"
 	"taco/internal/core"
+	"taco/internal/dse"
 	"taco/internal/fu"
 	"taco/internal/linecard"
 	"taco/internal/program"
@@ -22,7 +25,7 @@ import (
 )
 
 // benchWorkload builds the standard 100-entry / 512-byte workload.
-func benchWorkload(b *testing.B, kind rtable.Kind, entries, packets int) (rtable.Table, []workload.Packet) {
+func benchWorkload(b testing.TB, kind rtable.Kind, entries, packets int) (rtable.Table, []workload.Packet) {
 	b.Helper()
 	routes := workload.GenerateRoutes(workload.TableSpec{Entries: entries, Ifaces: 4, Seed: 2003})
 	tbl := rtable.New(kind)
@@ -38,7 +41,9 @@ func benchWorkload(b *testing.B, kind rtable.Kind, entries, packets int) (rtable
 	return tbl, pkts
 }
 
-// runForwarding simulates one batch and reports the Table 1 metrics.
+// runForwarding simulates one batch per iteration on a single router
+// instance — Reset between batches, never rebuilt — and reports the
+// Table 1 metrics.
 func runForwarding(b *testing.B, kind rtable.Kind, cfg fu.Config, entries int) {
 	b.Helper()
 	const packets = 32
@@ -48,13 +53,10 @@ func runForwarding(b *testing.B, kind rtable.Kind, cfg fu.Config, entries int) {
 		b.Fatal(err)
 	}
 	var cyclesPerPacket float64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Machine.Reset()
-		tr.Bank.Reset()
-		if err := tr.Machine.Load(tr.Sched.Program); err != nil {
-			b.Fatal(err)
-		}
+		tr.Reset()
 		for j, p := range pkts {
 			tr.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq})
 		}
@@ -79,6 +81,69 @@ func BenchmarkTable1(b *testing.B) {
 				runForwarding(b, kind, cfg, 100)
 			})
 		}
+	}
+}
+
+// BenchmarkSweepParallel measures the design-space exploration engine's
+// wall-clock at workers=1 versus workers=GOMAXPROCS over the nine
+// Table 1 instances — the tentpole speed-up; the determinism tests in
+// internal/dse pin the outputs to be identical.
+func BenchmarkSweepParallel(b *testing.B) {
+	cons := core.PaperConstraints()
+	sim := core.DefaultSimOptions()
+	sim.Packets = 32
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := dse.Table1(context.Background(), cons, sim, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocs asserts the reset-per-batch simulate loop stays
+// allocation-free apart from per-datagram payload copies: the seed's
+// build-per-batch loop allocated ~7,470 objects per 32-packet batch on
+// sequential/1BUS/1FU; the reset path must hold a ~100× lower budget
+// (≲ 4 allocations per packet covers the transmitted payload slices
+// with headroom, and any structural-rebuild regression blows it
+// immediately).
+func TestSteadyStateAllocs(t *testing.T) {
+	const packets = 32
+	kind := rtable.Sequential
+	cfg := fu.Config1Bus1FU(kind)
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 100, Ifaces: 4, Seed: 2003})
+	tbl := rtable.New(kind)
+	if err := rtable.InsertAll(tbl, routes); err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.PaperTrafficSpec(packets)
+	spec.MissRatio = 0.05
+	pkts, err := workload.GenerateTraffic(routes, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := router.NewTACO(cfg, tbl, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := func() {
+		tr.Reset()
+		for j, p := range pkts {
+			tr.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq})
+		}
+		if err := tr.Run(packets, 20_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch() // warm up scratch capacity
+	avg := testing.AllocsPerRun(10, batch)
+	if max := float64(4 * packets); avg > max {
+		t.Errorf("steady-state simulate loop: %.0f allocs per %d-packet batch, want <= %.0f",
+			avg, packets, max)
 	}
 }
 
@@ -151,14 +216,11 @@ func BenchmarkISS(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var cycles int64
 	for i := 0; i < b.N; i++ {
-		tr.Machine.Reset()
-		tr.Bank.Reset()
-		if err := tr.Machine.Load(tr.Sched.Program); err != nil {
-			b.Fatal(err)
-		}
+		tr.Reset()
 		for j, p := range pkts {
 			tr.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq})
 		}

@@ -11,13 +11,15 @@
 //	tacoexplore -sweep packetsize       64..1500 B datagrams
 //	tacoexplore -sweep replication      1..3 replicated CNT/CMP/M
 //
-// Common flags: -packets, -entries, -seed.
+// Common flags: -packets, -entries, -seed, -workers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"taco/internal/core"
 	"taco/internal/dse"
@@ -35,6 +37,8 @@ func main() {
 		packets  = flag.Int("packets", 64, "datagrams to simulate per instance")
 		entries  = flag.Int("entries", 100, "routing-table entries")
 		seed     = flag.Uint64("seed", 2003, "workload seed")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"parallel simulation workers (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -49,22 +53,22 @@ func main() {
 	}
 
 	if *table1 {
-		if err := runTable1(cons, sim); err != nil {
+		if err := runTable1(cons, sim, *workers); err != nil {
 			fatal(err)
 		}
 	}
 	if *campower {
-		if err := runCAMPower(cons, sim); err != nil {
+		if err := runCAMPower(cons, sim, *workers); err != nil {
 			fatal(err)
 		}
 	}
 	if *auto {
-		if err := runAuto(cons, sim); err != nil {
+		if err := runAuto(cons, sim, *workers); err != nil {
 			fatal(err)
 		}
 	}
 	if *sweep != "" {
-		if err := runSweep(*sweep, cons, sim); err != nil {
+		if err := runSweep(*sweep, cons, sim, *workers); err != nil {
 			fatal(err)
 		}
 	}
@@ -75,12 +79,12 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runTable1(cons core.Constraints, sim core.SimOptions) error {
+func runTable1(cons core.Constraints, sim core.SimOptions, workers int) error {
 	fmt.Printf("Table 1 — estimated minimum clock frequencies, areas and power\n")
 	fmt.Printf("constraint: %.0f Gbps, %d-byte datagrams (%.2f Mpps), %d-entry table, %s\n\n",
 		cons.ThroughputBps/1e9, cons.PacketBytes, cons.PacketRate()/1e6,
 		cons.TableEntries, cons.Tech.Name)
-	ms, err := core.EvaluateAll(cons, sim)
+	ms, err := dse.Table1(context.Background(), cons, sim, workers)
 	if err != nil {
 		return err
 	}
@@ -93,8 +97,8 @@ func runTable1(cons core.Constraints, sim core.SimOptions) error {
 	return nil
 }
 
-func runCAMPower(cons core.Constraints, sim core.SimOptions) error {
-	ms, err := core.EvaluateAll(cons, sim)
+func runCAMPower(cons core.Constraints, sim core.SimOptions, workers int) error {
+	ms, err := dse.Table1(context.Background(), cons, sim, workers)
 	if err != nil {
 		return err
 	}
@@ -113,8 +117,8 @@ func runCAMPower(cons core.Constraints, sim core.SimOptions) error {
 	return nil
 }
 
-func runAuto(cons core.Constraints, sim core.SimOptions) error {
-	res, err := dse.Explore(cons, sim, 4, 3)
+func runAuto(cons core.Constraints, sim core.SimOptions, workers int) error {
+	res, err := dse.ExploreCtx(context.Background(), cons, sim, 4, 3, workers)
 	if err != nil {
 		return err
 	}
@@ -141,7 +145,8 @@ func runAuto(cons core.Constraints, sim core.SimOptions) error {
 	return nil
 }
 
-func runSweep(which string, cons core.Constraints, sim core.SimOptions) error {
+func runSweep(which string, cons core.Constraints, sim core.SimOptions, workers int) error {
+	ctx := context.Background()
 	switch which {
 	case "tablesize":
 		sizes := []int{10, 25, 50, 100, 250, 500, 1000}
@@ -149,7 +154,7 @@ func runSweep(which string, cons core.Constraints, sim core.SimOptions) error {
 		fmt.Printf("%8s %12s %12s %12s %12s\n", "entries", "sequential", "tree", "cam", "trie(model)")
 		rows := map[rtable.Kind][]dse.Point{}
 		for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
-			pts, err := dse.SweepTableSize(fu.Config1Bus1FU(kind), sizes, cons, sim)
+			pts, err := dse.Sweep(ctx, dse.TableSizeInstances(fu.Config1Bus1FU(kind), sizes, cons, sim), workers)
 			if err != nil {
 				return err
 			}
@@ -165,7 +170,7 @@ func runSweep(which string, cons core.Constraints, sim core.SimOptions) error {
 		}
 	case "buses":
 		for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
-			pts, err := dse.SweepBuses(kind, 4, cons, sim)
+			pts, err := dse.Sweep(ctx, dse.BusInstances(kind, 4, cons, sim), workers)
 			if err != nil {
 				return err
 			}
@@ -180,7 +185,7 @@ func runSweep(which string, cons core.Constraints, sim core.SimOptions) error {
 	case "packetsize":
 		sizes := []int{64, 128, 256, 512, 1024, 1500}
 		cfg := fu.Config3Bus1FU(rtable.CAM)
-		pts, err := dse.SweepPacketSize(cfg, sizes, cons, sim)
+		pts, err := dse.Sweep(ctx, dse.PacketSizeInstances(cfg, sizes, cons, sim), workers)
 		if err != nil {
 			return err
 		}
@@ -192,7 +197,7 @@ func runSweep(which string, cons core.Constraints, sim core.SimOptions) error {
 		}
 	case "replication":
 		for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
-			pts, err := dse.SweepReplication(kind, 3, cons, sim)
+			pts, err := dse.Sweep(ctx, dse.ReplicationInstances(kind, 3, cons, sim), workers)
 			if err != nil {
 				return err
 			}

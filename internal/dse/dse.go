@@ -7,7 +7,7 @@
 package dse
 
 import (
-	"fmt"
+	"context"
 	"sort"
 
 	"taco/internal/core"
@@ -24,70 +24,29 @@ type Point struct {
 // SweepTableSize evaluates cfg over growing routing tables — the
 // scaling behaviour behind the paper's observation that sequential
 // search time is linear while the balanced tree is logarithmic.
+// Instances run in parallel (see Sweep); results are deterministic.
 func SweepTableSize(cfg fu.Config, sizes []int, cons core.Constraints, sim core.SimOptions) ([]Point, error) {
-	var out []Point
-	for _, n := range sizes {
-		c := cons
-		c.TableEntries = n
-		m, err := core.Evaluate(cfg, c, sim)
-		if err != nil {
-			return nil, fmt.Errorf("dse: table size %d: %w", n, err)
-		}
-		out = append(out, Point{X: float64(n), Metrics: m})
-	}
-	return out, nil
+	return Sweep(context.Background(), TableSizeInstances(cfg, sizes, cons, sim), 0)
 }
 
 // SweepBuses evaluates a kind across interconnection widths 1..maxBuses
 // with one FU of each type.
 func SweepBuses(kind rtable.Kind, maxBuses int, cons core.Constraints, sim core.SimOptions) ([]Point, error) {
-	var out []Point
-	for b := 1; b <= maxBuses; b++ {
-		cfg := fu.Config1Bus1FU(kind)
-		cfg.Buses = b
-		cfg.Name = fmt.Sprintf("%dBUS/1FU", b)
-		m, err := core.Evaluate(cfg, cons, sim)
-		if err != nil {
-			return nil, fmt.Errorf("dse: %d buses: %w", b, err)
-		}
-		out = append(out, Point{X: float64(b), Metrics: m})
-	}
-	return out, nil
+	return Sweep(context.Background(), BusInstances(kind, maxBuses, cons, sim), 0)
 }
 
 // SweepPacketSize evaluates cfg across datagram sizes: the required
 // clock scales with the packet rate, so small-packet line rate is the
 // hard case.
 func SweepPacketSize(cfg fu.Config, sizes []int, cons core.Constraints, sim core.SimOptions) ([]Point, error) {
-	var out []Point
-	for _, s := range sizes {
-		c := cons
-		c.PacketBytes = s
-		m, err := core.Evaluate(cfg, c, sim)
-		if err != nil {
-			return nil, fmt.Errorf("dse: packet size %d: %w", s, err)
-		}
-		out = append(out, Point{X: float64(s), Metrics: m})
-	}
-	return out, nil
+	return Sweep(context.Background(), PacketSizeInstances(cfg, sizes, cons, sim), 0)
 }
 
 // SweepReplication evaluates a kind at 3 buses with 1..maxRepl
 // replicated counters/comparators/matchers — the paper's second
 // exploration axis.
 func SweepReplication(kind rtable.Kind, maxRepl int, cons core.Constraints, sim core.SimOptions) ([]Point, error) {
-	var out []Point
-	for r := 1; r <= maxRepl; r++ {
-		cfg := fu.Config3Bus1FU(kind)
-		cfg.Counters, cfg.Comparators, cfg.Matchers = r, r, r
-		cfg.Name = fmt.Sprintf("3BUS/%dCNT,%dCMP,%dM", r, r, r)
-		m, err := core.Evaluate(cfg, cons, sim)
-		if err != nil {
-			return nil, fmt.Errorf("dse: replication %d: %w", r, err)
-		}
-		out = append(out, Point{X: float64(r), Metrics: m})
-	}
-	return out, nil
+	return Sweep(context.Background(), ReplicationInstances(kind, maxRepl, cons, sim), 0)
 }
 
 // Candidate is an explored instance with its evaluation.
@@ -117,42 +76,18 @@ type ExploreResult struct {
 // expensive hardware, evaluating instances and pruning dominated ones —
 // once an implementation meets the throughput constraint with headroom,
 // wider/more-replicated variants of the same implementation can only
-// add area and power, so they are skipped.
+// add area and power, so they are skipped. Candidates are evaluated on
+// GOMAXPROCS goroutines; see ExploreCtx for the determinism argument.
 func Explore(cons core.Constraints, sim core.SimOptions, maxBuses, maxRepl int) (*ExploreResult, error) {
-	res := &ExploreResult{}
-	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
-		kindSatisfied := false
-		for _, repl := range replRange(maxRepl) {
-			for b := 1; b <= maxBuses; b++ {
-				if kindSatisfied {
-					res.Pruned++
-					continue
-				}
-				cfg := fu.Config1Bus1FU(kind)
-				cfg.Buses = b
-				cfg.Counters, cfg.Comparators, cfg.Matchers = repl, repl, repl
-				cfg.Name = fmt.Sprintf("%dBUS/%dCNT,%dCMP,%dM", b, repl, repl, repl)
-				m, err := core.Evaluate(cfg, cons, sim)
-				if err != nil {
-					return nil, err
-				}
-				res.Evaluated++
-				res.Ranked = append(res.Ranked, Candidate{Metrics: m, Score: score(m)})
-				// Headroom heuristic: meeting the constraint at under
-				// half the ceiling means more hardware cannot help.
-				if m.Acceptable() && m.RequiredClockHz < 0.5*cons.Tech.MaxClockHz {
-					kindSatisfied = true
-				}
-			}
-		}
-	}
-	sort.SliceStable(res.Ranked, func(i, j int) bool {
-		return res.Ranked[i].Score < res.Ranked[j].Score
+	return ExploreCtx(context.Background(), cons, sim, maxBuses, maxRepl, 0)
+}
+
+// sortRanked orders candidates best-first, stably so equal scores keep
+// scan order.
+func sortRanked(ranked []Candidate) {
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].Score < ranked[j].Score
 	})
-	if len(res.Ranked) > 0 && res.Ranked[0].Metrics.Acceptable() {
-		res.Best, res.OK = res.Ranked[0], true
-	}
-	return res, nil
 }
 
 func replRange(maxRepl int) []int {

@@ -1,0 +1,263 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"taco/internal/core"
+	"taco/internal/fu"
+	"taco/internal/rtable"
+)
+
+// Instance is one architecture point queued for evaluation: a complete,
+// self-contained (configuration, constraints, workload) triple.
+// core.Evaluate builds the routing table, processor and traffic per call
+// and shares no mutable state between calls, so instances evaluate
+// safely on concurrent goroutines.
+type Instance struct {
+	// X is the swept parameter's value, carried into the resulting Point.
+	X float64
+	// Label names the instance in error messages ("table size 4096",
+	// "3 buses", "cam/3BUS/1FU").
+	Label string
+
+	Cfg  fu.Config
+	Cons core.Constraints
+	Sim  core.SimOptions
+}
+
+// evaluateInstances runs every instance across a pool of worker
+// goroutines and returns results and errors indexed exactly like insts —
+// the output order is the input order regardless of worker count or
+// completion order. workers <= 0 selects runtime.GOMAXPROCS(0).
+//
+// Cancelling ctx stops the job feed; the returned error is then the
+// context's. Per-instance simulation errors do not abort the pool (the
+// caller decides which of them matter — Explore ignores errors on
+// instances its heuristic would have pruned).
+func evaluateInstances(ctx context.Context, insts []Instance, workers int) ([]core.Metrics, []error, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	results := make([]core.Metrics, len(insts))
+	errs := make([]error, len(insts))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = core.Evaluate(insts[i].Cfg, insts[i].Cons, insts[i].Sim)
+			}
+		}()
+	}
+feed:
+	for i := range insts {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return results, errs, nil
+}
+
+// firstError returns the lowest-index instance error wrapped with its
+// label, mirroring what a sequential scan would have reported first.
+func firstError(insts []Instance, errs []error) error {
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("dse: %s: %w", insts[i].Label, err)
+		}
+	}
+	return nil
+}
+
+// Sweep evaluates the instances on workers goroutines (workers <= 0
+// selects runtime.GOMAXPROCS(0)) and returns one Point per instance in
+// input order. The result is byte-for-byte independent of the worker
+// count: every instance is fully determined by its seeds, and results
+// are written to their input slot rather than collected by completion.
+func Sweep(ctx context.Context, insts []Instance, workers int) ([]Point, error) {
+	results, errs, err := evaluateInstances(ctx, insts, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstError(insts, errs); err != nil {
+		return nil, err
+	}
+	out := make([]Point, len(insts))
+	for i, m := range results {
+		out[i] = Point{X: insts[i].X, Metrics: m}
+	}
+	return out, nil
+}
+
+// Table1Instances lists the paper's nine Table 1 cells in row order.
+func Table1Instances(cons core.Constraints, sim core.SimOptions) []Instance {
+	var insts []Instance
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		for _, cfg := range fu.PaperConfigs(kind) {
+			insts = append(insts, Instance{
+				Label: fmt.Sprintf("%v/%s", kind, cfg.Name),
+				Cfg:   cfg, Cons: cons, Sim: sim,
+			})
+		}
+	}
+	return insts
+}
+
+// Table1 evaluates the paper's nine Table 1 cells on workers goroutines,
+// producing the same rows in the same order as core.EvaluateAll.
+func Table1(ctx context.Context, cons core.Constraints, sim core.SimOptions, workers int) ([]core.Metrics, error) {
+	insts := Table1Instances(cons, sim)
+	results, errs, err := evaluateInstances(ctx, insts, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstError(insts, errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// TableSizeInstances builds the SweepTableSize instance list.
+func TableSizeInstances(cfg fu.Config, sizes []int, cons core.Constraints, sim core.SimOptions) []Instance {
+	var insts []Instance
+	for _, n := range sizes {
+		c := cons
+		c.TableEntries = n
+		insts = append(insts, Instance{
+			X: float64(n), Label: fmt.Sprintf("table size %d", n),
+			Cfg: cfg, Cons: c, Sim: sim,
+		})
+	}
+	return insts
+}
+
+// BusInstances builds the SweepBuses instance list.
+func BusInstances(kind rtable.Kind, maxBuses int, cons core.Constraints, sim core.SimOptions) []Instance {
+	var insts []Instance
+	for b := 1; b <= maxBuses; b++ {
+		cfg := fu.Config1Bus1FU(kind)
+		cfg.Buses = b
+		cfg.Name = fmt.Sprintf("%dBUS/1FU", b)
+		insts = append(insts, Instance{
+			X: float64(b), Label: fmt.Sprintf("%d buses", b),
+			Cfg: cfg, Cons: cons, Sim: sim,
+		})
+	}
+	return insts
+}
+
+// PacketSizeInstances builds the SweepPacketSize instance list.
+func PacketSizeInstances(cfg fu.Config, sizes []int, cons core.Constraints, sim core.SimOptions) []Instance {
+	var insts []Instance
+	for _, s := range sizes {
+		c := cons
+		c.PacketBytes = s
+		insts = append(insts, Instance{
+			X: float64(s), Label: fmt.Sprintf("packet size %d", s),
+			Cfg: cfg, Cons: c, Sim: sim,
+		})
+	}
+	return insts
+}
+
+// ReplicationInstances builds the SweepReplication instance list.
+func ReplicationInstances(kind rtable.Kind, maxRepl int, cons core.Constraints, sim core.SimOptions) []Instance {
+	var insts []Instance
+	for r := 1; r <= maxRepl; r++ {
+		cfg := fu.Config3Bus1FU(kind)
+		cfg.Counters, cfg.Comparators, cfg.Matchers = r, r, r
+		cfg.Name = fmt.Sprintf("3BUS/%dCNT,%dCMP,%dM", r, r, r)
+		insts = append(insts, Instance{
+			X: float64(r), Label: fmt.Sprintf("replication %d", r),
+			Cfg: cfg, Cons: cons, Sim: sim,
+		})
+	}
+	return insts
+}
+
+// ExploreCtx is Explore with a cancellation context and a worker count.
+//
+// The sequential heuristic prunes lazily: once an implementation meets
+// the throughput constraint with headroom, later instances of that kind
+// are never simulated. Running the grid in parallel cannot know the
+// pruning frontier up front, so ExploreCtx evaluates the full grid
+// speculatively and then replays the pruning walk over the finished
+// results in the original scan order — the Ranked list, Best pick and
+// Evaluated/Pruned counts are identical to the sequential Explore for
+// every worker count; parallelism only trades speculative simulations
+// for wall-clock time.
+func ExploreCtx(ctx context.Context, cons core.Constraints, sim core.SimOptions, maxBuses, maxRepl, workers int) (*ExploreResult, error) {
+	var insts []Instance
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		for _, repl := range replRange(maxRepl) {
+			for b := 1; b <= maxBuses; b++ {
+				cfg := fu.Config1Bus1FU(kind)
+				cfg.Buses = b
+				cfg.Counters, cfg.Comparators, cfg.Matchers = repl, repl, repl
+				cfg.Name = fmt.Sprintf("%dBUS/%dCNT,%dCMP,%dM", b, repl, repl, repl)
+				insts = append(insts, Instance{
+					Label: fmt.Sprintf("%v/%s", kind, cfg.Name),
+					Cfg:   cfg, Cons: cons, Sim: sim,
+				})
+			}
+		}
+	}
+	results, errs, err := evaluateInstances(ctx, insts, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Replay the sequential pruning walk over the finished grid. Errors
+	// on pruned instances are discarded — the sequential scan would never
+	// have run them.
+	res := &ExploreResult{}
+	i := 0
+	for range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		kindSatisfied := false
+		for range replRange(maxRepl) {
+			for b := 1; b <= maxBuses; b++ {
+				if kindSatisfied {
+					res.Pruned++
+					i++
+					continue
+				}
+				if errs[i] != nil {
+					return nil, errs[i]
+				}
+				m := results[i]
+				res.Evaluated++
+				res.Ranked = append(res.Ranked, Candidate{Metrics: m, Score: score(m)})
+				if m.Acceptable() && m.RequiredClockHz < 0.5*cons.Tech.MaxClockHz {
+					kindSatisfied = true
+				}
+				i++
+			}
+		}
+	}
+	rankCandidates(res)
+	return res, nil
+}
+
+// rankCandidates sorts Ranked best-first and fills Best/OK.
+func rankCandidates(res *ExploreResult) {
+	sortRanked(res.Ranked)
+	if len(res.Ranked) > 0 && res.Ranked[0].Metrics.Acceptable() {
+		res.Best, res.OK = res.Ranked[0], true
+	}
+}

@@ -139,10 +139,16 @@ type IPPU struct {
 	base  int // first word of the datagram region
 	alloc int // next allocation word
 
+	// queue[qhead:] holds the pending descriptors; the consumed prefix is
+	// reclaimed (and its capacity reused) once the queue drains, so the
+	// steady-state DMA loop does not grow the backing array.
 	queue []ippuEntry
-	// inProcess is the most recently popped entry; its memory stays
-	// protected from DMA reuse until the next pop.
-	inProcess *ippuEntry
+	qhead int
+	// inProcess is the most recently popped entry (valid when
+	// inProcessOK); its memory stays protected from DMA reuse until the
+	// next pop. Held by value so popping never allocates.
+	inProcess   ippuEntry
+	inProcessOK bool
 
 	tpop            trigger
 	rptr, rifc, rln uint32
@@ -215,18 +221,21 @@ func (u *IPPU) Clock() error {
 	u.now++
 	// Service a pop first so the freed region is available to DMA.
 	if _, ok := u.tpop.take(); ok {
-		if len(u.queue) == 0 {
+		if u.QueueLen() == 0 {
 			return fmt.Errorf("fu: ippu popped with empty queue")
 		}
-		e := u.queue[0]
-		u.queue = u.queue[1:]
-		u.inProcess = &e
+		e := u.queue[u.qhead]
+		u.qhead++
+		if u.qhead == len(u.queue) {
+			u.queue, u.qhead = u.queue[:0], 0
+		}
+		u.inProcess, u.inProcessOK = e, true
 		u.rptr, u.rifc, u.rln = e.ptr, e.iface, e.bytes
 		u.popped++
 	}
 
 	// Background DMA: move one pending datagram into memory per cycle.
-	if len(u.queue) < maxInflight {
+	if u.QueueLen() < maxInflight {
 		if ci := u.bank.AnyPending(); ci >= 0 {
 			card := u.bank.Card(ci)
 			if d, ok := peekLen(card); ok {
@@ -288,12 +297,12 @@ func (u *IPPU) reserve(words int) (int, bool) {
 			a, b := int(e.ptr), int(e.ptr+e.words)
 			return start < b && a < end
 		}
-		for i := range u.queue {
+		for i := u.qhead; i < len(u.queue); i++ {
 			if overlaps(&u.queue[i]) {
 				return false
 			}
 		}
-		if u.inProcess != nil && overlaps(u.inProcess) {
+		if u.inProcessOK && overlaps(&u.inProcess) {
 			return false
 		}
 		return true
@@ -307,17 +316,21 @@ func (u *IPPU) reserve(words int) (int, bool) {
 	return 0, false
 }
 
-func (u *IPPU) Signal(local int) bool { return len(u.queue) > 0 }
+func (u *IPPU) Signal(local int) bool { return u.QueueLen() > 0 }
+
+// Reset returns the unit to its power-on state. Scratch capacity — the
+// descriptor queue's backing array and the bookkeeping maps' buckets —
+// is retained, so a reset-per-batch simulation loop does not reallocate.
 func (u *IPPU) Reset() {
 	u.alloc = u.base
-	u.queue = nil
-	u.inProcess = nil
+	u.queue, u.qhead = u.queue[:0], 0
+	u.inProcess, u.inProcessOK = ippuEntry{}, false
 	u.tpop.reset()
 	u.rptr, u.rifc, u.rln = 0, 0, 0
 	u.popped, u.stored, u.oversized = 0, 0, 0
 	u.now = 0
-	u.seqs = make(map[uint32]int64)
-	u.storedAt = make(map[uint32]int64)
+	clear(u.seqs)
+	clear(u.storedAt)
 }
 
 // HazardClass marks the preprocessing unit as a data-memory client.
@@ -347,7 +360,7 @@ func (u *IPPU) Stored() int64 { return u.stored }
 func (u *IPPU) Popped() int64 { return u.popped }
 
 // QueueLen returns the current descriptor-queue depth.
-func (u *IPPU) QueueLen() int { return len(u.queue) }
+func (u *IPPU) QueueLen() int { return len(u.queue) - u.qhead }
 
 // OPPU is the postprocessing unit (paper §3): it manages the router's
 // output traffic. The program hands it a memory pointer, a byte length
@@ -454,7 +467,7 @@ func (u *OPPU) Reset() {
 	u.errFlag = false
 	u.sent = 0
 	u.now = 0
-	u.latencies = nil
+	u.latencies = u.latencies[:0] // keep capacity for the next batch
 }
 
 // HazardClass marks the postprocessing unit as a data-memory client: its

@@ -24,10 +24,15 @@ type Datagram struct {
 
 // Card is one line card: an input queue of datagrams received from the
 // attached network and an output queue of datagrams to transmit.
+//
+// The input queue is head-indexed — in[inHead:] is the pending traffic —
+// so consuming datagrams reclaims the backing array's capacity once the
+// queue drains instead of allocating a fresh array per batch.
 type Card struct {
-	index int
-	in    []Datagram
-	out   []Datagram
+	index  int
+	in     []Datagram
+	inHead int
+	out    []Datagram
 
 	stats Stats
 }
@@ -53,9 +58,13 @@ func (c *Card) Index() int { return c.index }
 // Deliver places a received datagram in the input queue (called by the
 // workload/network side). It reports whether the datagram was queued.
 func (c *Card) Deliver(d Datagram) bool {
-	if len(c.in) >= MaxQueue {
+	if c.InputLen() >= MaxQueue {
 		c.stats.DroppedIn++
 		return false
+	}
+	if c.inHead == len(c.in) {
+		// Queue fully drained: rewind to reuse the array's capacity.
+		c.in, c.inHead = c.in[:0], 0
 	}
 	c.in = append(c.in, d)
 	c.stats.Received++
@@ -63,19 +72,20 @@ func (c *Card) Deliver(d Datagram) bool {
 }
 
 // InputPending reports whether a datagram is waiting.
-func (c *Card) InputPending() bool { return len(c.in) > 0 }
+func (c *Card) InputPending() bool { return c.inHead < len(c.in) }
 
 // InputLen returns the input queue depth.
-func (c *Card) InputLen() int { return len(c.in) }
+func (c *Card) InputLen() int { return len(c.in) - c.inHead }
 
 // ReadInput pops the oldest pending datagram (called by the processor's
 // preprocessing unit).
 func (c *Card) ReadInput() (Datagram, bool) {
-	if len(c.in) == 0 {
+	if !c.InputPending() {
 		return Datagram{}, false
 	}
-	d := c.in[0]
-	c.in = c.in[1:]
+	d := c.in[c.inHead]
+	c.in[c.inHead] = Datagram{} // release the data reference
+	c.inHead++
 	c.stats.Consumed++
 	return d, true
 }
@@ -105,9 +115,15 @@ func (c *Card) OutputLen() int { return len(c.out) }
 // Stats returns a copy of the card's counters.
 func (c *Card) Stats() Stats { return c.stats }
 
-// Reset clears both queues and the statistics.
+// Reset clears both queues and the statistics. Queue capacity is
+// retained so a reset-per-batch harness does not reallocate. (DrainOutput
+// hands its slice to the caller, so the output array is only reusable
+// when it was never drained.)
 func (c *Card) Reset() {
-	c.in, c.out = nil, nil
+	clear(c.in)
+	c.in, c.inHead = c.in[:0], 0
+	clear(c.out)
+	c.out = c.out[:0]
 	c.stats = Stats{}
 }
 

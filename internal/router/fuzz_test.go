@@ -1,0 +1,184 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/ipv6"
+	"taco/internal/linecard"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// maxFuzzDatagram mirrors the IPPU's MTU contract: larger frames are
+// dropped by the line-card side before they are ever popped, which the
+// golden router (a pure function over delivered datagrams) cannot see.
+const maxFuzzDatagram = 2048
+
+// decision is a reconstructed per-datagram outcome, comparable across
+// the two router implementations.
+type decision struct {
+	action Action
+	iface  int
+	data   string
+}
+
+// goldenDecisions processes pkts through the golden router and keys
+// each Decision by workload sequence number.
+func goldenDecisions(t *testing.T, kind rtable.Kind, routes []rtable.Route, pkts []workload.Packet) map[int64]decision {
+	t.Helper()
+	g := NewGolden(fillTable(t, kind, routes), nIfaces)
+	g.AddLocal(routerAddr)
+	out := map[int64]decision{}
+	for _, p := range pkts {
+		dec, data := g.Process(p.Data)
+		d := decision{action: dec.Action}
+		switch dec.Action {
+		case Forward:
+			d.iface = dec.OutIface
+			d.data = string(data)
+		case Local:
+			d.iface = -1
+			d.data = string(data)
+		case Drop:
+			d.iface = -1
+		}
+		out[p.Seq] = d
+	}
+	return out
+}
+
+// tacoDecisions runs pkts through tr and reconstructs the per-sequence
+// Decision stream from the output queues: a datagram surfacing on
+// interface i was forwarded there, one in the host queue was delivered
+// locally, and anything else was dropped. Sequence numbers make the
+// comparison independent of queue interleaving.
+func tacoDecisions(t *testing.T, tr *TACO, pkts []workload.Packet) map[int64]decision {
+	t.Helper()
+	for i, p := range pkts {
+		if !tr.Deliver(i%nIfaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+			t.Fatalf("deliver %d failed", i)
+		}
+	}
+	if err := tr.Run(int64(len(pkts)), 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	out := map[int64]decision{}
+	for i := 0; i < nIfaces; i++ {
+		for _, d := range tr.Outputs(i) {
+			out[d.Seq] = decision{action: Forward, iface: i, data: string(d.Data)}
+		}
+	}
+	for _, d := range tr.LocalQueue() {
+		out[d.Seq] = decision{action: Local, iface: -1, data: string(d.Data)}
+	}
+	for _, p := range pkts {
+		if _, ok := out[p.Seq]; !ok {
+			out[p.Seq] = decision{action: Drop, iface: -1}
+		}
+	}
+	return out
+}
+
+func diffDecisions(t *testing.T, label string, pkts []workload.Packet, want, got map[int64]decision) {
+	t.Helper()
+	for _, p := range pkts {
+		w, g := want[p.Seq], got[p.Seq]
+		if w.action != g.action || w.iface != g.iface || w.data != g.data {
+			t.Errorf("%s: seq %d: golden %v/iface %d (%d bytes), taco %v/iface %d (%d bytes)",
+				label, p.Seq, w.action, w.iface, len(w.data), g.action, g.iface, len(g.data))
+		}
+	}
+}
+
+// fuzzWorkload assembles the differential packet list for one fuzz
+// input: generated table hits and misses, the corner cases the paper's
+// forwarding path must classify (hop limit 0/1, no-route destination,
+// local and multicast addresses), and the raw fuzz bytes themselves as
+// an arbitrary — usually malformed — frame.
+func fuzzWorkload(t *testing.T, routes []rtable.Route, seed uint64, hop uint8, raw []byte) []workload.Packet {
+	t.Helper()
+	spec := workload.PaperTrafficSpec(8)
+	spec.Seed = seed
+	spec.MissRatio = 0.25
+	spec.HopLimitOneRatio = 0.1
+	pkts, err := workload.GenerateTraffic(routes, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(dst ipv6.Addr, hop uint8) workload.Packet {
+		h := ipv6.Header{HopLimit: hop, Src: ipv6.MustParseAddr("2001:db8::99"), Dst: dst}
+		d, err := ipv6.BuildDatagram(h, nil, ipv6.ProtoNoNext, []byte{0xde, 0xad})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return workload.Packet{Data: d, Dst: dst}
+	}
+	routable := routes[int(seed)%len(routes)].Prefix.Addr
+	if len(raw) > maxFuzzDatagram {
+		raw = raw[:maxFuzzDatagram]
+	}
+	pkts = append(pkts,
+		mk(routable, 0),   // hop limit exhausted on arrival
+		mk(routable, 1),   // hop limit exhausts here: drop, not forward-with-0
+		mk(routable, hop), // fuzz-chosen hop limit
+		mk(ipv6.MustParseAddr("3fff:ffff::1"), 64), // documentation range: no route
+		mk(routerAddr, 64),                         // router's own unicast address
+		mk(ipv6.AllRIPRouters, 255),                // RIPng multicast group
+		workload.Packet{Data: raw},                 // arbitrary fuzz frame
+	)
+	for i := range pkts {
+		pkts[i].Seq = int64(i)
+	}
+	return pkts
+}
+
+// FuzzGoldenVsTACO is the differential fuzz target: whatever frame
+// bytes, hop limits and workload seeds the fuzzer invents, the golden
+// software router and the cycle-accurate TACO router must emit the same
+// Decision per sequence number — and must do so again after TACO.Reset,
+// proving the reset-based (allocation-free) simulator state carries
+// nothing across batches.
+func FuzzGoldenVsTACO(f *testing.F) {
+	f.Add([]byte{}, uint64(1), uint8(0), uint8(64))
+	f.Add([]byte{0x60, 1, 2}, uint64(7), uint8(1), uint8(1))                         // runt with IPv6 nibble
+	f.Add([]byte{0x45, 0, 0, 40}, uint64(13), uint8(2), uint8(0))                    // IPv4-looking runt
+	f.Add(make([]byte, 39), uint64(42), uint8(3), uint8(255))                        // one byte short of a header
+	f.Add(append([]byte{0x40}, make([]byte, 60)...), uint64(99), uint8(4), uint8(2)) // version 4, full length
+	f.Add(bytes.Repeat([]byte{0x66}, 2048), uint64(2003), uint8(5), uint8(128))      // MTU-limit frame
+	valid, err := ipv6.BuildDatagram(
+		ipv6.Header{HopLimit: 64, Src: ipv6.MustParseAddr("2001:db8::9"),
+			Dst: ipv6.MustParseAddr("2001:db8::1234")},
+		nil, ipv6.ProtoNoNext, []byte{1, 2, 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid, uint64(5), uint8(6), uint8(3))
+
+	kinds := []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM}
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64, sel uint8, hop uint8) {
+		kind := kinds[int(sel)%len(kinds)]
+		cfg := fu.PaperConfigs(kind)[int(sel/3)%3]
+		routes := workload.GenerateRoutes(workload.TableSpec{
+			Entries: 10 + int(seed%4)*10, Ifaces: nIfaces, Seed: seed,
+		})
+		pkts := fuzzWorkload(t, routes, seed, hop, raw)
+
+		want := goldenDecisions(t, kind, routes, pkts)
+		tr, err := NewTACO(cfg, fillTable(t, kind, routes), nIfaces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.AddLocal(routerAddr)
+		got := tacoDecisions(t, tr, pkts)
+		diffDecisions(t, fmt.Sprintf("%v/%s", kind, cfg.Name), pkts, want, got)
+
+		// Same instance, after Reset: batch two must decide identically,
+		// or the reused scratch state leaked something across batches.
+		tr.Reset()
+		again := tacoDecisions(t, tr, pkts)
+		diffDecisions(t, fmt.Sprintf("%v/%s after Reset", kind, cfg.Name), pkts, want, again)
+	})
+}

@@ -54,6 +54,17 @@ func NewTACO(cfg fu.Config, tbl rtable.Table, ifaces int) (*TACO, error) {
 	}, nil
 }
 
+// Reset returns the router to its power-on state — units, statistics,
+// line-card queues — with the forwarding program still loaded, so the
+// same instance can process batch after batch without rebuilding the
+// interconnect or revalidating the program. Unit and queue scratch
+// capacity is retained, making the steady-state simulate loop
+// allocation-free apart from the datagram payloads themselves.
+func (t *TACO) Reset() {
+	t.Machine.Reset()
+	t.Bank.Reset()
+}
+
 // Config returns the architecture configuration.
 func (t *TACO) Config() fu.Config { return t.cfg }
 

@@ -30,6 +30,10 @@ type Target interface {
 	// others (e.g. the data memory for the MMU and the DMA units); ""
 	// means none. Triggers within one class stay in program order.
 	UnitHazardClass(u int) string
+	// SocketCount and UnitCount size the scheduler's dependency-tracking
+	// scratch state (socket IDs are 1..SocketCount, units 0..UnitCount-1).
+	SocketCount() int
+	UnitCount() int
 }
 
 // Options selects optimization passes.

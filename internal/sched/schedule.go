@@ -19,6 +19,7 @@ func schedule(blocks []block, t Target) (*isa.Program, error) {
 	}
 	var patches []patch
 
+	scratch := newBlockScratch(t)
 	for _, blk := range blocks {
 		base := len(out.Ins)
 		for _, l := range blk.labels {
@@ -27,7 +28,7 @@ func schedule(blocks []block, t Target) (*isa.Program, error) {
 			}
 			out.Labels[l] = base
 		}
-		cycles, jumpPatches, err := scheduleBlock(blk, t, buses)
+		cycles, jumpPatches, err := scheduleBlock(blk, t, buses, scratch)
 		if err != nil {
 			return nil, err
 		}
@@ -54,6 +55,39 @@ type jumpPatch struct {
 	label       string
 }
 
+// blockScratch holds the scheduler's dependency-tracking state, sized
+// once per Compile from the target's socket and unit counts and reset
+// between blocks, so scheduling does not rebuild six maps per block.
+// Socket-indexed slices use SocketID-1; a value of -1 means "never".
+type blockScratch struct {
+	lastWrite      []int // socket -> last write cycle
+	lastRegRead    []int // register socket -> last read cycle
+	lastTrigger    []int // unit -> last trigger cycle
+	lastResultRead []int // unit -> last result-socket read cycle
+	lastGuardRead  []int // unit -> last guard (signal) read cycle
+	lastHazard     map[string]int
+}
+
+func newBlockScratch(t Target) *blockScratch {
+	return &blockScratch{
+		lastWrite:      make([]int, t.SocketCount()),
+		lastRegRead:    make([]int, t.SocketCount()),
+		lastTrigger:    make([]int, t.UnitCount()),
+		lastResultRead: make([]int, t.UnitCount()),
+		lastGuardRead:  make([]int, t.UnitCount()),
+		lastHazard:     make(map[string]int),
+	}
+}
+
+func (s *blockScratch) reset() {
+	for _, sl := range [][]int{s.lastWrite, s.lastRegRead, s.lastTrigger, s.lastResultRead, s.lastGuardRead} {
+		for i := range sl {
+			sl[i] = -1
+		}
+	}
+	clear(s.lastHazard)
+}
+
 // scheduleBlock places blk's moves into cycles 0..n-1, honouring the
 // dependency rules of the TACO machine model:
 //
@@ -69,32 +103,40 @@ type jumpPatch struct {
 //   - a control transfer (nc.jmp / nc.halt) may share a cycle with any
 //     move that precedes it in program order, but every move after it in
 //     program order must be scheduled strictly later.
-func scheduleBlock(blk block, t Target, buses int) ([]isa.Instruction, []jumpPatch, error) {
-	lastWrite := map[isa.SocketID]int{}   // socket -> last write cycle
-	lastRegRead := map[isa.SocketID]int{} // register socket -> last read cycle
-	lastTrigger := map[int]int{}          // unit -> last trigger cycle
-	lastResultRead := map[int]int{}       // unit -> last result-socket read cycle
-	lastGuardRead := map[int]int{}        // unit -> last guard (signal) read cycle
-	lastHazard := map[string]int{}        // hazard class -> last trigger cycle
-
-	// get returns the recorded cycle or -1.
-	getS := func(m map[isa.SocketID]int, k isa.SocketID) int {
-		if v, ok := m[k]; ok {
-			return v
+func scheduleBlock(blk block, t Target, buses int, s *blockScratch) ([]isa.Instruction, []jumpPatch, error) {
+	s.reset()
+	// get returns the recorded cycle, or -1 when the key is out of range
+	// (e.g. a destination socket with no owning unit).
+	get := func(sl []int, k int) int {
+		if k < 0 || k >= len(sl) {
+			return -1
 		}
-		return -1
+		return sl[k]
 	}
-	getU := func(m map[int]int, k int) int {
-		if v, ok := m[k]; ok {
-			return v
-		}
-		return -1
-	}
+	getS := func(sl []int, k isa.SocketID) int { return get(sl, int(k)-1) }
 
 	var cycles []isa.Instruction
 	slotCount := func(c int) int { return len(cycles[c].Moves) }
-	triggeredAt := map[[2]int]bool{} // {cycle, unit}
-	writtenAt := map[[2]int]bool{}   // {cycle, socket}
+	// writtenAt/triggeredAt scan the (≤ buses) moves already placed in a
+	// cycle instead of keeping {cycle, id}-keyed maps.
+	writtenAt := func(c int, dst isa.SocketID) bool {
+		for _, pm := range cycles[c].Moves {
+			if pm.Dst == dst {
+				return true
+			}
+		}
+		return false
+	}
+	triggeredAt := func(c, unit int) bool {
+		for _, pm := range cycles[c].Moves {
+			if kindOf(t, pm.Dst) == tta.Trigger {
+				if u, ok := t.SocketUnit(pm.Dst); ok && u == unit {
+					return true
+				}
+			}
+		}
+		return false
+	}
 
 	floor := 0      // control barrier
 	maxPlaced := -1 // highest cycle used so far (for control transfers)
@@ -106,7 +148,7 @@ func scheduleBlock(blk block, t Target, buses int) ([]isa.Instruction, []jumpPat
 
 		for _, g := range m.Guard.Terms {
 			if u, ok := t.SignalUnit(g.Signal); ok {
-				if c := getU(lastTrigger, u); c >= 0 && c+1 > e {
+				if c := get(s.lastTrigger, u); c >= 0 && c+1 > e {
 					e = c + 1
 				}
 			}
@@ -114,51 +156,51 @@ func scheduleBlock(blk block, t Target, buses int) ([]isa.Instruction, []jumpPat
 		if !m.Src.Imm {
 			switch kindOf(t, m.Src.Socket) {
 			case tta.Register:
-				if c := getS(lastWrite, m.Src.Socket); c >= 0 && c+1 > e {
+				if c := getS(s.lastWrite, m.Src.Socket); c >= 0 && c+1 > e {
 					e = c + 1
 				}
 			case tta.Result:
 				if u, ok := t.SocketUnit(m.Src.Socket); ok {
-					if c := getU(lastTrigger, u); c >= 0 && c+1 > e {
+					if c := get(s.lastTrigger, u); c >= 0 && c+1 > e {
 						e = c + 1
 					}
 				}
 			}
 		}
 		// Destination constraints.
-		if c := getS(lastWrite, m.Dst); c >= 0 && c+1 > e {
+		if c := getS(s.lastWrite, m.Dst); c >= 0 && c+1 > e {
 			e = c + 1 // WAW: distinct cycles
 		}
 		dstKind := kindOf(t, m.Dst)
 		dstUnit, _ := t.SocketUnit(m.Dst)
 		switch dstKind {
 		case tta.Register:
-			if c := getS(lastRegRead, m.Dst); c > e {
+			if c := getS(s.lastRegRead, m.Dst); c > e {
 				e = c // WAR: same cycle allowed
 			}
 		case tta.Trigger:
-			if c := getU(lastTrigger, dstUnit); c >= 0 && c+1 > e {
+			if c := get(s.lastTrigger, dstUnit); c >= 0 && c+1 > e {
 				e = c + 1
 			}
 			if h := t.UnitHazardClass(dstUnit); h != "" {
-				if c, ok := lastHazard[h]; ok && c+1 > e {
+				if c, ok := s.lastHazard[h]; ok && c+1 > e {
 					e = c + 1
 				}
 			}
 			for _, o := range t.UnitOperandSockets(dstUnit) {
-				if c := getS(lastWrite, o); c > e {
+				if c := getS(s.lastWrite, o); c > e {
 					e = c // operand write may share the trigger's cycle
 				}
 			}
-			if c := getU(lastResultRead, dstUnit); c > e {
+			if c := get(s.lastResultRead, dstUnit); c > e {
 				e = c
 			}
-			if c := getU(lastGuardRead, dstUnit); c > e {
+			if c := get(s.lastGuardRead, dstUnit); c > e {
 				e = c
 			}
 		case tta.Operand:
 			if dstUnit >= 0 {
-				if c := getU(lastTrigger, dstUnit); c >= 0 && c+1 > e {
+				if c := get(s.lastTrigger, dstUnit); c >= 0 && c+1 > e {
 					e = c + 1 // operand for the next trigger: after the last one
 				}
 			}
@@ -175,17 +217,14 @@ func scheduleBlock(blk block, t Target, buses int) ([]isa.Instruction, []jumpPat
 			for len(cycles) <= c {
 				cycles = append(cycles, isa.Instruction{})
 			}
-			ok := slotCount(c) < buses && !writtenAt[[2]int{c, int(m.Dst)}]
+			ok := slotCount(c) < buses && !writtenAt(c, m.Dst)
 			if ok && dstKind == tta.Trigger {
-				ok = !triggeredAt[[2]int{c, dstUnit}]
+				ok = !triggeredAt(c, dstUnit)
 			}
 			if ok {
 				break
 			}
 			c++
-		}
-		for len(cycles) <= c {
-			cycles = append(cycles, isa.Instruction{})
 		}
 		cycles[c].Moves = append(cycles[c].Moves, m)
 		if fm.jumpTo != "" {
@@ -193,30 +232,28 @@ func scheduleBlock(blk block, t Target, buses int) ([]isa.Instruction, []jumpPat
 		}
 
 		// Bookkeeping.
-		writtenAt[[2]int{c, int(m.Dst)}] = true
-		lastWrite[m.Dst] = maxInt(getS(lastWrite, m.Dst), c)
+		s.lastWrite[m.Dst-1] = maxInt(getS(s.lastWrite, m.Dst), c)
 		if dstKind == tta.Trigger {
-			triggeredAt[[2]int{c, dstUnit}] = true
-			lastTrigger[dstUnit] = maxInt(getU(lastTrigger, dstUnit), c)
+			s.lastTrigger[dstUnit] = maxInt(get(s.lastTrigger, dstUnit), c)
 			if h := t.UnitHazardClass(dstUnit); h != "" {
-				if old, ok := lastHazard[h]; !ok || c > old {
-					lastHazard[h] = c
+				if old, ok := s.lastHazard[h]; !ok || c > old {
+					s.lastHazard[h] = c
 				}
 			}
 		}
 		if !m.Src.Imm {
 			switch kindOf(t, m.Src.Socket) {
 			case tta.Register:
-				lastRegRead[m.Src.Socket] = maxInt(getS(lastRegRead, m.Src.Socket), c)
+				s.lastRegRead[m.Src.Socket-1] = maxInt(getS(s.lastRegRead, m.Src.Socket), c)
 			case tta.Result:
 				if u, ok := t.SocketUnit(m.Src.Socket); ok {
-					lastResultRead[u] = maxInt(getU(lastResultRead, u), c)
+					s.lastResultRead[u] = maxInt(get(s.lastResultRead, u), c)
 				}
 			}
 		}
 		for _, g := range m.Guard.Terms {
 			if u, ok := t.SignalUnit(g.Signal); ok {
-				lastGuardRead[u] = maxInt(getU(lastGuardRead, u), c)
+				s.lastGuardRead[u] = maxInt(get(s.lastGuardRead, u), c)
 			}
 		}
 		if c > maxPlaced {

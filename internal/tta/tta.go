@@ -134,8 +134,15 @@ type Machine struct {
 	// Trace, when non-nil, receives one record per executed cycle.
 	Trace func(TraceRecord)
 
-	// scratch reused across cycles
-	writes []pendingWrite
+	// Scratch reused across cycles so that the steady-state Step loop
+	// performs no heap allocation: pending writes, plus stamp arrays
+	// replacing the per-cycle "written this cycle" / "triggered this
+	// cycle" maps. An entry is considered set for the current cycle when
+	// its stamp equals the machine's cycle stamp.
+	writes    []pendingWrite
+	trigStamp []uint32 // per unit: stamp of the cycle that triggered it
+	wrStamp   []uint32 // per socket (index = SocketID-1): stamp of last write
+	stamp     uint32
 }
 
 type pendingWrite struct {
@@ -226,6 +233,8 @@ func New(name string, buses int, units []Unit) (*Machine, error) {
 			m.signalIDs[name] = isa.SignalID(len(m.signals) - 1)
 		}
 	}
+	m.trigStamp = make([]uint32, len(m.units))
+	m.wrStamp = make([]uint32, len(m.sockets))
 	return m, nil
 }
 
@@ -351,6 +360,12 @@ func (m *Machine) UnitOperandSockets(u int) []isa.SocketID {
 	return out
 }
 
+// SocketCount returns the number of sockets (IDs are 1..SocketCount).
+func (m *Machine) SocketCount() int { return len(m.sockets) }
+
+// UnitCount returns the number of functional units.
+func (m *Machine) UnitCount() int { return len(m.units) }
+
 // SocketNames lists every socket name in ID order.
 func (m *Machine) SocketNames() []string {
 	out := make([]string, len(m.sockets))
@@ -473,8 +488,14 @@ func (m *Machine) Step() error {
 		trace = &TraceRecord{Cycle: m.stats.Cycles, PC: m.pc}
 	}
 
-	triggered := make(map[int]bool) // unit index -> triggered this cycle
-	written := make(map[isa.SocketID]bool)
+	// Advance the cycle stamp; on wraparound every stale stamp is cleared
+	// so old cycles can never alias the current one.
+	m.stamp++
+	if m.stamp == 0 {
+		clear(m.trigStamp)
+		clear(m.wrStamp)
+		m.stamp = 1
+	}
 
 	for bus, mv := range in.Moves {
 		executed, err := m.guardHolds(mv.Guard)
@@ -482,21 +503,16 @@ func (m *Machine) Step() error {
 			return fmt.Errorf("tta: pc %d bus %d: %w", m.pc, bus, err)
 		}
 		var val uint32
-		var srcName string
 		if executed {
-			val, srcName, err = m.readSource(mv.Src)
+			val, err = m.readSource(mv.Src)
 			if err != nil {
 				return fmt.Errorf("tta: pc %d bus %d: %w", m.pc, bus, err)
 			}
-		} else if mv.Src.Imm {
-			srcName = fmt.Sprintf("#%d", mv.Src.Value)
-		} else {
-			srcName = m.SocketName(mv.Src.Socket)
 		}
 		if trace != nil {
 			trace.Moves = append(trace.Moves, TraceMove{
 				Bus: bus, Executed: executed,
-				Src: srcName, Dst: m.SocketName(mv.Dst), Value: val,
+				Src: m.sourceName(mv.Src), Dst: m.SocketName(mv.Dst), Value: val,
 			})
 		}
 		if !executed {
@@ -505,10 +521,10 @@ func (m *Machine) Step() error {
 		if mv.Dst == isa.InvalidSocket || int(mv.Dst) > len(m.sockets) {
 			return fmt.Errorf("tta: pc %d bus %d: bad destination socket %d", m.pc, bus, mv.Dst)
 		}
-		if written[mv.Dst] {
+		if m.wrStamp[mv.Dst-1] == m.stamp {
 			return fmt.Errorf("tta: pc %d: conflicting writes to %s", m.pc, m.SocketName(mv.Dst))
 		}
-		written[mv.Dst] = true
+		m.wrStamp[mv.Dst-1] = m.stamp
 		ref := m.sockets[mv.Dst-1]
 		switch {
 		case ref.unit < 0: // controller
@@ -524,11 +540,11 @@ func (m *Machine) Step() error {
 				return fmt.Errorf("tta: pc %d: write to result socket %s", m.pc, ref.name)
 			}
 			if ref.kind == Trigger {
-				if triggered[ref.unit] {
+				if m.trigStamp[ref.unit] == m.stamp {
 					return fmt.Errorf("tta: pc %d: unit %s triggered twice in one cycle",
 						m.pc, m.units[ref.unit].Name())
 				}
-				triggered[ref.unit] = true
+				m.trigStamp[ref.unit] = m.stamp
 			}
 			m.writes = append(m.writes, pendingWrite{ref: ref, val: val, bus: bus})
 		}
@@ -563,21 +579,30 @@ func (m *Machine) Step() error {
 	return nil
 }
 
-func (m *Machine) readSource(src isa.Source) (uint32, string, error) {
+func (m *Machine) readSource(src isa.Source) (uint32, error) {
 	if src.Imm {
-		return src.Value, fmt.Sprintf("#%d", src.Value), nil
+		return src.Value, nil
 	}
 	if src.Socket == isa.InvalidSocket || int(src.Socket) > len(m.sockets) {
-		return 0, "", fmt.Errorf("bad source socket %d", src.Socket)
+		return 0, fmt.Errorf("bad source socket %d", src.Socket)
 	}
 	ref := m.sockets[src.Socket-1]
 	if ref.unit < 0 {
-		return 0, "", fmt.Errorf("controller socket %s is not readable", ref.name)
+		return 0, fmt.Errorf("controller socket %s is not readable", ref.name)
 	}
 	if ref.kind != Result && ref.kind != Register {
-		return 0, "", fmt.Errorf("socket %s (%v) is not readable", ref.name, ref.kind)
+		return 0, fmt.Errorf("socket %s (%v) is not readable", ref.name, ref.kind)
 	}
-	return m.units[ref.unit].Read(ref.local), ref.name, nil
+	return m.units[ref.unit].Read(ref.local), nil
+}
+
+// sourceName formats a move source for trace records. It allocates, so
+// it is only called when tracing is enabled.
+func (m *Machine) sourceName(src isa.Source) string {
+	if src.Imm {
+		return fmt.Sprintf("#%d", src.Value)
+	}
+	return m.SocketName(src.Socket)
 }
 
 // Run executes until the machine halts or maxCycles elapse. It returns
