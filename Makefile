@@ -12,7 +12,7 @@ build:
 
 # Tier-1: the default suite, including the workers=1 vs workers=8
 # determinism tests and the bench_snapshot.txt cycle-count guard.
-test: build
+test: build vet
 	$(GO) test ./...
 
 # Race-detector pass over everything, exercising the dse worker pool

@@ -32,7 +32,14 @@ func main() {
 		config  = flag.String("config", "3bus1fu", "architecture: 1bus | 3bus1fu | 3bus3fu")
 		out     = flag.String("o", "", "write encoded program to this file")
 	)
+	var prof cliutil.Profiling
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	cfg, err := cliutil.ConfigByName(*config, 0)
 	if err != nil {

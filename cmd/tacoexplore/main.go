@@ -11,7 +11,9 @@
 //	tacoexplore -sweep packetsize       64..1500 B datagrams
 //	tacoexplore -sweep replication      1..3 replicated CNT/CMP/M
 //
-// Common flags: -packets, -entries, -seed, -workers.
+// Common flags: -packets, -entries, -seed, -workers, -json (structured
+// metrics with per-FU counters on stdout), -progress (live engine
+// progress on stderr), -cpuprofile/-memprofile.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"os"
 	"runtime"
 
+	"taco/internal/cliutil"
 	"taco/internal/core"
 	"taco/internal/dse"
 	"taco/internal/estimate"
@@ -39,36 +42,53 @@ func main() {
 		seed     = flag.Uint64("seed", 2003, "workload seed")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"parallel simulation workers (results are identical for any value)")
+		jsonOut  = flag.Bool("json", false, "emit per-instance metrics (with counters) as JSON on stdout")
+		progress = flag.Bool("progress", false, "report live engine progress on stderr")
 	)
+	var prof cliutil.Profiling
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	cons := core.PaperConstraints()
 	cons.TableEntries = *entries
 	sim := core.DefaultSimOptions()
 	sim.Packets = *packets
 	sim.Seed = *seed
+	// The JSON export is the consumer of the fine-grained counters, so
+	// -json switches them on for every simulated instance.
+	sim.Observe = *jsonOut
+
+	ctx := context.Background()
+	if *progress {
+		ctx = dse.WithProgress(ctx, dse.ProgressPrinter(os.Stderr))
+	}
 
 	if !*table1 && !*campower && !*auto && *sweep == "" {
 		*table1 = true // default action
 	}
 
 	if *table1 {
-		if err := runTable1(cons, sim, *workers); err != nil {
+		if err := runTable1(ctx, cons, sim, *workers, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
 	if *campower {
-		if err := runCAMPower(cons, sim, *workers); err != nil {
+		if err := runCAMPower(ctx, cons, sim, *workers); err != nil {
 			fatal(err)
 		}
 	}
 	if *auto {
-		if err := runAuto(cons, sim, *workers); err != nil {
+		if err := runAuto(ctx, cons, sim, *workers, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
 	if *sweep != "" {
-		if err := runSweep(*sweep, cons, sim, *workers); err != nil {
+		if err := runSweep(ctx, *sweep, cons, sim, *workers, *jsonOut); err != nil {
 			fatal(err)
 		}
 	}
@@ -79,14 +99,19 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runTable1(cons core.Constraints, sim core.SimOptions, workers int) error {
-	fmt.Printf("Table 1 — estimated minimum clock frequencies, areas and power\n")
-	fmt.Printf("constraint: %.0f Gbps, %d-byte datagrams (%.2f Mpps), %d-entry table, %s\n\n",
-		cons.ThroughputBps/1e9, cons.PacketBytes, cons.PacketRate()/1e6,
-		cons.TableEntries, cons.Tech.Name)
-	ms, err := dse.Table1(context.Background(), cons, sim, workers)
+func runTable1(ctx context.Context, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool) error {
+	if !jsonOut {
+		fmt.Printf("Table 1 — estimated minimum clock frequencies, areas and power\n")
+		fmt.Printf("constraint: %.0f Gbps, %d-byte datagrams (%.2f Mpps), %d-entry table, %s\n\n",
+			cons.ThroughputBps/1e9, cons.PacketBytes, cons.PacketRate()/1e6,
+			cons.TableEntries, cons.Tech.Name)
+	}
+	ms, err := dse.Table1(ctx, cons, sim, workers)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return dse.WriteMetricsJSON(os.Stdout, ms)
 	}
 	fmt.Print(core.FormatTable1(ms))
 	if best, ok := core.SelectBest(ms); ok {
@@ -97,8 +122,8 @@ func runTable1(cons core.Constraints, sim core.SimOptions, workers int) error {
 	return nil
 }
 
-func runCAMPower(cons core.Constraints, sim core.SimOptions, workers int) error {
-	ms, err := dse.Table1(context.Background(), cons, sim, workers)
+func runCAMPower(ctx context.Context, cons core.Constraints, sim core.SimOptions, workers int) error {
+	ms, err := dse.Table1(ctx, cons, sim, workers)
 	if err != nil {
 		return err
 	}
@@ -117,10 +142,19 @@ func runCAMPower(cons core.Constraints, sim core.SimOptions, workers int) error 
 	return nil
 }
 
-func runAuto(cons core.Constraints, sim core.SimOptions, workers int) error {
-	res, err := dse.ExploreCtx(context.Background(), cons, sim, 4, 3, workers)
+func runAuto(ctx context.Context, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool) error {
+	res, err := dse.ExploreCtx(ctx, cons, sim, 4, 3, workers)
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		ms := make([]core.Metrics, len(res.Ranked))
+		for i, c := range res.Ranked {
+			ms[i] = c.Metrics
+		}
+		fmt.Fprintf(os.Stderr, "tacoexplore: %d instances evaluated, %d pruned\n",
+			res.Evaluated, res.Pruned)
+		return dse.WriteMetricsJSON(os.Stdout, ms)
 	}
 	fmt.Printf("automated exploration: %d instances evaluated, %d pruned\n",
 		res.Evaluated, res.Pruned)
@@ -145,13 +179,13 @@ func runAuto(cons core.Constraints, sim core.SimOptions, workers int) error {
 	return nil
 }
 
-func runSweep(which string, cons core.Constraints, sim core.SimOptions, workers int) error {
-	ctx := context.Background()
+func runSweep(ctx context.Context, which string, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool) error {
+	// With -json every sweep collects its points (all kinds concatenated;
+	// each point's Kind/Config identifies it) and exports one array.
+	var jsonPts []dse.Point
 	switch which {
 	case "tablesize":
 		sizes := []int{10, 25, 50, 100, 250, 500, 1000}
-		fmt.Println("table-size sweep (1BUS/1FU): cycles/packet by implementation")
-		fmt.Printf("%8s %12s %12s %12s %12s\n", "entries", "sequential", "tree", "cam", "trie(model)")
 		rows := map[rtable.Kind][]dse.Point{}
 		for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
 			pts, err := dse.Sweep(ctx, dse.TableSizeInstances(fu.Config1Bus1FU(kind), sizes, cons, sim), workers)
@@ -159,7 +193,13 @@ func runSweep(which string, cons core.Constraints, sim core.SimOptions, workers 
 				return err
 			}
 			rows[kind] = pts
+			jsonPts = append(jsonPts, pts...)
 		}
+		if jsonOut {
+			break
+		}
+		fmt.Println("table-size sweep (1BUS/1FU): cycles/packet by implementation")
+		fmt.Printf("%8s %12s %12s %12s %12s\n", "entries", "sequential", "tree", "cam", "trie(model)")
 		for i, n := range sizes {
 			// The trie has no hardware unit; report its probe count as a
 			// software model reference.
@@ -173,6 +213,10 @@ func runSweep(which string, cons core.Constraints, sim core.SimOptions, workers 
 			pts, err := dse.Sweep(ctx, dse.BusInstances(kind, 4, cons, sim), workers)
 			if err != nil {
 				return err
+			}
+			if jsonOut {
+				jsonPts = append(jsonPts, pts...)
+				continue
 			}
 			fmt.Printf("bus sweep, %s:\n", kind)
 			for _, p := range pts {
@@ -189,6 +233,10 @@ func runSweep(which string, cons core.Constraints, sim core.SimOptions, workers 
 		if err != nil {
 			return err
 		}
+		if jsonOut {
+			jsonPts = append(jsonPts, pts...)
+			break
+		}
 		fmt.Printf("packet-size sweep (%s, CAM):\n", cfg.Name)
 		for _, p := range pts {
 			fmt.Printf("  %5d B: %6.1f cycles/packet, required %s\n",
@@ -201,6 +249,10 @@ func runSweep(which string, cons core.Constraints, sim core.SimOptions, workers 
 			if err != nil {
 				return err
 			}
+			if jsonOut {
+				jsonPts = append(jsonPts, pts...)
+				continue
+			}
 			fmt.Printf("replication sweep, %s (3 buses):\n", kind)
 			for _, p := range pts {
 				fmt.Printf("  %dx CNT/CMP/M: %7.1f cycles/packet, required %s, %.1f mm², %.2f W\n",
@@ -211,6 +263,9 @@ func runSweep(which string, cons core.Constraints, sim core.SimOptions, workers 
 		}
 	default:
 		return fmt.Errorf("unknown sweep %q", which)
+	}
+	if jsonOut {
+		return dse.WriteJSON(os.Stdout, jsonPts)
 	}
 	return nil
 }

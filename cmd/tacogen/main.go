@@ -30,7 +30,14 @@ func main() {
 		model  = flag.String("model", "all", "model: vhdl | library | json | matlab | all")
 		dir    = flag.String("dir", "", "write files into this directory instead of stdout")
 	)
+	var prof cliutil.Profiling
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	kind, err := cliutil.KindByName(*table)
 	if err != nil {

@@ -36,7 +36,14 @@ func main() {
 		verify  = flag.Bool("verify", true, "cross-check against the golden router")
 		prof    = flag.Bool("profile", false, "print per-region cycle attribution (bottleneck analysis)")
 	)
+	var pprofFlags cliutil.Profiling
+	pprofFlags.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := pprofFlags.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	kind, err := cliutil.KindByName(*table)
 	if err != nil {
@@ -102,6 +109,15 @@ func main() {
 	local := tr.LocalQueue()
 	fmt.Printf("  local deliveries: %d, dropped: %d\n",
 		len(local), len(pkts)-total-len(local))
+	maxIn, dropped := 0, int64(0)
+	for _, qs := range tr.QueueStats() {
+		if qs.MaxInDepth > maxIn {
+			maxIn = qs.MaxInDepth
+		}
+		dropped += qs.DroppedIn
+	}
+	fmt.Printf("  line-card queues: max input depth %d of %d, input drops %d\n",
+		maxIn, linecard.MaxQueue, dropped)
 	if lat := tr.Latency(); lat.Count > 0 {
 		fmt.Printf("  latency (cycles, store->transmit): min %d, mean %.0f, p99 %d, max %d\n",
 			lat.MinCycles, lat.MeanCycles, lat.P99Cycles, lat.MaxCycles)

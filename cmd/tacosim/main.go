@@ -6,9 +6,12 @@
 //
 //	tacosim -describe [-config 3bus3fu]
 //	tacosim -f prog.s [-config 1bus] [-trace] [-max 100000] [-read gpr.r0,gpr.r1]
+//	tacosim -f prog.s -trace-out trace.json   # open in ui.perfetto.dev
+//	tacosim -f prog.s -json                   # machine-readable run metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +20,7 @@ import (
 	"taco/internal/asm"
 	"taco/internal/cliutil"
 	"taco/internal/fu"
+	"taco/internal/obs"
 	"taco/internal/tta"
 )
 
@@ -26,9 +30,13 @@ func main() {
 		file     = flag.String("f", "", "assembly file to run")
 		config   = flag.String("config", "3bus1fu", "architecture: 1bus | 3bus1fu | 3bus3fu")
 		trace    = flag.Bool("trace", false, "print a per-cycle move trace")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto)")
+		jsonOut  = flag.Bool("json", false, "emit run metrics as JSON instead of text")
 		maxCy    = flag.Int64("max", 1_000_000, "cycle budget")
 		read     = flag.String("read", "", "comma-separated result/register sockets to print after the run")
 	)
+	var prof cliutil.Profiling
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	cfg, err := cliutil.ConfigByName(*config, 0)
@@ -47,6 +55,12 @@ func main() {
 	if *file == "" {
 		fatal(fmt.Errorf("nothing to do: pass -describe or -f prog.s"))
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	src, err := os.ReadFile(*file)
 	if err != nil {
 		fatal(err)
@@ -58,26 +72,65 @@ func main() {
 	if err := m.Load(prog); err != nil {
 		fatal(err)
 	}
+
+	ctrs := m.AttachCounters()
+
+	// Compose the requested trace sinks: the human-readable stdout trace
+	// and/or the Chrome trace-event stream.
+	var hooks []func(tta.TraceRecord)
 	if *trace {
+		hooks = append(hooks, printTrace)
+	}
+	var tw *obs.TraceWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+		hooks = append(hooks, m.TraceHook(tw))
+	}
+	switch len(hooks) {
+	case 0:
+	case 1:
+		m.Trace = hooks[0]
+	default:
 		m.Trace = func(r tta.TraceRecord) {
-			fmt.Printf("cycle %5d  pc %4d:", r.Cycle, r.PC)
-			for _, mv := range r.Moves {
-				mark := " "
-				if !mv.Executed {
-					mark = "✗"
-				}
-				fmt.Printf("  [%s %s -> %s = %d]", mark, mv.Src, mv.Dst, mv.Value)
+			for _, h := range hooks {
+				h(r)
 			}
-			fmt.Println()
 		}
 	}
+
 	cycles, err := m.Run(*maxCy)
 	if err != nil {
 		fatal(err)
 	}
+	if tw != nil {
+		if err := tw.Close(); err != nil {
+			fatal(fmt.Errorf("trace-out: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "tacosim: wrote %d trace events to %s\n", tw.Events(), *traceOut)
+	}
+
+	if *jsonOut {
+		if err := emitJSON(m, ctrs, *read); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	st := m.Stats()
 	fmt.Printf("halted after %d cycles; %d moves executed; bus utilization %.1f%%\n",
 		cycles, st.MovesExecuted, st.BusUtilization()*100)
+	for u, unit := range m.Units() {
+		if ctrs.UnitTriggers[u] == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s %5d triggers, %4.0f%% utilized\n",
+			unit.Name(), ctrs.UnitTriggers[u], ctrs.UnitUtilization(u)*100)
+	}
 	if *read != "" {
 		for _, name := range strings.Split(*read, ",") {
 			name = strings.TrimSpace(name)
@@ -89,6 +142,95 @@ func main() {
 			fmt.Printf("  %-12s = %d (0x%08x)\n", name, v, v)
 		}
 	}
+}
+
+// printTrace is the classic human-readable per-cycle trace line.
+func printTrace(r tta.TraceRecord) {
+	fmt.Printf("cycle %5d  pc %4d:", r.Cycle, r.PC)
+	for _, mv := range r.Moves {
+		mark := " "
+		if !mv.Executed {
+			mark = "✗"
+		}
+		fmt.Printf("  [%s %s -> %s = %d]", mark, mv.Src, mv.Dst, mv.Value)
+	}
+	fmt.Println()
+}
+
+// simJSON is tacosim's machine-readable run report.
+type simJSON struct {
+	Config         string
+	Buses          int
+	Cycles         int64
+	SlotsTotal     int64
+	SlotsEncoded   int64
+	MovesExecuted  int64
+	BusUtilization float64
+	BusOccupancy   []float64
+	FUs            []fuJSON
+	Sockets        []socketJSON `json:",omitempty"`
+	Reads          map[string]uint32
+}
+
+type fuJSON struct {
+	Unit        string
+	Triggers    int64
+	Results     int64
+	Utilization float64
+}
+
+// socketJSON is one row of the move heatmap (zero-activity sockets are
+// omitted).
+type socketJSON struct {
+	Socket string
+	Reads  int64
+	Writes int64
+}
+
+func emitJSON(m *tta.Machine, ctrs *obs.Counters, read string) error {
+	st := m.Stats()
+	out := simJSON{
+		Config:         m.Name(),
+		Buses:          m.Buses(),
+		Cycles:         st.Cycles,
+		SlotsTotal:     st.SlotsTotal,
+		SlotsEncoded:   st.SlotsEncoded,
+		MovesExecuted:  st.MovesExecuted,
+		BusUtilization: st.BusUtilization(),
+	}
+	for b := 0; b < m.Buses(); b++ {
+		out.BusOccupancy = append(out.BusOccupancy, ctrs.BusOccupancy(b))
+	}
+	for u, unit := range m.Units() {
+		out.FUs = append(out.FUs, fuJSON{
+			Unit:        unit.Name(),
+			Triggers:    ctrs.UnitTriggers[u],
+			Results:     ctrs.UnitResults[u],
+			Utilization: ctrs.UnitUtilization(u),
+		})
+	}
+	for i, name := range m.SocketNames() {
+		if ctrs.SocketReads[i] == 0 && ctrs.SocketWrites[i] == 0 {
+			continue
+		}
+		out.Sockets = append(out.Sockets, socketJSON{
+			Socket: name, Reads: ctrs.SocketReads[i], Writes: ctrs.SocketWrites[i],
+		})
+	}
+	if read != "" {
+		out.Reads = map[string]uint32{}
+		for _, name := range strings.Split(read, ",") {
+			name = strings.TrimSpace(name)
+			v, err := m.ReadSocket(name)
+			if err != nil {
+				return err
+			}
+			out.Reads[name] = v
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 func fatal(err error) {

@@ -1,0 +1,79 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling holds the -cpuprofile/-memprofile flags every cmd/ tool
+// shares, so any invocation can be fed straight to `go tool pprof`.
+//
+// Usage:
+//
+//	var prof cliutil.Profiling
+//	prof.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	if err != nil { ... }
+//	defer stop()
+type Profiling struct {
+	cpu string
+	mem string
+
+	cpuFile *os.File
+}
+
+// RegisterFlags adds the profiling flags to fs.
+func (p *Profiling) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// Start begins CPU profiling when requested and returns a stop function
+// that ends it and writes the heap profile. The stop function is always
+// non-nil and safe to defer, even when no flag was set or Start failed.
+func (p *Profiling) Start() (stop func(), err error) {
+	stop = p.stop
+	if p.cpu != "" {
+		p.cpuFile, err = os.Create(p.cpu)
+		if err != nil {
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(p.cpuFile); err != nil {
+			p.cpuFile.Close()
+			p.cpuFile = nil
+			return stop, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return stop, nil
+}
+
+// stop finishes the CPU profile and writes the heap profile. Errors on
+// this path go to stderr: the tool's real output is already complete,
+// and a failed profile write must not change its exit status.
+func (p *Profiling) stop() {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+		}
+		p.cpuFile = nil
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}
+}

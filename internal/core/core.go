@@ -22,6 +22,7 @@ import (
 	"taco/internal/estimate"
 	"taco/internal/fu"
 	"taco/internal/linecard"
+	"taco/internal/obs"
 	"taco/internal/router"
 	"taco/internal/rtable"
 	"taco/internal/workload"
@@ -85,6 +86,25 @@ type Metrics struct {
 	// Static program properties.
 	ProgramCycles int
 	ProgramMoves  int
+
+	// Fine-grained observability. LineCards (per-card queue counters,
+	// index Config-ifaces is the host card) is always populated;
+	// FUUtilization and BusOccupancy require SimOptions.Observe, which
+	// attaches an obs.Counters sink to the simulated machine.
+	LineCards     []linecard.Stats `json:",omitempty"`
+	FUUtilization []FUUtil         `json:",omitempty"`
+	// BusOccupancy is the per-bus fraction of cycles carrying an
+	// encoded move; its mean equals BusUtilization.
+	BusOccupancy []float64 `json:",omitempty"`
+}
+
+// FUUtil is one functional unit's observed activity during simulation —
+// the per-stage utilization that locates datapath bottlenecks.
+type FUUtil struct {
+	Unit     string
+	Triggers int64
+	// Utilization is triggers per executed cycle, in [0,1].
+	Utilization float64
 }
 
 // Acceptable reports whether the instance satisfies every constraint.
@@ -98,6 +118,13 @@ type SimOptions struct {
 	Seed      uint64
 	MissRatio float64
 	Ifaces    int
+
+	// Observe attaches per-bus/per-FU/per-socket counters to the
+	// simulated machine and surfaces them in Metrics.FUUtilization and
+	// Metrics.BusOccupancy. Off by default: the counters never perturb
+	// results, but recording them costs a few percent of simulation
+	// speed.
+	Observe bool
 }
 
 // DefaultSimOptions returns the evaluation workload used throughout the
@@ -124,6 +151,10 @@ func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) 
 	tr, err := router.NewTACO(cfg, tbl, sim.Ifaces)
 	if err != nil {
 		return Metrics{}, err
+	}
+	var ctrs *obs.Counters
+	if sim.Observe {
+		ctrs = tr.Machine.AttachCounters()
 	}
 	spec := workload.TrafficSpec{
 		Packets:   sim.Packets,
@@ -163,6 +194,22 @@ func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) 
 		MeetsArea:       est.AreaMM2 <= cons.MaxAreaMM2,
 		ProgramCycles:   tr.Sched.Cycles,
 		ProgramMoves:    tr.Sched.MovesOut,
+		LineCards:       tr.QueueStats(),
+	}
+	if ctrs != nil {
+		units := tr.Machine.Units()
+		m.FUUtilization = make([]FUUtil, len(units))
+		for u, unit := range units {
+			m.FUUtilization[u] = FUUtil{
+				Unit:        unit.Name(),
+				Triggers:    ctrs.UnitTriggers[u],
+				Utilization: ctrs.UnitUtilization(u),
+			}
+		}
+		m.BusOccupancy = make([]float64, cfg.Buses)
+		for b := range m.BusOccupancy {
+			m.BusOccupancy[b] = ctrs.BusOccupancy(b)
+		}
 	}
 	if cam, ok := tbl.(*rtable.CAMTable); ok {
 		m.CAMChipPowerW = cam.Config().ChipPowerW

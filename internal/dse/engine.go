@@ -3,8 +3,10 @@ package dse
 import (
 	"context"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"taco/internal/core"
 	"taco/internal/fu"
@@ -28,6 +30,63 @@ type Instance struct {
 	Sim  core.SimOptions
 }
 
+// ProgressReport is one live progress snapshot from the worker pool,
+// delivered after each completed instance.
+type ProgressReport struct {
+	Done, Total int
+	// Label names the instance that just finished; InstanceWall is its
+	// wall-clock evaluation time.
+	Label        string
+	InstanceWall time.Duration
+	// Elapsed is the wall-clock time since the pool started.
+	Elapsed time.Duration
+}
+
+// Rate returns the pool's aggregate throughput in instances/second.
+func (r ProgressReport) Rate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Done) / r.Elapsed.Seconds()
+}
+
+// ETA estimates the remaining wall-clock time from the current rate.
+func (r ProgressReport) ETA() time.Duration {
+	rate := r.Rate()
+	if rate == 0 {
+		return 0
+	}
+	return time.Duration(float64(r.Total-r.Done) / rate * float64(time.Second))
+}
+
+// progressKey carries the progress callback through a context, so every
+// engine entry point (Sweep, Table1, ExploreCtx) reports without
+// changing its signature.
+type progressKey struct{}
+
+// WithProgress returns a context that makes the evaluation engine call
+// fn after every completed instance. fn is called with a lock held —
+// reports never interleave — but from worker goroutines, so it must not
+// block for long.
+func WithProgress(ctx context.Context, fn func(ProgressReport)) context.Context {
+	return context.WithValue(ctx, progressKey{}, fn)
+}
+
+// ProgressPrinter returns a progress callback rendering a live one-line
+// meter ("\r"-rewritten, newline-terminated on completion) to w —
+// typically os.Stderr, keeping stdout clean for data exports.
+func ProgressPrinter(w io.Writer) func(ProgressReport) {
+	return func(r ProgressReport) {
+		fmt.Fprintf(w, "\r[%d/%d] %.1f inst/s, last %v (%s), ETA %v   ",
+			r.Done, r.Total, r.Rate(),
+			r.InstanceWall.Round(time.Millisecond), r.Label,
+			r.ETA().Round(time.Second))
+		if r.Done == r.Total {
+			fmt.Fprintln(w)
+		}
+	}
+}
+
 // evaluateInstances runs every instance across a pool of worker
 // goroutines and returns results and errors indexed exactly like insts —
 // the output order is the input order regardless of worker count or
@@ -47,6 +106,18 @@ func evaluateInstances(ctx context.Context, insts []Instance, workers int) ([]co
 	results := make([]core.Metrics, len(insts))
 	errs := make([]error, len(insts))
 
+	// Progress reporting is opt-in via WithProgress; when absent the
+	// workers take no clock readings at all.
+	report, _ := ctx.Value(progressKey{}).(func(ProgressReport))
+	var (
+		start time.Time
+		mu    sync.Mutex
+		done  int
+	)
+	if report != nil {
+		start = time.Now()
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -54,7 +125,21 @@ func evaluateInstances(ctx context.Context, insts []Instance, workers int) ([]co
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if report == nil {
+					results[i], errs[i] = core.Evaluate(insts[i].Cfg, insts[i].Cons, insts[i].Sim)
+					continue
+				}
+				t0 := time.Now()
 				results[i], errs[i] = core.Evaluate(insts[i].Cfg, insts[i].Cons, insts[i].Sim)
+				wall := time.Since(t0)
+				mu.Lock()
+				done++
+				report(ProgressReport{
+					Done: done, Total: len(insts),
+					Label: insts[i].Label, InstanceWall: wall,
+					Elapsed: time.Since(start),
+				})
+				mu.Unlock()
 			}
 		}()
 	}

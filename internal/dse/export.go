@@ -2,6 +2,7 @@ package dse
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 
@@ -44,6 +45,46 @@ func WriteMetricsCSV(w io.Writer, ms []core.Metrics) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// instanceJSON is the machine-readable export of one evaluated
+// instance: the full co-analysed Metrics (including the observability
+// fields when SimOptions.Observe collected them) plus the derived
+// verdict and, for sweep points, the swept parameter's value.
+type instanceJSON struct {
+	X *float64 `json:",omitempty"`
+	core.Metrics
+	// Kind shadows the embedded numeric enum with its name.
+	Kind       string
+	Acceptable bool
+}
+
+func jsonPoints(points []instanceJSON, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
+}
+
+// WriteJSON exports sweep points as an indented JSON array, one object
+// per instance carrying the swept X value.
+func WriteJSON(w io.Writer, points []Point) error {
+	out := make([]instanceJSON, len(points))
+	for i, p := range points {
+		x := p.X
+		out[i] = instanceJSON{X: &x, Metrics: p.Metrics,
+			Kind: p.Metrics.Kind.String(), Acceptable: p.Metrics.Acceptable()}
+	}
+	return jsonPoints(out, w)
+}
+
+// WriteMetricsJSON exports evaluation rows (e.g. the Table 1 set) as an
+// indented JSON array in input order.
+func WriteMetricsJSON(w io.Writer, ms []core.Metrics) error {
+	out := make([]instanceJSON, len(ms))
+	for i, m := range ms {
+		out[i] = instanceJSON{Metrics: m, Kind: m.Kind.String(), Acceptable: m.Acceptable()}
+	}
+	return jsonPoints(out, w)
 }
 
 func metricsRow(x float64, m core.Metrics) []string {

@@ -43,6 +43,12 @@ type Stats struct {
 	Consumed    int64 // datagrams read by the processor
 	Transmitted int64 // datagrams written by the processor
 	DroppedIn   int64 // input datagrams dropped on overflow
+
+	// MaxInDepth and MaxOutDepth record the deepest observed input and
+	// output queues — the card's high-water marks under the simulated
+	// load, reported alongside the router's metrics.
+	MaxInDepth  int
+	MaxOutDepth int
 }
 
 // MaxQueue bounds each queue; a full input queue drops (as real cards
@@ -68,6 +74,9 @@ func (c *Card) Deliver(d Datagram) bool {
 	}
 	c.in = append(c.in, d)
 	c.stats.Received++
+	if depth := c.InputLen(); depth > c.stats.MaxInDepth {
+		c.stats.MaxInDepth = depth
+	}
 	return true
 }
 
@@ -98,6 +107,9 @@ func (c *Card) WriteOutput(d Datagram) error {
 	}
 	c.out = append(c.out, d)
 	c.stats.Transmitted++
+	if depth := len(c.out); depth > c.stats.MaxOutDepth {
+		c.stats.MaxOutDepth = depth
+	}
 	return nil
 }
 

@@ -36,6 +36,68 @@ func TestOverflowDrops(t *testing.T) {
 	}
 }
 
+// TestOverflowVisibleInStats drives the input queue past MaxQueue and
+// checks the overload is observable in the counters: the high-water
+// mark pins at the queue bound and every excess datagram is counted as
+// dropped.
+func TestOverflowVisibleInStats(t *testing.T) {
+	c := New(0)
+	const excess = 7
+	for i := 0; i < MaxQueue+excess; i++ {
+		c.Deliver(Datagram{})
+	}
+	st := c.Stats()
+	if st.MaxInDepth != MaxQueue {
+		t.Errorf("MaxInDepth = %d, want %d", st.MaxInDepth, MaxQueue)
+	}
+	if st.DroppedIn != excess {
+		t.Errorf("DroppedIn = %d, want %d", st.DroppedIn, excess)
+	}
+	if st.Received != MaxQueue {
+		t.Errorf("Received = %d, want %d", st.Received, MaxQueue)
+	}
+
+	// The high-water mark survives draining…
+	for c.InputPending() {
+		c.ReadInput()
+	}
+	if st := c.Stats(); st.MaxInDepth != MaxQueue {
+		t.Errorf("MaxInDepth after drain = %d, want %d", st.MaxInDepth, MaxQueue)
+	}
+	// …and Reset clears it.
+	c.Reset()
+	if st := c.Stats(); st.MaxInDepth != 0 || st.DroppedIn != 0 {
+		t.Errorf("stats after Reset = %+v", st)
+	}
+}
+
+// TestMaxDepthTracksHighWater checks MaxInDepth/MaxOutDepth follow the
+// deepest observed queue, not the current one.
+func TestMaxDepthTracksHighWater(t *testing.T) {
+	c := New(1)
+	for i := 0; i < 5; i++ {
+		c.Deliver(Datagram{})
+	}
+	c.ReadInput()
+	c.ReadInput()
+	c.Deliver(Datagram{}) // depth back to 4; high water stays 5
+	if st := c.Stats(); st.MaxInDepth != 5 {
+		t.Errorf("MaxInDepth = %d, want 5", st.MaxInDepth)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.WriteOutput(Datagram{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.DrainOutput()
+	if err := c.WriteOutput(Datagram{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.MaxOutDepth != 3 {
+		t.Errorf("MaxOutDepth = %d, want 3", st.MaxOutDepth)
+	}
+}
+
 func TestOutputQueue(t *testing.T) {
 	c := New(2)
 	for i := int64(0); i < 3; i++ {

@@ -1,0 +1,103 @@
+// Package obs is the simulator's observability layer: fine-grained
+// execution counters and a Chrome trace-event writer, both designed to
+// cost nothing when disabled. The paper's methodology co-analyses
+// simulation observables (cycles/datagram, bus utilization); this
+// package extends those aggregates to per-bus, per-unit and per-socket
+// resolution so a bottleneck can be *located*, not just measured.
+//
+// The package depends only on the standard library. The machine model
+// (internal/tta) holds an optional *Counters sink and feeds it from the
+// execution loop behind a single nil check; internal/tta also provides
+// the adapter that streams its trace records into a TraceWriter.
+package obs
+
+// Counters accumulates per-component activity for one machine. All
+// fields are flat slices indexed by the machine's dense bus, unit and
+// socket IDs — no maps anywhere near the hot path. A nil *Counters is
+// the disabled state; the recording site performs one nil check per
+// cycle and no other work.
+type Counters struct {
+	// Cycles counts executed cycles.
+	Cycles int64
+
+	// BusEncoded counts, per bus, the slots that carried an encoded
+	// move (guard true or false). Summed over buses it equals the
+	// machine's Stats.SlotsEncoded.
+	BusEncoded []int64
+	// BusExecuted counts, per bus, the moves whose guard held. Summed
+	// over buses it equals Stats.MovesExecuted.
+	BusExecuted []int64
+
+	// UnitTriggers counts, per functional unit, trigger-socket writes —
+	// the number of operations the unit actually started.
+	UnitTriggers []int64
+	// UnitResults counts, per functional unit, reads of its Result
+	// sockets — how often the unit's outputs were consumed.
+	UnitResults []int64
+
+	// SocketReads and SocketWrites are the move heatmap: executed moves
+	// by source and destination socket, indexed by SocketID-1.
+	// Controller destinations (nc.jmp, nc.halt) are counted in
+	// SocketWrites like any other socket.
+	SocketReads  []int64
+	SocketWrites []int64
+}
+
+// NewCounters returns a Counters sized for a machine with the given
+// bus, functional-unit and socket counts.
+func NewCounters(buses, units, sockets int) *Counters {
+	return &Counters{
+		BusEncoded:   make([]int64, buses),
+		BusExecuted:  make([]int64, buses),
+		UnitTriggers: make([]int64, units),
+		UnitResults:  make([]int64, units),
+		SocketReads:  make([]int64, sockets),
+		SocketWrites: make([]int64, sockets),
+	}
+}
+
+// Reset zeroes every counter, keeping the slices.
+func (c *Counters) Reset() {
+	c.Cycles = 0
+	for _, s := range [][]int64{
+		c.BusEncoded, c.BusExecuted, c.UnitTriggers,
+		c.UnitResults, c.SocketReads, c.SocketWrites,
+	} {
+		clear(s)
+	}
+}
+
+func sum(s []int64) int64 {
+	var t int64
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// EncodedTotal sums BusEncoded; it must equal Stats.SlotsEncoded.
+func (c *Counters) EncodedTotal() int64 { return sum(c.BusEncoded) }
+
+// ExecutedTotal sums BusExecuted; it must equal Stats.MovesExecuted.
+func (c *Counters) ExecutedTotal() int64 { return sum(c.BusExecuted) }
+
+// TriggerTotal sums UnitTriggers over every unit.
+func (c *Counters) TriggerTotal() int64 { return sum(c.UnitTriggers) }
+
+// BusOccupancy returns the fraction of cycles in which bus carried an
+// encoded move, in [0,1].
+func (c *Counters) BusOccupancy(bus int) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.BusEncoded[bus]) / float64(c.Cycles)
+}
+
+// UnitUtilization returns the fraction of cycles in which unit u was
+// triggered, in [0,1] — the per-FU analogue of bus utilization.
+func (c *Counters) UnitUtilization(u int) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.UnitTriggers[u]) / float64(c.Cycles)
+}

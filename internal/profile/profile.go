@@ -107,15 +107,47 @@ func (p *Profile) Regions() []Region {
 	return out
 }
 
-// RegionCycles returns the cycle count for a named region (0 when the
-// label does not exist).
-func (p *Profile) RegionCycles(label string) int64 {
+// FindRegion resolves a region query: an exact label match always
+// wins; otherwise label is treated as a substring, which must identify
+// exactly one region. Candidate labels are scanned in sorted order, so
+// a (reported) ambiguity lists them deterministically regardless of the
+// program's label layout.
+func (p *Profile) FindRegion(label string) (Region, error) {
+	var matches []Region
 	for _, r := range p.regions {
-		if r.Label == label || strings.Contains(r.Label, label) {
-			return r.Cycles
+		if r.Label == label {
+			return r, nil
+		}
+		if strings.Contains(r.Label, label) {
+			matches = append(matches, r)
 		}
 	}
-	return 0
+	sort.Slice(matches, func(i, j int) bool { return matches[i].Label < matches[j].Label })
+	switch len(matches) {
+	case 0:
+		return Region{}, fmt.Errorf("profile: no region matches %q", label)
+	case 1:
+		return matches[0], nil
+	}
+	labels := make([]string, len(matches))
+	for i, r := range matches {
+		labels[i] = r.Label
+	}
+	return Region{}, fmt.Errorf("profile: %q is ambiguous: matches %s",
+		label, strings.Join(labels, ", "))
+}
+
+// RegionCycles returns the cycle count for a named region — exact label
+// match first, then a substring match that must be unique (see
+// FindRegion). It returns 0 when the query matches no region or is
+// ambiguous, so an imprecise query can never silently return the wrong
+// region's cycles.
+func (p *Profile) RegionCycles(label string) int64 {
+	r, err := p.FindRegion(label)
+	if err != nil {
+		return 0
+	}
+	return r.Cycles
 }
 
 // String renders the profile as a table.

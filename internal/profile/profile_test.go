@@ -133,6 +133,53 @@ func TestColocatedLabels(t *testing.T) {
 	}
 }
 
+// TestRegionLookupDeterminism is the regression test for the fuzzy
+// region query: an exact match must win even when it is a substring of
+// other labels, and an ambiguous substring must be rejected instead of
+// silently resolving to an arbitrary region.
+func TestRegionLookupDeterminism(t *testing.T) {
+	prog := isaProgram(8, map[string]int{
+		"lookup":      0, // exact label, also a substring of the next two
+		"lookup_fast": 2,
+		"lookup_slow": 4,
+		"store":       6,
+	})
+	p := New(prog)
+
+	// Exact match beats the substring fallback.
+	r, err := p.FindRegion("lookup")
+	if err != nil {
+		t.Fatalf("FindRegion(lookup): %v", err)
+	}
+	if r.Label != "lookup" || r.Start != 0 || r.End != 2 {
+		t.Fatalf("FindRegion(lookup) = %+v, want the exact region [0,2)", r)
+	}
+
+	// A unique substring resolves.
+	r, err = p.FindRegion("slow")
+	if err != nil {
+		t.Fatalf("FindRegion(slow): %v", err)
+	}
+	if r.Label != "lookup_slow" {
+		t.Fatalf("FindRegion(slow) = %q, want lookup_slow", r.Label)
+	}
+
+	// An ambiguous substring errors, listing candidates in sorted order.
+	if _, err := p.FindRegion("lookup_"); err == nil {
+		t.Fatal("FindRegion(lookup_) resolved an ambiguous query")
+	} else if want := "lookup_fast, lookup_slow"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("ambiguity error %q does not list %q", err, want)
+	}
+	if got := p.RegionCycles("lookup_"); got != 0 {
+		t.Fatalf("RegionCycles(ambiguous) = %d, want 0", got)
+	}
+
+	// A miss errors (and reports 0 cycles).
+	if _, err := p.FindRegion("nosuch"); err == nil {
+		t.Fatal("FindRegion(nosuch) succeeded")
+	}
+}
+
 // isaProgram builds a trivial n-instruction program with the given labels.
 func isaProgram(n int, labels map[string]int) *progT {
 	p := newProg()

@@ -155,6 +155,18 @@ func (t *TACO) Latency() LatencySummary {
 	}
 }
 
+// QueueStats returns every line card's queue counters in interface
+// order; index Ifaces() is the host card. The counters expose drops and
+// the high-water queue depths, making overload visible in the router's
+// reported metrics instead of only in a failed run.
+func (t *TACO) QueueStats() []linecard.Stats {
+	out := make([]linecard.Stats, t.Bank.Len())
+	for i := range out {
+		out[i] = t.Bank.Card(i).Stats()
+	}
+	return out
+}
+
 // CyclesPerPacket reports total executed cycles divided by datagrams
 // popped — the metric behind Table 1's required clock frequency.
 func (t *TACO) CyclesPerPacket() float64 {

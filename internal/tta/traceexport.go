@@ -1,0 +1,55 @@
+package tta
+
+import (
+	"fmt"
+
+	"taco/internal/obs"
+)
+
+// Trace-export track layout: one process per component class, one
+// thread per bus / per functional unit.
+const (
+	tracePIDBuses = 1
+	tracePIDUnits = 2
+)
+
+// TraceHook returns a Machine.Trace function that converts each cycle's
+// TraceRecord into Chrome trace events on tw: every encoded move
+// becomes a one-cycle slice on its bus's track (guard-failed moves are
+// marked executed=false), and every trigger-socket write becomes a
+// one-cycle slice on the triggered unit's track. One simulated cycle
+// maps to one microsecond of trace time, so timestamps are
+// monotonically non-decreasing in emission order.
+//
+// The hook also emits the track-naming metadata immediately, so the
+// resulting file is self-describing when opened in Perfetto.
+func (m *Machine) TraceHook(tw *obs.TraceWriter) func(TraceRecord) {
+	tw.ProcessName(tracePIDBuses, m.name+" buses")
+	tw.ProcessName(tracePIDUnits, m.name+" functional units")
+	for b := 0; b < m.buses; b++ {
+		tw.ThreadName(tracePIDBuses, b, fmt.Sprintf("bus%d", b))
+	}
+	for u, unit := range m.units {
+		tw.ThreadName(tracePIDUnits, u, unit.Name())
+	}
+	return func(r TraceRecord) {
+		for _, mv := range r.Moves {
+			args := map[string]any{"value": mv.Value}
+			if !mv.Executed {
+				args["executed"] = false
+			}
+			tw.Complete(tracePIDBuses, mv.Bus, mv.Src+" -> "+mv.Dst, r.Cycle, 1, args)
+			if !mv.Executed {
+				continue
+			}
+			id, ok := m.socketIDs[mv.Dst]
+			if !ok {
+				continue
+			}
+			ref := m.sockets[id-1]
+			if ref.unit >= 0 && ref.kind == Trigger {
+				tw.Complete(tracePIDUnits, ref.unit, mv.Dst, r.Cycle, 1, nil)
+			}
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"taco/internal/isa"
+	"taco/internal/obs"
 )
 
 // SocketKind classifies a functional-unit socket.
@@ -133,6 +134,11 @@ type Machine struct {
 
 	// Trace, when non-nil, receives one record per executed cycle.
 	Trace func(TraceRecord)
+
+	// Counters, when non-nil, receives per-bus, per-unit and per-socket
+	// activity counts every cycle. A nil sink costs one pointer check
+	// per cycle; see AttachCounters.
+	Counters *obs.Counters
 
 	// Scratch reused across cycles so that the steady-state Step loop
 	// performs no heap allocation: pending writes, plus stamp arrays
@@ -404,6 +410,17 @@ func (m *Machine) Reset() {
 	m.pc = 0
 	m.halted = false
 	m.stats = Stats{}
+	if m.Counters != nil {
+		m.Counters.Reset()
+	}
+}
+
+// AttachCounters installs (and returns) a counters sink sized for this
+// machine's buses, units and sockets. Passing the result to obs-aware
+// reporting code is the caller's business; the machine only fills it.
+func (m *Machine) AttachCounters() *obs.Counters {
+	m.Counters = obs.NewCounters(m.buses, len(m.units), len(m.sockets))
+	return m.Counters
 }
 
 // PC returns the current program counter.
@@ -509,6 +526,18 @@ func (m *Machine) Step() error {
 				return fmt.Errorf("tta: pc %d bus %d: %w", m.pc, bus, err)
 			}
 		}
+		if c := m.Counters; c != nil {
+			c.BusEncoded[bus]++
+			if executed {
+				c.BusExecuted[bus]++
+				if !mv.Src.Imm {
+					c.SocketReads[mv.Src.Socket-1]++
+					if src := m.sockets[mv.Src.Socket-1]; src.kind == Result {
+						c.UnitResults[src.unit]++
+					}
+				}
+			}
+		}
 		if trace != nil {
 			trace.Moves = append(trace.Moves, TraceMove{
 				Bus: bus, Executed: executed,
@@ -525,6 +554,9 @@ func (m *Machine) Step() error {
 			return fmt.Errorf("tta: pc %d: conflicting writes to %s", m.pc, m.SocketName(mv.Dst))
 		}
 		m.wrStamp[mv.Dst-1] = m.stamp
+		if c := m.Counters; c != nil {
+			c.SocketWrites[mv.Dst-1]++
+		}
 		ref := m.sockets[mv.Dst-1]
 		switch {
 		case ref.unit < 0: // controller
@@ -545,6 +577,9 @@ func (m *Machine) Step() error {
 						m.pc, m.units[ref.unit].Name())
 				}
 				m.trigStamp[ref.unit] = m.stamp
+				if c := m.Counters; c != nil {
+					c.UnitTriggers[ref.unit]++
+				}
 			}
 			m.writes = append(m.writes, pendingWrite{ref: ref, val: val, bus: bus})
 		}
@@ -564,6 +599,9 @@ func (m *Machine) Step() error {
 	m.stats.Cycles++
 	m.stats.SlotsTotal += int64(m.buses)
 	m.stats.SlotsEncoded += int64(len(in.Moves))
+	if c := m.Counters; c != nil {
+		c.Cycles++
+	}
 
 	if trace != nil {
 		m.Trace(*trace)

@@ -35,6 +35,7 @@ import (
 	"taco/internal/estimate"
 	"taco/internal/fu"
 	"taco/internal/linecard"
+	"taco/internal/obs"
 	"taco/internal/profile"
 	"taco/internal/ripng"
 	"taco/internal/router"
@@ -139,6 +140,19 @@ type (
 	// Profile attributes executed cycles to program regions.
 	Profile = profile.Profile
 )
+
+// Observability.
+type (
+	// Counters is the fine-grained per-bus/per-FU/per-socket counter
+	// sink; attach with Machine.AttachCounters.
+	Counters = obs.Counters
+	// TraceWriter streams Chrome trace-event JSON; feed it from
+	// Machine.TraceHook and open the file in Perfetto.
+	TraceWriter = obs.TraceWriter
+)
+
+// NewTraceWriter starts a trace-event document on w.
+var NewTraceWriter = obs.NewTraceWriter
 
 // NewProfile builds a cycle profile over a program's labels; install
 // its Hook as the machine's Trace to collect.
