@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race fuzz bench snapshot vet
+.PHONY: all build test race slow fuzz fuzz-router fuzz-lpm bench snapshot vet
 
 all: build test
 
@@ -20,11 +20,23 @@ test: build vet
 race:
 	$(GO) test -race ./...
 
-# Short differential fuzz burst (golden router vs TACO); extend
-# FUZZTIME for longer campaigns.
+# Long-campaign suite: the -tags slow build adds the extended
+# differential LPM churn runs on top of the default tests.
+slow:
+	$(GO) test -tags slow ./...
+
+# Short differential fuzz bursts (one -fuzz pattern per go test
+# invocation); extend FUZZTIME for longer campaigns.
 FUZZTIME ?= 30s
-fuzz:
+fuzz: fuzz-router fuzz-lpm
+
+# Golden router vs TACO processor on generated datagrams.
+fuzz-router:
 	$(GO) test ./internal/router -run xxx -fuzz FuzzGoldenVsTACO -fuzztime $(FUZZTIME)
+
+# All five routing-table backends in lockstep on decoded op streams.
+fuzz-lpm:
+	$(GO) test ./internal/rtable -run xxx -fuzz FuzzLPMBackends -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"taco/internal/core"
 	"taco/internal/fu"
 	"taco/internal/linecard"
 	"taco/internal/router"
@@ -127,5 +128,43 @@ func TestBenchSnapshotCycles(t *testing.T) {
 	}
 	if cells != 9 {
 		t.Errorf("guarded %d Table 1 cells, want 9", cells)
+	}
+}
+
+// TestScaledAnchorsMatchTable1 extends the guard to the scaling
+// methodology: EvaluateScaled's cycle-accurate anchor runs must be
+// bit-identical to a direct Evaluate of the same instance, proving the
+// model-based path reuses the untouched paper-scale flow (and therefore
+// cannot drift Table 1). Exact float equality is intentional.
+func TestScaledAnchorsMatchTable1(t *testing.T) {
+	cons := core.PaperConstraints()
+	sim := core.DefaultSimOptions()
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		cfg := fu.Config1Bus1FU(kind)
+		spec := core.ScaleSpec{Kind: kind, Entries: cons.TableEntries}
+		sm, err := core.EvaluateScaled(cfg, spec, cons, sim)
+		if err != nil {
+			t.Fatalf("%v: EvaluateScaled: %v", kind, err)
+		}
+		if sm.ScaleModel == nil {
+			t.Fatalf("%v: no ScaleModel recorded", kind)
+		}
+		for i, n := range sm.ScaleModel.AnchorEntries {
+			aCons := cons
+			aCons.TableEntries = n
+			dm, err := core.Evaluate(cfg, aCons, sim)
+			if err != nil {
+				t.Fatalf("%v: Evaluate at %d entries: %v", kind, n, err)
+			}
+			if got, want := sm.ScaleModel.AnchorCycles[i], dm.CyclesPerPacket; got != want {
+				t.Errorf("%v: anchor %d entries: scaled model saw %v cycles/packet, direct evaluation %v",
+					kind, n, got, want)
+			}
+			wantProbes := float64(dm.RTULoads) / float64(dm.PacketsRun)
+			if got := sm.ScaleModel.AnchorProbes[i]; got != wantProbes {
+				t.Errorf("%v: anchor %d entries: scaled model saw %v probes/packet, hardware counters %v",
+					kind, n, got, wantProbes)
+			}
+		}
 	}
 }

@@ -10,6 +10,12 @@
 //	tacoexplore -sweep buses            1..4 buses
 //	tacoexplore -sweep packetsize       64..1500 B datagrams
 //	tacoexplore -sweep replication      1..3 replicated CNT/CMP/M
+//	tacoexplore -sweep largetable       kind × size up to 10⁶ routes
+//	                                    (model-based; see EXPERIMENTS.md)
+//
+// The large-table sweep takes -table-kind (comma-separated:
+// seq,tree,cam,multibit,trie) and -table-size (comma-separated entry
+// counts), plus -churn to play an update stream into each table first.
 //
 // Common flags: -packets, -entries, -seed, -workers, -json (structured
 // metrics with per-FU counters on stdout), -progress (live engine
@@ -22,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 
 	"taco/internal/cliutil"
 	"taco/internal/core"
@@ -36,14 +44,20 @@ func main() {
 		table1   = flag.Bool("table1", false, "regenerate the paper's Table 1")
 		campower = flag.Bool("campower", false, "CAM power-parity analysis (paper §4)")
 		auto     = flag.Bool("auto", false, "automated design-space exploration")
-		sweep    = flag.String("sweep", "", "sweep: tablesize | buses | packetsize | replication")
+		sweep    = flag.String("sweep", "", "sweep: tablesize | buses | packetsize | replication | largetable")
 		packets  = flag.Int("packets", 64, "datagrams to simulate per instance")
 		entries  = flag.Int("entries", 100, "routing-table entries")
 		seed     = flag.Uint64("seed", 2003, "workload seed")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"parallel simulation workers (results are identical for any value)")
-		jsonOut  = flag.Bool("json", false, "emit per-instance metrics (with counters) as JSON on stdout")
-		progress = flag.Bool("progress", false, "report live engine progress on stderr")
+		jsonOut   = flag.Bool("json", false, "emit per-instance metrics (with counters) as JSON on stdout")
+		progress  = flag.Bool("progress", false, "report live engine progress on stderr")
+		tableKind = flag.String("table-kind", "seq,tree,cam,multibit",
+			"largetable sweep: comma-separated table kinds")
+		tableSize = flag.String("table-size", "10000,100000,1000000",
+			"largetable sweep: comma-separated entry counts")
+		churn = flag.Int("churn", 0,
+			"largetable sweep: update-churn operations applied before measurement")
 	)
 	var prof cliutil.Profiling
 	prof.RegisterFlags(flag.CommandLine)
@@ -88,10 +102,39 @@ func main() {
 		}
 	}
 	if *sweep != "" {
-		if err := runSweep(ctx, *sweep, cons, sim, *workers, *jsonOut); err != nil {
+		lt := largeOpts{kinds: *tableKind, sizes: *tableSize, churn: *churn}
+		if err := runSweep(ctx, *sweep, cons, sim, *workers, *jsonOut, lt); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// largeOpts carries the raw -table-kind/-table-size/-churn flags into
+// the largetable sweep.
+type largeOpts struct {
+	kinds string
+	sizes string
+	churn int
+}
+
+// parseSizes parses a comma-separated entry-count list.
+func parseSizes(list string) ([]int, error) {
+	var sizes []int
+	for _, s := range strings.Split(list, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad table size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no table sizes given")
+	}
+	return sizes, nil
 }
 
 func fatal(err error) {
@@ -179,7 +222,7 @@ func runAuto(ctx context.Context, cons core.Constraints, sim core.SimOptions, wo
 	return nil
 }
 
-func runSweep(ctx context.Context, which string, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool) error {
+func runSweep(ctx context.Context, which string, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool, lt largeOpts) error {
 	// With -json every sweep collects its points (all kinds concatenated;
 	// each point's Kind/Config identifies it) and exports one array.
 	var jsonPts []dse.Point
@@ -260,6 +303,53 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 					estimate.FormatHz(p.Metrics.RequiredClockHz),
 					p.Metrics.Est.AreaMM2, p.Metrics.Est.PowerW)
 			}
+		}
+	case "largetable":
+		kinds, err := cliutil.KindsByNames(lt.kinds)
+		if err != nil {
+			return err
+		}
+		sizes, err := parseSizes(lt.sizes)
+		if err != nil {
+			return err
+		}
+		// The scaled evaluator has no simulated machine to observe; keep
+		// the anchors' counters off so anchor results match -table1 runs.
+		ltSim := sim
+		ltSim.Observe = false
+		pts, err := dse.Sweep(ctx, dse.LargeTableInstances(kinds, sizes, lt.churn, cons, ltSim), workers)
+		if err != nil {
+			return err
+		}
+		if jsonOut {
+			jsonPts = append(jsonPts, pts...)
+			break
+		}
+		fmt.Println("large-table sweep (1BUS/1FU, model-based: anchored cycles + measured probes + table SRAM):")
+		fmt.Printf("%-13s %9s %12s %9s %12s %10s %9s %11s  %s\n",
+			"kind", "entries", "cycles/pkt", "probes", "req clock", "area mm²", "power W", "table mem", "verdict")
+		for _, p := range pts {
+			m := p.Metrics
+			verdict := "OK"
+			switch {
+			case !m.ClockFeasible:
+				verdict = "NA (clock)"
+			case !m.MeetsArea:
+				verdict = "area"
+			case !m.MeetsPower:
+				verdict = "power"
+			}
+			mem := "-"
+			if m.TableMem != nil {
+				mem = estimate.FormatBits(m.TableMem.Bits)
+				if m.TableMem.CAMChips > 0 {
+					mem = fmt.Sprintf("%d CAM chip(s)", m.TableMem.CAMChips)
+				}
+			}
+			fmt.Printf("%-13s %9d %12.1f %9.1f %12s %10.1f %9.2f %11s  %s\n",
+				m.Kind, m.TableEntries, m.CyclesPerPacket, m.AvgProbesPerPacket,
+				estimate.FormatHz(m.RequiredClockHz), m.Est.AreaMM2, m.Est.PowerW,
+				mem, verdict)
 		}
 	default:
 		return fmt.Errorf("unknown sweep %q", which)

@@ -22,8 +22,28 @@ func KindByName(name string) (rtable.Kind, error) {
 		return rtable.CAM, nil
 	case "trie":
 		return rtable.Trie, nil
+	case "multibit", "lctrie", "lc-trie":
+		return rtable.Multibit, nil
 	}
-	return 0, fmt.Errorf("unknown table %q (sequential | tree | cam | trie)", name)
+	return 0, fmt.Errorf("unknown table %q (sequential | tree | cam | trie | multibit)", name)
+}
+
+// KindsByNames parses a comma-separated list of table implementation
+// names ("seq,tree,cam,multibit").
+func KindsByNames(list string) ([]rtable.Kind, error) {
+	var kinds []rtable.Kind
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		k, err := KindByName(name)
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 // ConfigByName parses an architecture instance name for a table kind.

@@ -87,6 +87,18 @@ type Metrics struct {
 	ProgramCycles int
 	ProgramMoves  int
 
+	// RTULoads is the routing-table unit's hardware access counter over
+	// the whole run (entry loads, node loads or CAM searches depending
+	// on the backend) — the exact probe count the scaling model
+	// calibrates against.
+	RTULoads int64 `json:",omitempty"`
+
+	// Large-database scaling results (EvaluateScaled only).
+	TableEntries       int                `json:",omitempty"`
+	AvgProbesPerPacket float64            `json:",omitempty"`
+	TableMem           *estimate.TableMem `json:",omitempty"`
+	ScaleModel         *ScaleModel        `json:",omitempty"`
+
 	// Fine-grained observability. LineCards (per-card queue counters,
 	// index Config-ifaces is the host card) is always populated;
 	// FUUtilization and BusOccupancy require SimOptions.Observe, which
@@ -213,6 +225,14 @@ func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) 
 	}
 	if cam, ok := tbl.(*rtable.CAMTable); ok {
 		m.CAMChipPowerW = cam.Config().ChipPowerW
+	}
+	switch u := tr.Units.RTU.(type) {
+	case *fu.RTUSeq:
+		m.RTULoads = u.Loads()
+	case *fu.RTUTree:
+		m.RTULoads = u.Loads()
+	case *fu.RTUCAM:
+		m.RTULoads = u.Searches()
 	}
 	return m, nil
 }

@@ -1,0 +1,221 @@
+// Model-based scaled evaluation: the large-database answer to the
+// question the paper's Table 1 leaves open. Cycle-accurate simulation of
+// a million-route table is out of reach (the sequential scan alone is
+// 10⁶ probes per datagram), so the evaluator calibrates a two-point
+// linear cycle model from small cycle-accurate anchor runs —
+//
+//	cycles(n) = overhead + perProbe · probes(n)
+//
+// where the per-probe cost and the fixed per-datagram overhead come from
+// the anchors' exact hardware access counters (Metrics.RTULoads), and
+// probes(n) at the target size is measured on the software table with a
+// sampled destination workload. The physical co-analysis then prices the
+// table storage itself (estimate.TableSRAM), which the paper-scale flow
+// can ignore but which dominates the die at 10⁵–10⁶ routes.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"taco/internal/estimate"
+	"taco/internal/fu"
+	"taco/internal/program"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// DefaultAnchorEntries are the cycle-accurate calibration sizes: both
+// small enough to simulate in milliseconds, far enough apart for a
+// stable slope.
+var DefaultAnchorEntries = [2]int{100, 400}
+
+// DefaultSampleLookups is the destination-sample size for measuring
+// probes(n) on the software table.
+const DefaultSampleLookups = 512
+
+// ScaleSpec parameterises one scaled evaluation.
+type ScaleSpec struct {
+	Kind    rtable.Kind
+	Entries int
+	// AnchorEntries overrides the calibration sizes (zero means
+	// DefaultAnchorEntries).
+	AnchorEntries [2]int
+	// SampleLookups overrides the probe-measurement sample size.
+	SampleLookups int
+	// ChurnOps applies an update stream (workload.GenerateChurn) to the
+	// target table before measurement, exercising the organisation's
+	// update path at scale. Note the balanced tree rebuilds per update —
+	// keep this small for large tree tables.
+	ChurnOps int
+}
+
+// ScaleModel records the calibration behind a scaled Metrics row.
+type ScaleModel struct {
+	// AnchorEntries, AnchorCycles and AnchorProbes are the two
+	// cycle-accurate calibration points (probes are per datagram, from
+	// the RTU hardware counters).
+	AnchorEntries [2]int
+	AnchorCycles  [2]float64
+	AnchorProbes  [2]float64
+	// PerProbeCycles and OverheadCycles are the fitted line.
+	PerProbeCycles float64
+	OverheadCycles float64
+	// DonorKind is the backend the anchors ran on. It differs from the
+	// row's kind for table organisations without a hardware RTU
+	// (multibit, binary trie): those borrow the balanced tree's anchors
+	// and scale the per-probe cost by program.ModelPerProbe's documented
+	// kernel factors, flagged by Modelled.
+	DonorKind rtable.Kind
+	Modelled  bool
+}
+
+// EvaluateScaled runs the scaling methodology for one (configuration,
+// kind, size) instance. cfg's table kind must match spec.Kind; the
+// returned Metrics carries the modelled cycles per packet, the required
+// clock, and a physical estimate that includes the table SRAM.
+func EvaluateScaled(cfg fu.Config, spec ScaleSpec, cons Constraints, sim SimOptions) (Metrics, error) {
+	if cfg.Table != spec.Kind {
+		return Metrics{}, fmt.Errorf("core: config table %v does not match scale spec %v", cfg.Table, spec.Kind)
+	}
+	if spec.Entries <= 0 {
+		return Metrics{}, fmt.Errorf("core: scale spec needs a positive entry count")
+	}
+	if spec.AnchorEntries == ([2]int{}) {
+		spec.AnchorEntries = DefaultAnchorEntries
+	}
+	if spec.SampleLookups <= 0 {
+		spec.SampleLookups = DefaultSampleLookups
+	}
+	if sim.Packets <= 0 {
+		sim = DefaultSimOptions()
+	}
+
+	// 1. Cycle-accurate anchors. Kinds without a hardware RTU borrow the
+	// balanced tree's (same prolog/epilog, so the fixed overhead
+	// transfers; the per-probe slope is rescaled below).
+	donor := spec.Kind
+	modelled := false
+	switch spec.Kind {
+	case rtable.Multibit, rtable.Trie:
+		donor = rtable.BalancedTree
+		modelled = true
+	}
+	anchorCfg := cfg
+	anchorCfg.Table = donor
+	model := ScaleModel{AnchorEntries: spec.AnchorEntries, DonorKind: donor, Modelled: modelled}
+	for i, n := range spec.AnchorEntries {
+		aCons := cons
+		aCons.TableEntries = n
+		am, err := Evaluate(anchorCfg, aCons, sim)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("core: anchor %d entries: %w", n, err)
+		}
+		if am.RTULoads == 0 {
+			return Metrics{}, fmt.Errorf("core: anchor %d entries: no RTU load counter", n)
+		}
+		model.AnchorCycles[i] = am.CyclesPerPacket
+		model.AnchorProbes[i] = float64(am.RTULoads) / float64(am.PacketsRun)
+	}
+	dp := model.AnchorProbes[1] - model.AnchorProbes[0]
+	if math.Abs(dp) > 1e-9 {
+		model.PerProbeCycles = (model.AnchorCycles[1] - model.AnchorCycles[0]) / dp
+	}
+	model.OverheadCycles = model.AnchorCycles[0] - model.PerProbeCycles*model.AnchorProbes[0]
+	if modelled {
+		model.PerProbeCycles, _ = program.ModelPerProbe(spec.Kind, model.PerProbeCycles)
+	}
+
+	// 2. Probes at the target size. Sequential and CAM are analytic
+	// (probes = n and 1 by construction — their software scans would be
+	// O(n·samples) for an answer we already know); tree and trie kinds
+	// are measured on the built table under a sampled workload.
+	avgProbes, dims, entries, err := measureProbes(spec, sim)
+	if err != nil {
+		return Metrics{}, err
+	}
+
+	// 3. Co-analysis at the modelled cycle count, with the table SRAM
+	// added to the processor estimate.
+	cycles := model.OverheadCycles + model.PerProbeCycles*avgProbes
+	required := cycles * cons.PacketRate()
+	est := estimate.Physical(cfg, required, cons.Tech)
+	mem := estimate.TableSRAM(spec.Kind, dims, required, cons.Tech)
+	est.AreaMM2 += mem.AreaMM2
+	est.PowerW += mem.PowerW
+	est.Breakdown = append(est.Breakdown, estimate.ModuleCost{
+		Module: "tableSRAM", Count: 1, AreaMM2: mem.AreaMM2, PowerW: mem.PowerW,
+	})
+
+	return Metrics{
+		Kind:               spec.Kind,
+		Config:             cfg,
+		CyclesPerPacket:    cycles,
+		RequiredClockHz:    required,
+		Est:                est,
+		ClockFeasible:      est.Feasible,
+		MeetsPower:         est.PowerW <= cons.MaxPowerW,
+		MeetsArea:          est.AreaMM2 <= cons.MaxAreaMM2,
+		CAMChipPowerW:      mem.CAMPowerW,
+		TableEntries:       entries,
+		AvgProbesPerPacket: avgProbes,
+		TableMem:           &mem,
+		ScaleModel:         &model,
+	}, nil
+}
+
+// measureProbes returns the per-lookup probe count, storage dimensions
+// and live entry count of spec.Kind at the target size.
+func measureProbes(spec ScaleSpec, sim SimOptions) (float64, rtable.MemDims, int, error) {
+	routes := workload.GenerateLargeRoutes(workload.LargeTableSpec{
+		Entries: spec.Entries,
+		Ifaces:  sim.Ifaces,
+		Seed:    sim.Seed,
+	})
+	var churn []workload.ChurnOp
+	if spec.ChurnOps > 0 {
+		churn = workload.GenerateChurn(routes, workload.ChurnSpec{
+			Ops: spec.ChurnOps, Seed: sim.Seed, Ifaces: sim.Ifaces,
+		})
+	}
+
+	switch spec.Kind {
+	case rtable.Sequential, rtable.CAM:
+		// Analytic: net live entries after the churn stream.
+		entries := len(routes)
+		for _, op := range churn {
+			switch op.Op {
+			case workload.ChurnInsert:
+				entries++
+			case workload.ChurnDelete:
+				entries--
+			}
+		}
+		probes := 1.0 // CAM: one associative search per lookup
+		if spec.Kind == rtable.Sequential {
+			probes = float64(entries) // full scan per lookup
+		}
+		return probes, rtable.MemDims{Entries: entries}, entries, nil
+	}
+
+	tbl := rtable.New(spec.Kind)
+	if err := rtable.InsertAll(tbl, routes); err != nil {
+		return 0, rtable.MemDims{}, 0, fmt.Errorf("core: build %v table: %w", spec.Kind, err)
+	}
+	if len(churn) > 0 {
+		if _, err := workload.ApplyChurn(tbl, churn); err != nil {
+			return 0, rtable.MemDims{}, 0, err
+		}
+	}
+	tbl.ResetStats()
+	for _, dst := range workload.SampleDests(routes, spec.SampleLookups, sim.MissRatio, sim.Seed) {
+		tbl.Lookup(dst)
+	}
+	st := tbl.Stats()
+	avg := float64(st.Probes) / float64(st.Lookups)
+	dims := rtable.MemDims{Entries: tbl.Len()}
+	if ms, ok := tbl.(rtable.MemSizer); ok {
+		dims = ms.MemDims()
+	}
+	return avg, dims, tbl.Len(), nil
+}

@@ -1,0 +1,160 @@
+// Tests for the model-based scaled evaluation: calibration sanity,
+// kind coverage, churn plumbing, and determinism (the sweep acceptance
+// criterion of byte-identical JSON starts with identical Metrics here).
+package core
+
+import (
+	"math"
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/rtable"
+)
+
+func scaledOnce(t *testing.T, kind rtable.Kind, entries, churn int) Metrics {
+	t.Helper()
+	m, err := EvaluateScaled(fu.Config1Bus1FU(kind),
+		ScaleSpec{Kind: kind, Entries: entries, ChurnOps: churn},
+		PaperConstraints(), DefaultSimOptions())
+	if err != nil {
+		t.Fatalf("%v at %d entries: %v", kind, entries, err)
+	}
+	return m
+}
+
+func TestEvaluateScaledAllKinds(t *testing.T) {
+	const entries = 20000
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM, rtable.Multibit, rtable.Trie} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			m := scaledOnce(t, kind, entries, 0)
+			if m.TableEntries != entries {
+				t.Errorf("TableEntries = %d, want %d", m.TableEntries, entries)
+			}
+			if m.ScaleModel == nil || m.TableMem == nil {
+				t.Fatal("scaled metrics missing ScaleModel/TableMem")
+			}
+			sm := m.ScaleModel
+			if sm.OverheadCycles <= 0 {
+				t.Errorf("degenerate calibration: overhead %v", sm.OverheadCycles)
+			}
+			if kind == rtable.CAM {
+				// One associative search regardless of n: both anchors
+				// see the same probe count, so the slope is undefined
+				// and left at zero — cycles(n) is pure overhead.
+				if sm.PerProbeCycles != 0 {
+					t.Errorf("CAM slope = %v, want 0 (probes do not scale)", sm.PerProbeCycles)
+				}
+			} else if sm.PerProbeCycles <= 0 {
+				t.Errorf("degenerate calibration: perProbe %v", sm.PerProbeCycles)
+			}
+			if m.CyclesPerPacket <= 0 || m.AvgProbesPerPacket <= 0 {
+				t.Errorf("degenerate prediction: %v cycles, %v probes",
+					m.CyclesPerPacket, m.AvgProbesPerPacket)
+			}
+			wantDonor := kind
+			wantModelled := false
+			if kind == rtable.Multibit || kind == rtable.Trie {
+				wantDonor, wantModelled = rtable.BalancedTree, true
+			}
+			if sm.DonorKind != wantDonor || sm.Modelled != wantModelled {
+				t.Errorf("donor %v modelled %v, want %v %v",
+					sm.DonorKind, sm.Modelled, wantDonor, wantModelled)
+			}
+			if m.TableMem.Bits <= 0 || m.TableMem.AreaMM2 <= 0 {
+				t.Errorf("table SRAM not priced: %+v", m.TableMem)
+			}
+		})
+	}
+}
+
+// TestEvaluateScaledOrdering pins the qualitative scaling story the
+// backends must tell at 20k routes: the sequential scan needs orders of
+// magnitude more probes (and cycles) than the tree, the tree more than
+// the multibit trie, and the CAM exactly one probe.
+func TestEvaluateScaledOrdering(t *testing.T) {
+	seq := scaledOnce(t, rtable.Sequential, 20000, 0)
+	tree := scaledOnce(t, rtable.BalancedTree, 20000, 0)
+	mb := scaledOnce(t, rtable.Multibit, 20000, 0)
+	cam := scaledOnce(t, rtable.CAM, 20000, 0)
+
+	if seq.AvgProbesPerPacket != 20000 {
+		t.Errorf("sequential probes = %v, want the full 20000-entry scan", seq.AvgProbesPerPacket)
+	}
+	if cam.AvgProbesPerPacket != 1 {
+		t.Errorf("CAM probes = %v, want 1", cam.AvgProbesPerPacket)
+	}
+	if !(seq.CyclesPerPacket > 10*tree.CyclesPerPacket) {
+		t.Errorf("sequential (%v cycles) not ≫ tree (%v)", seq.CyclesPerPacket, tree.CyclesPerPacket)
+	}
+	if !(mb.AvgProbesPerPacket < tree.AvgProbesPerPacket) {
+		t.Errorf("multibit probes (%v) not below tree (%v)", mb.AvgProbesPerPacket, tree.AvgProbesPerPacket)
+	}
+	if !(mb.CyclesPerPacket < tree.CyclesPerPacket) {
+		t.Errorf("multibit cycles (%v) not below tree (%v)", mb.CyclesPerPacket, tree.CyclesPerPacket)
+	}
+}
+
+func TestEvaluateScaledDeterministic(t *testing.T) {
+	a := scaledOnce(t, rtable.Multibit, 20000, 200)
+	b := scaledOnce(t, rtable.Multibit, 20000, 200)
+	if a.CyclesPerPacket != b.CyclesPerPacket ||
+		a.AvgProbesPerPacket != b.AvgProbesPerPacket ||
+		a.TableEntries != b.TableEntries ||
+		*a.TableMem != *b.TableMem ||
+		*a.ScaleModel != *b.ScaleModel {
+		t.Fatalf("identical specs disagree:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestEvaluateScaledChurnMovesEntries checks the churn stream reaches
+// the measured table: the net entry count shifts by the stream's
+// insert/delete balance, on both the analytic and measured paths.
+func TestEvaluateScaledChurnMovesEntries(t *testing.T) {
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.Multibit} {
+		base := scaledOnce(t, kind, 5000, 0)
+		churned := scaledOnce(t, kind, 5000, 400)
+		if base.TableEntries != 5000 {
+			t.Fatalf("%v: base entries %d", kind, base.TableEntries)
+		}
+		if churned.TableEntries == base.TableEntries {
+			t.Errorf("%v: churn left entry count at %d; generated streams are insert-biased", kind, churned.TableEntries)
+		}
+	}
+	seq := scaledOnce(t, rtable.Sequential, 5000, 400)
+	mb := scaledOnce(t, rtable.Multibit, 5000, 400)
+	if seq.TableEntries != mb.TableEntries {
+		t.Errorf("analytic (%d) and measured (%d) churn accounting disagree",
+			seq.TableEntries, mb.TableEntries)
+	}
+}
+
+func TestEvaluateScaledRejectsMismatch(t *testing.T) {
+	_, err := EvaluateScaled(fu.Config1Bus1FU(rtable.Sequential),
+		ScaleSpec{Kind: rtable.Multibit, Entries: 100},
+		PaperConstraints(), DefaultSimOptions())
+	if err == nil {
+		t.Fatal("config/spec kind mismatch accepted")
+	}
+	_, err = EvaluateScaled(fu.Config1Bus1FU(rtable.Multibit),
+		ScaleSpec{Kind: rtable.Multibit},
+		PaperConstraints(), DefaultSimOptions())
+	if err == nil {
+		t.Fatal("zero entry count accepted")
+	}
+}
+
+// TestScaledModelInterpolatesAnchors: at the anchor sizes themselves
+// the fitted line must reproduce the anchor cycle counts (up to float
+// rounding) — the model is exact where it was calibrated.
+func TestScaledModelInterpolatesAnchors(t *testing.T) {
+	m := scaledOnce(t, rtable.BalancedTree, 400, 0)
+	sm := m.ScaleModel
+	for i := range sm.AnchorEntries {
+		fitted := sm.OverheadCycles + sm.PerProbeCycles*sm.AnchorProbes[i]
+		if math.Abs(fitted-sm.AnchorCycles[i]) > 1e-6 {
+			t.Errorf("anchor %d: fitted %v cycles, simulated %v",
+				sm.AnchorEntries[i], fitted, sm.AnchorCycles[i])
+		}
+	}
+}

@@ -138,3 +138,48 @@ func TestSweepParallelSpeedup(t *testing.T) {
 			speedup, serial, parallel)
 	}
 }
+
+// TestSweepLargeTableDeterminism extends the contract to the
+// large-database axis: the scaled evaluator's JSON export must be
+// byte-identical between workers=1 and workers=8 (the tacoexplore
+// acceptance criterion), including the ScaleModel and TableMem blocks.
+func TestSweepLargeTableDeterminism(t *testing.T) {
+	cons := core.PaperConstraints()
+	sim := testSim()
+	insts := LargeTableInstances(nil, []int{500, 2000, 10000}, 100, cons, sim)
+
+	export := func(workers int) []byte {
+		pts, err := Sweep(context.Background(), insts, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, pts); err != nil {
+			t.Fatalf("workers=%d: export: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+
+	serial := export(1)
+	parallel := export(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("large-table sweep: workers=1 and workers=8 JSON differ")
+	}
+	for i, p := range exportPoints(t, insts) {
+		m := p.Metrics
+		if m.ScaleModel == nil || m.TableMem == nil || m.AvgProbesPerPacket <= 0 {
+			t.Fatalf("point %d (%s): scaled fields missing: %+v", i, insts[i].Label, m)
+		}
+	}
+}
+
+// exportPoints runs the sweep once more on the default worker count and
+// returns the points for field inspection.
+func exportPoints(t *testing.T, insts []Instance) []Point {
+	t.Helper()
+	pts, err := Sweep(context.Background(), insts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}

@@ -28,6 +28,22 @@ type Instance struct {
 	Cfg  fu.Config
 	Cons core.Constraints
 	Sim  core.SimOptions
+
+	// Scale switches the instance to the model-based scaled evaluator
+	// (core.EvaluateScaled) — the large-database axis, where
+	// cycle-accurate simulation of the full table is infeasible. Nil
+	// means the ordinary cycle-accurate core.Evaluate. Scaled instances
+	// are as deterministic as simulated ones: anchors, table and sample
+	// workload are all seeded.
+	Scale *core.ScaleSpec
+}
+
+// evalOne dispatches an instance to its evaluator.
+func evalOne(inst Instance) (core.Metrics, error) {
+	if inst.Scale != nil {
+		return core.EvaluateScaled(inst.Cfg, *inst.Scale, inst.Cons, inst.Sim)
+	}
+	return core.Evaluate(inst.Cfg, inst.Cons, inst.Sim)
 }
 
 // ProgressReport is one live progress snapshot from the worker pool,
@@ -126,11 +142,11 @@ func evaluateInstances(ctx context.Context, insts []Instance, workers int) ([]co
 			defer wg.Done()
 			for i := range jobs {
 				if report == nil {
-					results[i], errs[i] = core.Evaluate(insts[i].Cfg, insts[i].Cons, insts[i].Sim)
+					results[i], errs[i] = evalOne(insts[i])
 					continue
 				}
 				t0 := time.Now()
-				results[i], errs[i] = core.Evaluate(insts[i].Cfg, insts[i].Cons, insts[i].Sim)
+				results[i], errs[i] = evalOne(insts[i])
 				wall := time.Since(t0)
 				mu.Lock()
 				done++
@@ -259,6 +275,47 @@ func PacketSizeInstances(cfg fu.Config, sizes []int, cons core.Constraints, sim 
 		})
 	}
 	return insts
+}
+
+// LargeTableKinds is the default kind set for the large-database axis.
+// The binary trie is excluded: at 10⁶ routes its per-bit nodes cost
+// gigabytes of host memory for a structure the sweep already brackets
+// from both sides (it is available explicitly via -table-kind trie).
+var LargeTableKinds = []rtable.Kind{
+	rtable.Sequential, rtable.BalancedTree, rtable.CAM, rtable.Multibit,
+}
+
+// LargeTableInstances builds the kind × size grid of the large-database
+// sweep: every instance is a 1-bus/1-FU processor evaluated by the
+// scaled model (cycle-accurate anchors + measured probe counts + table
+// SRAM co-analysis). churnOps > 0 additionally plays an update stream
+// into each table before measurement.
+func LargeTableInstances(kinds []rtable.Kind, sizes []int, churnOps int, cons core.Constraints, sim core.SimOptions) []Instance {
+	if len(kinds) == 0 {
+		kinds = LargeTableKinds
+	}
+	var insts []Instance
+	for _, kind := range kinds {
+		for _, n := range sizes {
+			c := cons
+			c.TableEntries = n
+			insts = append(insts, Instance{
+				X:     float64(n),
+				Label: fmt.Sprintf("%v/%d", kind, n),
+				Cfg:   fu.Config1Bus1FU(kind),
+				Cons:  c, Sim: sim,
+				Scale: &core.ScaleSpec{Kind: kind, Entries: n, ChurnOps: churnOps},
+			})
+		}
+	}
+	return insts
+}
+
+// SweepLargeTable runs the large-database axis — table kind × size, up
+// to millions of routes — returning one point per (kind, size) cell in
+// grid order.
+func SweepLargeTable(kinds []rtable.Kind, sizes []int, cons core.Constraints, sim core.SimOptions) ([]Point, error) {
+	return Sweep(context.Background(), LargeTableInstances(kinds, sizes, 0, cons, sim), 0)
 }
 
 // ReplicationInstances builds the SweepReplication instance list.

@@ -1,0 +1,79 @@
+package program
+
+import (
+	"fmt"
+
+	"taco/internal/isa"
+	"taco/internal/rtable"
+)
+
+// LookupKernel bounds the lookup inner loop of a scheduled forwarding
+// program: the instruction span executed once per table probe. Its
+// static size is the per-probe cycle cost the large-database scaling
+// model multiplies by measured probe counts (cycles(n) = overhead +
+// perProbe·probes(n)); the cycle-accurate anchor runs then calibrate
+// away the slack between this static bound and the dynamic schedule.
+type LookupKernel struct {
+	Kind       rtable.Kind
+	Start, End int // scheduled instruction addresses, [Start, End)
+	Cycles     int // static per-probe bound: End - Start
+}
+
+// kernelSpans names the label pair delimiting each kind's per-probe
+// region in the generated programs (see emitSeqLookup/emitTreeLookup/
+// emitCAMLookup).
+var kernelSpans = map[rtable.Kind][2]string{
+	rtable.Sequential:   {"seqloop", "seqmatched"},
+	rtable.BalancedTree: {"treeloop", "hit"},
+	rtable.CAM:          {"camwait", "camdone"},
+}
+
+// KernelFor locates the lookup kernel of kind in a scheduled program.
+func KernelFor(p *isa.Program, kind rtable.Kind) (LookupKernel, error) {
+	span, ok := kernelSpans[kind]
+	if !ok {
+		return LookupKernel{}, fmt.Errorf("program: no generated lookup kernel for %v", kind)
+	}
+	start, ok := p.Labels[span[0]]
+	if !ok {
+		return LookupKernel{}, fmt.Errorf("program: label %q not in program", span[0])
+	}
+	end, ok := p.Labels[span[1]]
+	if !ok {
+		return LookupKernel{}, fmt.Errorf("program: label %q not in program", span[1])
+	}
+	if end <= start {
+		return LookupKernel{}, fmt.Errorf("program: kernel span %q..%q is empty", span[0], span[1])
+	}
+	return LookupKernel{Kind: kind, Start: start, End: end, Cycles: end - start}, nil
+}
+
+// Per-probe cost factors for table kinds that have no generated TACO
+// program yet, expressed relative to the balanced tree's per-node cost.
+// The tree kernel compares the 128-bit destination against two 128-bit
+// range bounds (up to eight 32-bit comparisons plus branches per node);
+// the modelled kinds do strictly less transport work per probe:
+const (
+	// MultibitStepFactor: a multibit node visit is one expanded-slot
+	// load (single RTU access), a shift+mask stride extraction and one
+	// tag comparison — roughly the work of half a tree node's dual-bound
+	// cascade.
+	MultibitStepFactor = 0.45
+	// BinaryTrieStepFactor: a binary trie step is a single-bit test and
+	// child-pointer load, the cheapest possible probe.
+	BinaryTrieStepFactor = 0.30
+)
+
+// ModelPerProbe converts a calibrated balanced-tree per-probe cycle
+// cost into the modelled cost for a kind without a hardware RTU
+// backend. ok is false for kinds that calibrate directly from their own
+// generated kernel.
+func ModelPerProbe(kind rtable.Kind, treePerProbe float64) (perProbe float64, ok bool) {
+	switch kind {
+	case rtable.Multibit:
+		return treePerProbe * MultibitStepFactor, true
+	case rtable.Trie:
+		return treePerProbe * BinaryTrieStepFactor, true
+	}
+	return 0, false
+}

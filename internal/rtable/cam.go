@@ -80,6 +80,35 @@ func (t *CAMTable) Insert(r Route) error {
 	return nil
 }
 
+// InsertAll implements BulkLoader: batch the appends and sort once.
+// (Prefix keys are unique after duplicate replacement, so a single sort
+// yields exactly the priority order repeated Insert would have built.)
+func (t *CAMTable) InsertAll(rs []Route) error {
+	idx := make(map[bits.Prefix]int, len(t.entries)+len(rs))
+	for i := range t.entries {
+		idx[t.entries[i].Prefix] = i
+	}
+	for _, r := range rs {
+		r.Prefix = bits.MakePrefix(r.Prefix.Addr, r.Prefix.Len)
+		if i, ok := idx[r.Prefix]; ok {
+			t.entries[i] = r
+			continue
+		}
+		if len(t.entries) >= t.cfg.Capacity {
+			return fmt.Errorf("rtable: CAM full (%d entries)", t.cfg.Capacity)
+		}
+		idx[r.Prefix] = len(t.entries)
+		t.entries = append(t.entries, r)
+	}
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Prefix.Len != t.entries[j].Prefix.Len {
+			return t.entries[i].Prefix.Len > t.entries[j].Prefix.Len
+		}
+		return t.entries[i].Prefix.Addr.Less(t.entries[j].Prefix.Addr)
+	})
+	return nil
+}
+
 // Delete removes the route for p.
 func (t *CAMTable) Delete(p bits.Prefix) bool {
 	p = bits.MakePrefix(p.Addr, p.Len)
@@ -124,3 +153,7 @@ func (t *CAMTable) Stats() Stats { return t.stats }
 
 // ResetStats implements Table.
 func (t *CAMTable) ResetStats() { t.stats = Stats{} }
+
+// MemDims implements MemSizer: one 136-bit CAM word (plus SRAM next-hop
+// record) per entry.
+func (t *CAMTable) MemDims() MemDims { return MemDims{Entries: len(t.entries)} }

@@ -1,0 +1,21 @@
+//go:build slow
+
+// Long differential campaign, run by `go test -tags slow` (the CI slow
+// job and `make slow`). Same harness as differential_test.go, far more
+// seeds and steps: several hundred thousand cross-backend comparisons.
+package rtable_test
+
+import "testing"
+
+func TestDifferentialChurnLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long differential campaign")
+	}
+	for seed := uint64(100); seed < 108; seed++ {
+		seed := seed
+		t.Run(workloadSeedName(seed), func(t *testing.T) {
+			t.Parallel()
+			runDifferentialChurn(t, seed, 2500, 24)
+		})
+	}
+}

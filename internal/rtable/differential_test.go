@@ -1,0 +1,243 @@
+// Differential LPM harness: every routing-table backend is driven
+// through an identical randomized insert/delete/replace/lookup churn
+// sequence (seeded workload.RNG) and must agree with every other
+// backend at every step — same Lookup result, same Delete verdict, same
+// Len, same Routes listing. The sequential scan is the trivially
+// correct reference; any divergence pinpoints the broken backend.
+//
+// This file lives in package rtable_test (not rtable) because the
+// workload package imports rtable: the seeded RNG and the churn
+// generator it provides can only be used from an external test package
+// without creating an import cycle.
+package rtable_test
+
+import (
+	"strconv"
+	"testing"
+
+	"taco/internal/bits"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// diffTables builds one empty table of every kind, keyed for reporting.
+func diffTables() map[rtable.Kind]rtable.Table {
+	out := make(map[rtable.Kind]rtable.Table, len(rtable.Kinds))
+	for _, k := range rtable.Kinds {
+		out[k] = rtable.New(k)
+	}
+	return out
+}
+
+// diffLengths is the prefix-length palette for generated churn. Edge
+// lengths (0, 1, 127, 128) and word boundaries (32, 64) are
+// over-represented on purpose: they are where shift/mask bugs live.
+var diffLengths = []int{0, 1, 8, 16, 24, 31, 32, 33, 48, 63, 64, 65, 96, 127, 128, 128}
+
+// diffPrefix draws the next churn prefix. Roughly half the time it
+// derives the prefix from one already live — truncating it (a strict
+// ancestor), extending it (a descendant), or re-masking it with host
+// bits set (an alias that must canonicalise to the same entry) — so the
+// stream is dense in exactly the nesting relations LPM has to resolve.
+func diffPrefix(rng *workload.RNG, live []rtable.Route) bits.Prefix {
+	if len(live) > 0 && rng.Intn(2) == 0 {
+		p := live[rng.Intn(len(live))].Prefix
+		switch rng.Intn(3) {
+		case 0: // ancestor: shorter mask over the same bits
+			if p.Len > 0 {
+				return bits.MakePrefix(p.Addr, rng.Intn(p.Len))
+			}
+		case 1: // descendant: longer mask, random tail bits
+			if p.Len < 128 {
+				ln := p.Len + 1 + rng.Intn(128-p.Len)
+				return bits.MakePrefix(p.Addr.Or(rng.Word128().And(bits.Mask(p.Len).Not())), ln)
+			}
+		default: // alias: same prefix, host bits deliberately dirty
+			return bits.Prefix{Addr: p.Addr.Or(rng.Word128().And(bits.Mask(p.Len).Not())), Len: p.Len}
+		}
+	}
+	return bits.MakePrefix(rng.Word128(), diffLengths[rng.Intn(len(diffLengths))])
+}
+
+// diffDest draws a lookup destination: usually inside some live prefix
+// (so lookups actually hit and the longest-match tie-break is
+// exercised), sometimes uniform over the whole address space.
+func diffDest(rng *workload.RNG, live []rtable.Route) bits.Word128 {
+	if len(live) > 0 && rng.Intn(4) != 0 {
+		p := live[rng.Intn(len(live))].Prefix
+		return p.Addr.Or(rng.Word128().And(bits.Mask(p.Len).Not()))
+	}
+	return rng.Word128()
+}
+
+// checkLookup asserts every backend answers dst identically.
+func checkLookup(t *testing.T, tables map[rtable.Kind]rtable.Table, dst bits.Word128, step int) {
+	t.Helper()
+	ref, refOK := tables[rtable.Sequential].Lookup(dst)
+	for _, k := range rtable.Kinds {
+		if k == rtable.Sequential {
+			continue
+		}
+		got, ok := tables[k].Lookup(dst)
+		if ok != refOK || got != ref {
+			t.Fatalf("step %d: Lookup(%v) diverges: %v got (%v,%v), sequential (%v,%v)",
+				step, dst, k, got, ok, ref, refOK)
+		}
+	}
+}
+
+// sameRoutes compares two canonical listings element-wise. A nil slice
+// and an empty slice are the same listing (reflect.DeepEqual would
+// distinguish them, and backends legitimately differ there).
+func sameRoutes(a, b []rtable.Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkState asserts structural agreement: Len always, full Routes
+// listings when deep is set (the listings are canonically sorted by
+// every backend, so slice equality is the contract).
+func checkState(t *testing.T, tables map[rtable.Kind]rtable.Table, step int, deep bool) {
+	t.Helper()
+	ref := tables[rtable.Sequential]
+	var refRoutes []rtable.Route
+	if deep {
+		refRoutes = ref.Routes()
+	}
+	for _, k := range rtable.Kinds {
+		if k == rtable.Sequential {
+			continue
+		}
+		if got, want := tables[k].Len(), ref.Len(); got != want {
+			t.Fatalf("step %d: %v.Len() = %d, sequential %d", step, k, got, want)
+		}
+		if deep && !sameRoutes(tables[k].Routes(), refRoutes) {
+			t.Fatalf("step %d: %v.Routes() diverges from sequential", step, k)
+		}
+	}
+}
+
+// runDifferentialChurn drives all backends through steps churn
+// operations from one seed, checking lookupsPerStep destinations after
+// every mutation.
+func runDifferentialChurn(t *testing.T, seed uint64, steps, lookupsPerStep int) {
+	t.Helper()
+	tables := diffTables()
+	rng := workload.NewRNG(seed)
+	var live []rtable.Route
+	liveIdx := map[bits.Prefix]int{}
+
+	for step := 0; step < steps; step++ {
+		op := rng.Intn(10)
+		switch {
+		case op < 5 || len(live) == 0: // insert (or replace on collision)
+			r := rtable.Route{
+				Prefix:  diffPrefix(rng, live),
+				NextHop: rng.Word128(),
+				Iface:   rng.Intn(4),
+				Metric:  1 + rng.Intn(15),
+				Tag:     uint16(rng.Uint64()),
+			}
+			canon := bits.MakePrefix(r.Prefix.Addr, r.Prefix.Len)
+			for _, tbl := range tables {
+				if err := tbl.Insert(r); err != nil {
+					t.Fatalf("step %d: %v.Insert(%v): %v", step, tbl.Kind(), r, err)
+				}
+			}
+			r.Prefix = canon
+			if i, ok := liveIdx[canon]; ok {
+				live[i] = r
+			} else {
+				liveIdx[canon] = len(live)
+				live = append(live, r)
+			}
+		case op < 8: // delete: mostly a live prefix, sometimes a guaranteed miss
+			var p bits.Prefix
+			if rng.Intn(4) != 0 && len(live) > 0 {
+				p = live[rng.Intn(len(live))].Prefix
+			} else {
+				p = diffPrefix(rng, live)
+			}
+			refDel := tables[rtable.Sequential].Delete(p)
+			for _, k := range rtable.Kinds[1:] {
+				if got := tables[k].Delete(p); got != refDel {
+					t.Fatalf("step %d: %v.Delete(%v) = %v, sequential %v", step, k, p, got, refDel)
+				}
+			}
+			canon := bits.MakePrefix(p.Addr, p.Len)
+			if i, ok := liveIdx[canon]; ok != refDel {
+				t.Fatalf("step %d: harness live set disagrees with tables on %v", step, p)
+			} else if ok {
+				last := len(live) - 1
+				live[i] = live[last]
+				liveIdx[live[i].Prefix] = i
+				live = live[:last]
+				delete(liveIdx, canon)
+			}
+		default: // replace: reinsert a live prefix with fresh attributes
+			i := rng.Intn(len(live))
+			r := live[i]
+			r.NextHop = rng.Word128()
+			r.Iface = rng.Intn(4)
+			r.Metric = 1 + rng.Intn(15)
+			for _, tbl := range tables {
+				if err := tbl.Insert(r); err != nil {
+					t.Fatalf("step %d: %v.Insert(%v): %v", step, tbl.Kind(), r, err)
+				}
+			}
+			live[i] = r
+		}
+
+		checkState(t, tables, step, step%32 == 31)
+		for j := 0; j < lookupsPerStep; j++ {
+			checkLookup(t, tables, diffDest(rng, live), step)
+		}
+	}
+	checkState(t, tables, steps, true)
+}
+
+// TestDifferentialChurn is the short always-on harness run; the
+// -tags slow build runs a much longer campaign (differential_slow_test.go).
+func TestDifferentialChurn(t *testing.T) {
+	for _, seed := range []uint64{1, 2003, 0xdeadbeef} {
+		seed := seed
+		t.Run(workloadSeedName(seed), func(t *testing.T) {
+			t.Parallel()
+			runDifferentialChurn(t, seed, 150, 12)
+		})
+	}
+}
+
+// TestDifferentialGeneratedChurn replays workload.GenerateChurn — the
+// exact stream EvaluateScaled applies — over every backend against a
+// generated base table, so the scaling methodology's update path is
+// covered by the same differential contract.
+func TestDifferentialGeneratedChurn(t *testing.T) {
+	routes := workload.GenerateLargeRoutes(workload.LargeTableSpec{Entries: 400, Seed: 7})
+	ops := workload.GenerateChurn(routes, workload.ChurnSpec{Ops: 300, Seed: 11, Ifaces: 4})
+	tables := diffTables()
+	for _, tbl := range tables {
+		if err := rtable.InsertAll(tbl, routes); err != nil {
+			t.Fatalf("%v: bulk load: %v", tbl.Kind(), err)
+		}
+		if _, err := workload.ApplyChurn(tbl, ops); err != nil {
+			t.Fatalf("%v: churn: %v", tbl.Kind(), err)
+		}
+	}
+	checkState(t, tables, 0, true)
+	rng := workload.NewRNG(99)
+	for j := 0; j < 256; j++ {
+		checkLookup(t, tables, diffDest(rng, routes), j)
+	}
+}
+
+func workloadSeedName(seed uint64) string {
+	return "seed=" + strconv.FormatUint(seed, 10)
+}

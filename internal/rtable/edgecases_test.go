@@ -1,0 +1,157 @@
+// LPM edge cases pinned explicitly, per backend: the default route
+// coexisting with host routes at the other extreme of the length range,
+// deletion of a strict ancestor while its descendants stay live, and
+// aliased (non-canonical) prefixes. The differential harness would find
+// regressions here statistically; these tests document the intended
+// semantics directly.
+package rtable_test
+
+import (
+	"testing"
+
+	"taco/internal/bits"
+	"taco/internal/ipv6"
+	"taco/internal/rtable"
+)
+
+func mustAddr(t *testing.T, s string) bits.Word128 {
+	t.Helper()
+	a, err := ipv6.ParseAddr(s)
+	if err != nil {
+		t.Fatalf("ParseAddr(%q): %v", s, err)
+	}
+	return a
+}
+
+func forEachKind(t *testing.T, fn func(t *testing.T, tbl rtable.Table)) {
+	for _, k := range rtable.Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			fn(t, rtable.New(k))
+		})
+	}
+}
+
+// TestDefaultRouteWithHostRoutes installs ::/0 alongside two /128 host
+// routes: the host routes must win for their exact addresses, the
+// default must catch everything else, and removing either side must not
+// disturb the other.
+func TestDefaultRouteWithHostRoutes(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tbl rtable.Table) {
+		deflt := rtable.Route{Prefix: bits.MakePrefix(bits.Word128{}, 0), Iface: 9, Metric: 1}
+		hostA := rtable.Route{Prefix: bits.MakePrefix(mustAddr(t, "2001:db8::1"), 128), Iface: 1, Metric: 1}
+		hostB := rtable.Route{Prefix: bits.MakePrefix(mustAddr(t, "2001:db8::2"), 128), Iface: 2, Metric: 1}
+		for _, r := range []rtable.Route{deflt, hostA, hostB} {
+			if err := tbl.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, ok := tbl.Lookup(hostA.Prefix.Addr); !ok || got != hostA {
+			t.Fatalf("host A: got (%v,%v), want %v", got, ok, hostA)
+		}
+		if got, ok := tbl.Lookup(hostB.Prefix.Addr); !ok || got != hostB {
+			t.Fatalf("host B: got (%v,%v), want %v", got, ok, hostB)
+		}
+		// One bit away from a host route still falls through to ::/0.
+		if got, ok := tbl.Lookup(mustAddr(t, "2001:db8::3")); !ok || got != deflt {
+			t.Fatalf("near-miss: got (%v,%v), want default", got, ok)
+		}
+		if got, ok := tbl.Lookup(mustAddr(t, "fe80::1")); !ok || got != deflt {
+			t.Fatalf("far address: got (%v,%v), want default", got, ok)
+		}
+		// Dropping a host route re-exposes the default for its address.
+		if !tbl.Delete(hostA.Prefix) {
+			t.Fatal("delete host A failed")
+		}
+		if got, ok := tbl.Lookup(hostA.Prefix.Addr); !ok || got != deflt {
+			t.Fatalf("after host delete: got (%v,%v), want default", got, ok)
+		}
+		// Dropping the default leaves only the exact host match.
+		if !tbl.Delete(deflt.Prefix) {
+			t.Fatal("delete default failed")
+		}
+		if _, ok := tbl.Lookup(hostA.Prefix.Addr); ok {
+			t.Fatal("deleted host route still resolves")
+		}
+		if got, ok := tbl.Lookup(hostB.Prefix.Addr); !ok || got != hostB {
+			t.Fatalf("host B after default delete: got (%v,%v), want %v", got, ok, hostB)
+		}
+	})
+}
+
+// TestDeleteAncestorKeepsDescendants installs a /16 ⊃ /24 ⊃ /32 nesting
+// chain and deletes the strict ancestor first: the descendants must
+// stay live and addresses under the deleted span must stop resolving.
+func TestDeleteAncestorKeepsDescendants(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tbl rtable.Table) {
+		base := mustAddr(t, "2001:db8:1234:5678::")
+		r16 := rtable.Route{Prefix: bits.MakePrefix(base, 16), Iface: 1, Metric: 1}
+		r24 := rtable.Route{Prefix: bits.MakePrefix(base, 24), Iface: 2, Metric: 1}
+		r32 := rtable.Route{Prefix: bits.MakePrefix(base, 32), Iface: 3, Metric: 1}
+		for _, r := range []rtable.Route{r16, r24, r32} {
+			if err := tbl.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !tbl.Delete(r16.Prefix) {
+			t.Fatal("delete /16 failed")
+		}
+		if got := tbl.Len(); got != 2 {
+			t.Fatalf("Len = %d after ancestor delete, want 2", got)
+		}
+		// Inside /32: still the longest match.
+		if got, ok := tbl.Lookup(base); !ok || got != r32 {
+			t.Fatalf("in /32: got (%v,%v), want %v", got, ok, r32)
+		}
+		// Inside /24 but outside /32.
+		in24 := mustAddr(t, "2001:d00::1")
+		if got, ok := tbl.Lookup(in24); !ok || got != r24 {
+			t.Fatalf("in /24: got (%v,%v), want %v", got, ok, r24)
+		}
+		// Inside the deleted /16 but outside /24: no match any more.
+		in16 := mustAddr(t, "2001:ee00::")
+		if _, ok := tbl.Lookup(in16); ok {
+			t.Fatal("address under deleted /16 still resolves")
+		}
+		// Deleting it again must report absence.
+		if tbl.Delete(r16.Prefix) {
+			t.Fatal("second delete of /16 reported success")
+		}
+	})
+}
+
+// TestAliasedPrefixes verifies that prefixes arriving with host bits set
+// beyond the mask canonicalise consistently: an aliased Insert replaces
+// (not duplicates) the canonical entry, an aliased Delete removes it,
+// and Routes reports the canonical form.
+func TestAliasedPrefixes(t *testing.T) {
+	forEachKind(t, func(t *testing.T, tbl rtable.Table) {
+		canon := bits.MakePrefix(mustAddr(t, "2001:db8::"), 32)
+		alias1 := bits.Prefix{Addr: mustAddr(t, "2001:db8::dead:beef"), Len: 32}
+		alias2 := bits.Prefix{Addr: mustAddr(t, "2001:db8:0:1::"), Len: 32}
+		if err := tbl.Insert(rtable.Route{Prefix: alias1, Iface: 1, Metric: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Insert(rtable.Route{Prefix: alias2, Iface: 2, Metric: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if got := tbl.Len(); got != 1 {
+			t.Fatalf("aliased inserts produced Len = %d, want 1 canonical entry", got)
+		}
+		rs := tbl.Routes()
+		if len(rs) != 1 || rs[0].Prefix != canon || rs[0].Iface != 2 {
+			t.Fatalf("Routes() = %v, want single canonical %v via if2", rs, canon)
+		}
+		if got, ok := tbl.Lookup(mustAddr(t, "2001:db8:1::1")); !ok || got.Iface != 2 {
+			t.Fatalf("lookup under aliased prefix: got (%v,%v)", got, ok)
+		}
+		// Delete through a third alias spelling.
+		alias3 := bits.Prefix{Addr: mustAddr(t, "2001:db8::1"), Len: 32}
+		if !tbl.Delete(alias3) {
+			t.Fatal("aliased delete failed")
+		}
+		if got := tbl.Len(); got != 0 {
+			t.Fatalf("Len = %d after aliased delete, want 0", got)
+		}
+	})
+}

@@ -46,11 +46,14 @@ const (
 	// Trie is a patricia-trie baseline (not in the paper's Table 1; used
 	// by the extension ablations).
 	Trie
+	// Multibit is a multibit-stride (LC-trie-style) table with path
+	// compression: the large-database scaling backend.
+	Multibit
 )
 
 // Kinds lists the implementations in the paper's Table 1 order, then the
-// extension baseline.
-var Kinds = []Kind{Sequential, BalancedTree, CAM, Trie}
+// extension baselines.
+var Kinds = []Kind{Sequential, BalancedTree, CAM, Trie, Multibit}
 
 func (k Kind) String() string {
 	switch k {
@@ -62,8 +65,15 @@ func (k Kind) String() string {
 		return "cam"
 	case Trie:
 		return "trie"
+	case Multibit:
+		return "multibit"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// MarshalJSON renders the kind by name, keeping metric exports readable.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", k.String())), nil
 }
 
 // Stats counts the table's primitive accesses; the evaluation layer uses
@@ -120,8 +130,28 @@ func New(k Kind) Table {
 		return NewCAM(DefaultCAMConfig())
 	case Trie:
 		return NewTrie()
+	case Multibit:
+		return NewMultibit(DefaultMultibitConfig())
 	}
 	panic(fmt.Sprintf("rtable: unknown kind %d", int(k)))
+}
+
+// MemDims sizes a table's storage in implementation-level units so the
+// estimation layer can price the SRAM (or CAM) the organisation needs.
+// Only the fields meaningful for the kind are non-zero.
+type MemDims struct {
+	Entries     int // installed prefixes (all kinds)
+	TreeNodes   int // balanced-tree range nodes
+	BinaryNodes int // patricia/binary trie nodes
+	TrieNodes   int // multibit internal nodes
+	TrieSlots   int // multibit expanded child slots (Σ 2^stride per node)
+	TrieLeaves  int // multibit path-compressed leaf records
+}
+
+// MemSizer is implemented by tables that can report their storage
+// dimensions for area/power co-analysis.
+type MemSizer interface {
+	MemDims() MemDims
 }
 
 // routesOf copies and sorts routes for deterministic listings.
@@ -131,5 +161,17 @@ func sortRoutes(rs []Route) {
 			return c < 0
 		}
 		return rs[i].Prefix.Len < rs[j].Prefix.Len
+	})
+}
+
+// sortNodeRoutes orders a multibit node's span routes longest prefix
+// first (addr ascending within a length) so the in-node scan returns the
+// longest match immediately.
+func sortNodeRoutes(rs []Route) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Prefix.Len != rs[j].Prefix.Len {
+			return rs[i].Prefix.Len > rs[j].Prefix.Len
+		}
+		return rs[i].Prefix.Addr.Less(rs[j].Prefix.Addr)
 	})
 }

@@ -32,6 +32,26 @@ func (t *SequentialTable) Insert(r Route) error {
 	return nil
 }
 
+// InsertAll implements BulkLoader: one pass with a prefix index instead
+// of the quadratic per-insert duplicate scan. Appends in slice order, so
+// the storage (and hardware scan) order is identical to repeated Insert.
+func (t *SequentialTable) InsertAll(rs []Route) error {
+	idx := make(map[bits.Prefix]int, len(t.entries)+len(rs))
+	for i := range t.entries {
+		idx[t.entries[i].Prefix] = i
+	}
+	for _, r := range rs {
+		r.Prefix = bits.MakePrefix(r.Prefix.Addr, r.Prefix.Len)
+		if i, ok := idx[r.Prefix]; ok {
+			t.entries[i] = r
+			continue
+		}
+		idx[r.Prefix] = len(t.entries)
+		t.entries = append(t.entries, r)
+	}
+	return nil
+}
+
 // Delete removes the route for p, reporting whether it existed.
 func (t *SequentialTable) Delete(p bits.Prefix) bool {
 	p = bits.MakePrefix(p.Addr, p.Len)
@@ -90,3 +110,6 @@ func (t *SequentialTable) Stats() Stats { return t.stats }
 
 // ResetStats implements Table.
 func (t *SequentialTable) ResetStats() { t.stats = Stats{} }
+
+// MemDims implements MemSizer: one record per entry.
+func (t *SequentialTable) MemDims() MemDims { return MemDims{Entries: len(t.entries)} }

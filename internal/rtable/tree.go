@@ -176,3 +176,9 @@ func (t *BalancedTreeTable) Stats() Stats { return t.stats }
 
 // ResetStats implements Table.
 func (t *BalancedTreeTable) ResetStats() { t.stats = Stats{} }
+
+// MemDims implements MemSizer: one record per route plus one range node
+// per disjoint interval (up to 2n-1 for n prefixes).
+func (t *BalancedTreeTable) MemDims() MemDims {
+	return MemDims{Entries: len(t.routes), TreeNodes: len(t.nodes)}
+}

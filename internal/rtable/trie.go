@@ -123,3 +123,20 @@ func (t *TrieTable) Stats() Stats { return t.stats }
 
 // ResetStats implements Table.
 func (t *TrieTable) ResetStats() { t.stats = Stats{} }
+
+// MemDims implements MemSizer: one two-pointer node per allocated trie
+// position (the binary trie's memory weakness at scale).
+func (t *TrieTable) MemDims() MemDims {
+	nodes := 0
+	var walk func(n *trieNode)
+	walk = func(n *trieNode) {
+		if n == nil {
+			return
+		}
+		nodes++
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	walk(t.root)
+	return MemDims{Entries: t.count, BinaryNodes: nodes}
+}

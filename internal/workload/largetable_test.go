@@ -1,0 +1,143 @@
+// Tests for the large-table workload generators: determinism (the
+// byte-identical-JSON acceptance criterion starts here), distribution
+// sanity, and churn-stream validity.
+package workload
+
+import (
+	"testing"
+
+	"taco/internal/bits"
+	"taco/internal/rtable"
+)
+
+func TestGenerateLargeRoutesDeterministic(t *testing.T) {
+	spec := LargeTableSpec{Entries: 5000, Seed: 42}
+	a := GenerateLargeRoutes(spec)
+	b := GenerateLargeRoutes(spec)
+	if len(a) != len(b) || len(a) != 5000 {
+		t.Fatalf("lengths: %d vs %d, want 5000", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("route %d differs between identical specs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := GenerateLargeRoutes(LargeTableSpec{Entries: 5000, Seed: 43})
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical tables")
+	}
+}
+
+func TestGenerateLargeRoutesShape(t *testing.T) {
+	routes := GenerateLargeRoutes(LargeTableSpec{Entries: 20000, Seed: 7})
+	seen := map[bits.Prefix]bool{}
+	lengths := map[int]int{}
+	for _, r := range routes {
+		if seen[r.Prefix] {
+			t.Fatalf("duplicate prefix %v", r.Prefix)
+		}
+		seen[r.Prefix] = true
+		if r.Prefix != bits.MakePrefix(r.Prefix.Addr, r.Prefix.Len) {
+			t.Fatalf("non-canonical prefix %v", r.Prefix)
+		}
+		// 2000::/4 confinement keeps 3000::/4 a guaranteed miss for
+		// SampleDests (2000::/3 alone would contain the miss region).
+		if got := r.Prefix.Addr.Shr(124).Lo; got != 2 {
+			t.Fatalf("prefix %v outside 2000::/4", r.Prefix)
+		}
+		if r.Metric < 1 || r.Metric > 15 {
+			t.Fatalf("route metric %d out of range", r.Metric)
+		}
+		lengths[r.Prefix.Len]++
+	}
+	// /48 dominates any realistic BGP-derived IPv6 mix.
+	for _, ln := range []int{32, 48, 64} {
+		if lengths[ln] == 0 {
+			t.Fatalf("no /%d prefixes in a 20k-route table", ln)
+		}
+	}
+	if lengths[48] < lengths[64] {
+		t.Fatalf("length mix unrealistic: %d /48s vs %d /64s", lengths[48], lengths[64])
+	}
+}
+
+func TestSampleDestsHitAndMiss(t *testing.T) {
+	routes := GenerateLargeRoutes(LargeTableSpec{Entries: 2000, Seed: 9})
+	tbl := rtable.NewMultibit(rtable.DefaultMultibitConfig())
+	if err := tbl.InsertAll(routes); err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	dests := SampleDests(routes, n, 0.25, 9)
+	if len(dests) != n {
+		t.Fatalf("got %d dests, want %d", len(dests), n)
+	}
+	// Engineered misses live in 3000::/4 (guaranteed outside the
+	// generated 2000::/3 table); engineered hits are inside an installed
+	// prefix by construction. The partition must be exact; the miss
+	// draw is Bernoulli(missRatio) per destination, so only bound it.
+	misses := 0
+	for _, d := range dests {
+		_, ok := tbl.Lookup(d)
+		if inMissRegion := d.Shr(124).Lo == 3; inMissRegion {
+			misses++
+			if ok {
+				t.Fatalf("destination %v in the miss region matched a route", d)
+			}
+		} else if !ok {
+			t.Fatalf("engineered hit %v missed the table", d)
+		}
+	}
+	if misses < n/8 || misses > n/2 {
+		t.Fatalf("got %d misses for ratio 0.25 over %d dests", misses, n)
+	}
+}
+
+func TestGenerateChurnValidAgainstTable(t *testing.T) {
+	routes := GenerateLargeRoutes(LargeTableSpec{Entries: 1000, Seed: 3})
+	ops := GenerateChurn(routes, ChurnSpec{Ops: 600, Seed: 5, Ifaces: 4})
+	if len(ops) != 600 {
+		t.Fatalf("got %d ops, want 600", len(ops))
+	}
+	kinds := map[ChurnOpKind]int{}
+	for _, op := range ops {
+		kinds[op.Op]++
+	}
+	for _, k := range []ChurnOpKind{ChurnInsert, ChurnDelete, ChurnReplace} {
+		if kinds[k] == 0 {
+			t.Fatalf("churn stream has no %v ops: %v", k, kinds)
+		}
+	}
+
+	// Replay on a real table: every delete and replace must hit a live
+	// prefix (the generator tracks the live set), and the net count must
+	// match the insert/delete balance.
+	tbl := rtable.New(rtable.BalancedTree)
+	if err := rtable.InsertAll(tbl, routes); err != nil {
+		t.Fatal(err)
+	}
+	deleted, err := ApplyChurn(tbl, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deleted != kinds[ChurnDelete] {
+		t.Fatalf("ApplyChurn deleted %d, stream has %d deletes", deleted, kinds[ChurnDelete])
+	}
+	if got, want := tbl.Len(), len(routes)+kinds[ChurnInsert]-kinds[ChurnDelete]; got != want {
+		t.Fatalf("table has %d entries after churn, want %d", got, want)
+	}
+
+	// Determinism.
+	ops2 := GenerateChurn(routes, ChurnSpec{Ops: 600, Seed: 5, Ifaces: 4})
+	for i := range ops {
+		if ops[i] != ops2[i] {
+			t.Fatalf("churn op %d differs between identical specs", i)
+		}
+	}
+}

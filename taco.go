@@ -14,7 +14,7 @@
 //	internal/sched    TTA code optimization and bus scheduling
 //	internal/ipv6     IPv6 headers, extension chains, UDP/ICMPv6
 //	internal/ripng    RIPng (RFC 2080) protocol engine
-//	internal/rtable   sequential / balanced-tree / CAM / trie tables
+//	internal/rtable   sequential / tree / CAM / trie / multibit tables
 //	internal/linecard line-card model
 //	internal/program  generated forwarding programs, Figure 3 example
 //	internal/router   golden and TACO routers, RIPng host bridge
@@ -59,12 +59,14 @@ var (
 	PaperConfigs  = fu.PaperConfigs
 )
 
-// Routing-table implementations (paper §4 plus the trie baseline).
+// Routing-table implementations (paper §4 plus the trie baselines).
 const (
 	Sequential   = rtable.Sequential
 	BalancedTree = rtable.BalancedTree
 	CAM          = rtable.CAM
 	Trie         = rtable.Trie
+	// Multibit is the multibit-stride (LC-trie-style) scaling backend.
+	Multibit = rtable.Multibit
 )
 
 // NewTable constructs an empty routing table of the given kind.
@@ -79,6 +81,8 @@ type (
 	Metrics = core.Metrics
 	// SimOptions tunes the simulation workload.
 	SimOptions = core.SimOptions
+	// ScaleSpec parameterises a model-based large-database evaluation.
+	ScaleSpec = core.ScaleSpec
 )
 
 var (
@@ -96,6 +100,9 @@ var (
 	// EvaluateCAMConverged iterates the CAM search latency to its
 	// clock-dependent fixed point.
 	EvaluateCAMConverged = core.EvaluateCAMConverged
+	// EvaluateScaled runs the model-based large-database methodology
+	// (anchored cycle model + measured probes + table SRAM co-analysis).
+	EvaluateScaled = core.EvaluateScaled
 	// FormatTable1 renders metrics in the paper's Table 1 layout.
 	FormatTable1 = core.FormatTable1
 )
@@ -106,8 +113,11 @@ var (
 	SweepBuses       = dse.SweepBuses
 	SweepPacketSize  = dse.SweepPacketSize
 	SweepReplication = dse.SweepReplication
-	Explore          = dse.Explore
-	Pareto           = dse.Pareto
+	// SweepLargeTable runs the table kind × size grid up to millions of
+	// routes via the scaled evaluator.
+	SweepLargeTable = dse.SweepLargeTable
+	Explore         = dse.Explore
+	Pareto          = dse.Pareto
 )
 
 // Routers.
@@ -179,6 +189,12 @@ var (
 var (
 	// GenerateRoutes produces a deterministic routing table.
 	GenerateRoutes = workload.GenerateRoutes
+	// GenerateLargeRoutes produces 10k–1M routes with a realistic IPv6
+	// prefix-length mix and allocation locality.
+	GenerateLargeRoutes = workload.GenerateLargeRoutes
+	// GenerateChurn produces a deterministic insert/delete/replace
+	// update stream against a base table.
+	GenerateChurn = workload.GenerateChurn
 	// GenerateTraffic produces deterministic datagrams for routes.
 	GenerateTraffic = workload.GenerateTraffic
 	// PaperTableSpec is the 100-entry table of the paper's constraint.
