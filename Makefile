@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race slow fuzz fuzz-router fuzz-lpm bench snapshot vet
+.PHONY: all build test race slow soak fuzz fuzz-router fuzz-lpm fuzz-faults bench snapshot vet
 
 all: build test
 
@@ -25,10 +25,18 @@ race:
 slow:
 	$(GO) test -tags slow ./...
 
+# Differential fault soak: repeated golden-vs-TACO campaigns over
+# mutated traffic; exits non-zero on any stall, fate mismatch,
+# per-reason drop-count divergence, or unexplained drop.
+SOAK_CAMPAIGNS ?= 16
+soak:
+	$(GO) run ./cmd/tacoroute -soak -soak-campaigns $(SOAK_CAMPAIGNS) \
+		-packets 96 -entries 96 -faults all:0.2
+
 # Short differential fuzz bursts (one -fuzz pattern per go test
 # invocation); extend FUZZTIME for longer campaigns.
 FUZZTIME ?= 30s
-fuzz: fuzz-router fuzz-lpm
+fuzz: fuzz-router fuzz-lpm fuzz-faults
 
 # Golden router vs TACO processor on generated datagrams.
 fuzz-router:
@@ -37,6 +45,11 @@ fuzz-router:
 # All five routing-table backends in lockstep on decoded op streams.
 fuzz-lpm:
 	$(GO) test ./internal/rtable -run xxx -fuzz FuzzLPMBackends -fuzztime $(FUZZTIME)
+
+# Whole soak campaigns on fuzzed seed/mutator-mix/probability inputs:
+# every campaign must stay stall-, mismatch- and unexplained-free.
+fuzz-faults:
+	$(GO) test ./internal/fault -run xxx -fuzz FuzzSoakDifferential -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem

@@ -117,6 +117,24 @@ type largeOpts struct {
 	churn int
 }
 
+// failedPoint prints a failed sweep point's error in place of its
+// metrics row (graceful degradation: the rest of the sweep is valid).
+func failedPoint(p dse.Point) bool {
+	if p.Err == "" {
+		return false
+	}
+	fmt.Printf("  %g: FAILED — %s\n", p.X, p.Err)
+	return true
+}
+
+// cyclesCell formats one table-size cell, marking failed points.
+func cyclesCell(p dse.Point) string {
+	if p.Err != "" {
+		return "FAILED"
+	}
+	return fmt.Sprintf("%.0f", p.Metrics.CyclesPerPacket)
+}
+
 // parseSizes parses a comma-separated entry-count list.
 func parseSizes(list string) ([]int, error) {
 	var sizes []int
@@ -246,10 +264,10 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 		for i, n := range sizes {
 			// The trie has no hardware unit; report its probe count as a
 			// software model reference.
-			fmt.Printf("%8d %12.0f %12.0f %12.0f %12s\n", n,
-				rows[rtable.Sequential][i].Metrics.CyclesPerPacket,
-				rows[rtable.BalancedTree][i].Metrics.CyclesPerPacket,
-				rows[rtable.CAM][i].Metrics.CyclesPerPacket, "-")
+			fmt.Printf("%8d %12s %12s %12s %12s\n", n,
+				cyclesCell(rows[rtable.Sequential][i]),
+				cyclesCell(rows[rtable.BalancedTree][i]),
+				cyclesCell(rows[rtable.CAM][i]), "-")
 		}
 	case "buses":
 		for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
@@ -263,6 +281,9 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 			}
 			fmt.Printf("bus sweep, %s:\n", kind)
 			for _, p := range pts {
+				if failedPoint(p) {
+					continue
+				}
 				fmt.Printf("  %d bus(es): %7.1f cycles/packet, required %s, util %.0f%%\n",
 					int(p.X), p.Metrics.CyclesPerPacket,
 					estimate.FormatHz(p.Metrics.RequiredClockHz),
@@ -282,6 +303,9 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 		}
 		fmt.Printf("packet-size sweep (%s, CAM):\n", cfg.Name)
 		for _, p := range pts {
+			if failedPoint(p) {
+				continue
+			}
 			fmt.Printf("  %5d B: %6.1f cycles/packet, required %s\n",
 				int(p.X), p.Metrics.CyclesPerPacket,
 				estimate.FormatHz(p.Metrics.RequiredClockHz))
@@ -298,6 +322,9 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 			}
 			fmt.Printf("replication sweep, %s (3 buses):\n", kind)
 			for _, p := range pts {
+				if failedPoint(p) {
+					continue
+				}
 				fmt.Printf("  %dx CNT/CMP/M: %7.1f cycles/packet, required %s, %.1f mm², %.2f W\n",
 					int(p.X), p.Metrics.CyclesPerPacket,
 					estimate.FormatHz(p.Metrics.RequiredClockHz),
@@ -329,6 +356,9 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 		fmt.Printf("%-13s %9s %12s %9s %12s %10s %9s %11s  %s\n",
 			"kind", "entries", "cycles/pkt", "probes", "req clock", "area mm²", "power W", "table mem", "verdict")
 		for _, p := range pts {
+			if failedPoint(p) {
+				continue
+			}
 			m := p.Metrics
 			verdict := "OK"
 			switch {

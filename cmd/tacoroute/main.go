@@ -3,22 +3,33 @@
 // over a chosen routing-table implementation and architecture instance,
 // cross-checked against the golden software router.
 //
+// With -faults the workload is passed through the seeded fault
+// injector first (adversarial traffic), and with -soak it runs
+// repeated differential fault campaigns instead of a single batch.
+//
 // Usage:
 //
 //	tacoroute [-table sequential|tree|cam] [-config 3bus1fu]
 //	          [-packets 200] [-entries 100] [-ifaces 4] [-seed 2003]
+//	tacoroute -faults all:0.1 -fault-seed 7
+//	tacoroute -soak [-soak-campaigns 8] [-faults all:0.2]
 package main
 
 import (
 	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"taco/internal/cliutil"
 	"taco/internal/core"
 	"taco/internal/estimate"
+	"taco/internal/fault"
+	"taco/internal/fu"
 	"taco/internal/linecard"
+	"taco/internal/obs"
 	"taco/internal/profile"
 	"taco/internal/router"
 	"taco/internal/rtable"
@@ -27,17 +38,21 @@ import (
 
 func main() {
 	var (
-		table   = flag.String("table", "tree", "routing table: sequential | tree | cam")
-		config  = flag.String("config", "3bus1fu", "architecture: 1bus | 3bus1fu | 3bus3fu")
-		packets = flag.Int("packets", 200, "datagrams to forward")
-		entries = flag.Int("entries", 100, "routing-table entries")
-		ifaces  = flag.Int("ifaces", 4, "network interfaces")
-		seed    = flag.Uint64("seed", 2003, "workload seed")
-		verify  = flag.Bool("verify", true, "cross-check against the golden router")
-		prof    = flag.Bool("profile", false, "print per-region cycle attribution (bottleneck analysis)")
+		table     = flag.String("table", "tree", "routing table: sequential | tree | cam")
+		config    = flag.String("config", "3bus1fu", "architecture: 1bus | 3bus1fu | 3bus3fu")
+		packets   = flag.Int("packets", 200, "datagrams to forward")
+		entries   = flag.Int("entries", 100, "routing-table entries")
+		ifaces    = flag.Int("ifaces", 4, "network interfaces")
+		seed      = flag.Uint64("seed", 2003, "workload seed")
+		verify    = flag.Bool("verify", true, "cross-check against the golden router")
+		prof      = flag.Bool("profile", false, "print per-region cycle attribution (bottleneck analysis)")
+		soak      = flag.Bool("soak", false, "run differential fault campaigns (golden vs TACO) instead of one batch")
+		campaigns = flag.Int("soak-campaigns", 8, "campaigns per -soak run")
 	)
 	var pprofFlags cliutil.Profiling
 	pprofFlags.RegisterFlags(flag.CommandLine)
+	var faultFlags cliutil.FaultFlags
+	faultFlags.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := pprofFlags.Start()
 	if err != nil {
@@ -54,6 +69,15 @@ func main() {
 		fatal(err)
 	}
 
+	if *soak {
+		runSoak(cfg, *campaigns, *packets, *entries, *ifaces, *seed, faultFlags.Spec)
+		return
+	}
+	inj, err := faultFlags.Injector()
+	if err != nil {
+		fatal(err)
+	}
+
 	routes := workload.GenerateRoutes(workload.TableSpec{
 		Entries: *entries, Ifaces: *ifaces, Seed: *seed,
 	})
@@ -63,6 +87,9 @@ func main() {
 	pkts, err := workload.GenerateTraffic(routes, spec)
 	if err != nil {
 		fatal(err)
+	}
+	for i := range pkts {
+		pkts[i].Data = inj.Apply(pkts[i].Data)
 	}
 
 	tbl := rtable.New(kind)
@@ -75,19 +102,35 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if inj != nil {
+		tr.EnableDropAudit()
+	}
 	var prf *profile.Profile
 	if *prof {
 		prf = profile.New(tr.Sched.Program)
 		tr.Machine.Trace = prf.Hook()
 	}
+	delivered := int64(0)
 	for i, p := range pkts {
-		if !tr.Deliver(i%*ifaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+		if tr.Deliver(i%*ifaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+			delivered++
+		} else if inj == nil {
+			// Without injected faults every generated frame is valid, so a
+			// rejection can only be queue overflow — a real failure.
 			fatal(fmt.Errorf("line card overflow at packet %d", i))
 		}
 	}
 	budget := int64(*packets) * int64(*entries+64) * 64
-	if err := tr.Run(int64(len(pkts)), budget); err != nil {
+	if err := tr.Run(delivered, budget); err != nil {
+		var stall *router.StallError
+		if errors.As(err, &stall) {
+			fmt.Fprintln(os.Stderr, "tacoroute: forwarding stalled; machine state:")
+			fmt.Fprintln(os.Stderr, stall.Dump())
+		}
 		fatal(err)
+	}
+	if inj != nil {
+		tr.FinalizeDropAudit()
 	}
 
 	st := tr.Machine.Stats()
@@ -118,6 +161,38 @@ func main() {
 	}
 	fmt.Printf("  line-card queues: max input depth %d of %d, input drops %d\n",
 		maxIn, linecard.MaxQueue, dropped)
+	var reasons obs.DropCounters
+	for _, qs := range tr.QueueStats() {
+		reasons.Merge(qs.Drops)
+	}
+	if m := reasons.Map(); len(m) > 0 {
+		names := make([]string, 0, len(m))
+		for k := range m {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Println("  drops by reason:")
+		for _, k := range names {
+			fmt.Printf("    %-20s %d\n", k, m[k])
+		}
+	}
+	if inj != nil {
+		if counts := inj.Counts(); len(counts) > 0 {
+			names := make([]string, 0, len(counts))
+			for k := range counts {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			fmt.Print("  mutations applied:")
+			for _, k := range names {
+				fmt.Printf(" %s=%d", k, counts[k])
+			}
+			fmt.Println()
+		}
+		if n := tr.UnexplainedDrops(); n != 0 {
+			fatal(fmt.Errorf("%d machine drops could not be attributed to a DropReason", n))
+		}
+	}
 	if lat := tr.Latency(); lat.Count > 0 {
 		fmt.Printf("  latency (cycles, store->transmit): min %d, mean %.0f, p99 %d, max %d\n",
 			lat.MinCycles, lat.MeanCycles, lat.P99Cycles, lat.MaxCycles)
@@ -165,6 +240,23 @@ func crossCheck(kind rtable.Kind, routes []rtable.Route, pkts []workload.Packet,
 		}
 	}
 	return nil
+}
+
+// runSoak executes the differential fault campaigns and exits non-zero
+// on any divergence, so `make soak` and the CI smoke job gate on it.
+func runSoak(cfg fu.Config, campaigns, packets, entries, ifaces int, seed uint64, spec string) {
+	rep, err := fault.RunSoak(fault.SoakOptions{
+		Campaigns: campaigns, Packets: packets, Entries: entries,
+		Ifaces: ifaces, Seed: seed, Spec: spec, Config: cfg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.String())
+	if !rep.Clean() {
+		fatal(fmt.Errorf("soak diverged: %d stalls, %d mismatches, %d unexplained drops",
+			rep.Stalls, rep.Mismatches, rep.Unexplained))
+	}
 }
 
 func fatal(err error) {

@@ -105,6 +105,7 @@ func main() {
 
 	cycles, err := m.Run(*maxCy)
 	if err != nil {
+		dumpStall(m, cycles)
 		fatal(err)
 	}
 	if tw != nil {
@@ -141,6 +142,16 @@ func main() {
 			}
 			fmt.Printf("  %-12s = %d (0x%08x)\n", name, v, v)
 		}
+	}
+}
+
+// dumpStall prints the machine state at the moment a run died — the
+// program counter, how far it got, and every visible socket — so a
+// stalled program can be diagnosed without re-running under -trace.
+func dumpStall(m *tta.Machine, cycles int64) {
+	fmt.Fprintf(os.Stderr, "tacosim: machine state after %d cycles (pc %d):\n", cycles, m.PC())
+	for _, s := range m.SnapshotSockets() {
+		fmt.Fprintf(os.Stderr, "  %-16s %-8s 0x%08x\n", s.Name, s.Kind, s.Value)
 	}
 }
 

@@ -1,0 +1,26 @@
+package cliutil
+
+import (
+	"flag"
+
+	"taco/internal/fault"
+)
+
+// FaultFlags registers the shared fault-injection flags: a spec string
+// selecting mutators and a seed making the stream reproducible.
+type FaultFlags struct {
+	Spec string
+	Seed uint64
+}
+
+// RegisterFlags adds -faults and -fault-seed to fs.
+func (f *FaultFlags) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&f.Spec, "faults", "",
+		"fault spec: comma-separated name[:prob] ("+fault.SpecNames()+", or all[:prob]); empty disables injection")
+	fs.Uint64Var(&f.Seed, "fault-seed", 1, "fault-injection seed (campaigns replay exactly)")
+}
+
+// Injector builds the configured injector; nil when no spec was given.
+func (f *FaultFlags) Injector() (*fault.Injector, error) {
+	return fault.ParseSpec(f.Spec, f.Seed)
+}

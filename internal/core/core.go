@@ -99,6 +99,11 @@ type Metrics struct {
 	TableMem           *estimate.TableMem `json:",omitempty"`
 	ScaleModel         *ScaleModel        `json:",omitempty"`
 
+	// Drops aggregates the line cards' per-reason drop counters over the
+	// run — the shared fault taxonomy's roll-up, nonempty only when
+	// something was actually discarded.
+	Drops map[string]int64 `json:",omitempty"`
+
 	// Fine-grained observability. LineCards (per-card queue counters,
 	// index Config-ifaces is the host card) is always populated;
 	// FUUtilization and BusOccupancy require SimOptions.Observe, which
@@ -137,6 +142,13 @@ type SimOptions struct {
 	// results, but recording them costs a few percent of simulation
 	// speed.
 	Observe bool
+
+	// MaxCyclesPerPacket overrides the watchdog's cycle budget (budget =
+	// Packets × MaxCyclesPerPacket). Zero keeps the generous default
+	// scaled to the table size. Setting it absurdly low is the
+	// fault-injection knob for provoking a router.StallError on an
+	// otherwise healthy instance.
+	MaxCyclesPerPacket int `json:",omitempty"`
 }
 
 // DefaultSimOptions returns the evaluation workload used throughout the
@@ -185,6 +197,9 @@ func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) 
 	}
 	// Generous budget: the sequential scan costs O(entries) per packet.
 	budget := int64(sim.Packets) * int64(cons.TableEntries+64) * 64
+	if sim.MaxCyclesPerPacket > 0 {
+		budget = int64(sim.Packets) * int64(sim.MaxCyclesPerPacket)
+	}
 	if err := tr.Run(int64(len(pkts)), budget); err != nil {
 		return Metrics{}, err
 	}
@@ -207,6 +222,13 @@ func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) 
 		ProgramCycles:   tr.Sched.Cycles,
 		ProgramMoves:    tr.Sched.MovesOut,
 		LineCards:       tr.QueueStats(),
+	}
+	var drops obs.DropCounters
+	for _, st := range m.LineCards {
+		drops.Merge(st.Drops)
+	}
+	if drops.Total() > 0 {
+		m.Drops = drops.Map()
 	}
 	if ctrs != nil {
 		units := tr.Machine.Units()

@@ -1,0 +1,122 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/rtable"
+)
+
+// TestSweepDegradesGracefully is the graceful-degradation acceptance
+// criterion: one instance rigged to stall (an absurd one-cycle-per-
+// packet watchdog budget) must come back with its own Err set while
+// every other point is byte-identical to the fault-free sweep — for any
+// worker count.
+func TestSweepDegradesGracefully(t *testing.T) {
+	cons := core.PaperConstraints()
+	cons.TableEntries = 24
+	sim := core.SimOptions{Packets: 12, Seed: 7, MissRatio: 0.1, Ifaces: 4}
+	insts := BusInstances(rtable.BalancedTree, 4, cons, sim)
+
+	clean, err := Sweep(context.Background(), insts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range clean {
+		if p.Err != "" {
+			t.Fatalf("fault-free sweep errored at %d: %s", i, p.Err)
+		}
+	}
+
+	const stallIdx = 2
+	rigged := append([]Instance(nil), insts...)
+	rigged[stallIdx].Sim.MaxCyclesPerPacket = 1 // watchdog fires immediately
+
+	for _, workers := range []int{1, 8} {
+		pts, err := Sweep(context.Background(), rigged, workers)
+		if err != nil {
+			t.Fatalf("workers %d: sweep aborted instead of degrading: %v", workers, err)
+		}
+		if len(pts) != len(insts) {
+			t.Fatalf("workers %d: %d points, want %d", workers, len(pts), len(insts))
+		}
+		bad := pts[stallIdx]
+		if bad.Err == "" {
+			t.Fatalf("workers %d: stalling instance came back clean", workers)
+		}
+		if !strings.Contains(bad.Err, "stall") {
+			t.Errorf("workers %d: Err does not identify the stall: %s", workers, bad.Err)
+		}
+		// Attribution survives the failure.
+		if bad.Metrics.Kind != rtable.BalancedTree || bad.Metrics.Config.Name == "" {
+			t.Errorf("workers %d: failed point lost its identity: %v/%q",
+				workers, bad.Metrics.Kind, bad.Metrics.Config.Name)
+		}
+		for i := range pts {
+			if i == stallIdx {
+				continue
+			}
+			got, _ := json.Marshal(pts[i])
+			want, _ := json.Marshal(clean[i])
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers %d: point %d perturbed by the stalling neighbour:\n%s\n%s",
+					workers, i, got, want)
+			}
+		}
+	}
+}
+
+// TestExportCarriesErr: both export formats must surface a failed
+// point's error and never call it acceptable.
+func TestExportCarriesErr(t *testing.T) {
+	pts := []Point{
+		{X: 1, Metrics: core.Metrics{Kind: rtable.CAM}},
+		{X: 2, Err: "router: stall: exceeded 12 cycles", Metrics: core.Metrics{Kind: rtable.CAM}},
+	}
+	var csvBuf bytes.Buffer
+	if err := WriteCSV(&csvBuf, pts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if !strings.HasSuffix(lines[0], ",err") {
+		t.Errorf("header missing err column: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], "stall: exceeded 12 cycles") {
+		t.Errorf("failed row lost its error: %s", lines[2])
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, pts); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded[0]["Err"]; ok {
+		t.Error("clean point exported an Err field")
+	}
+	if decoded[1]["Err"] != "router: stall: exceeded 12 cycles" {
+		t.Errorf("Err = %v", decoded[1]["Err"])
+	}
+	if decoded[1]["Acceptable"] != false {
+		t.Error("failed point exported as acceptable")
+	}
+}
+
+// TestEvaluateStallsOnTinyBudget: the MaxCyclesPerPacket knob must turn
+// a healthy instance into a structured stall, not a hang or a generic
+// error.
+func TestEvaluateStallsOnTinyBudget(t *testing.T) {
+	cons := core.PaperConstraints()
+	cons.TableEntries = 16
+	sim := core.SimOptions{Packets: 8, Seed: 3, Ifaces: 4, MaxCyclesPerPacket: 1}
+	_, err := Sweep(context.Background(), BusInstances(rtable.Sequential, 1, cons, sim), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

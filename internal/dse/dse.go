@@ -19,6 +19,12 @@ import (
 type Point struct {
 	X       float64 // the swept parameter's value
 	Metrics core.Metrics
+	// Err is the instance's evaluation failure (a stalled simulation,
+	// an infeasible table build), empty on success. A failed point keeps
+	// its Metrics.Kind and Metrics.Config for attribution, but its other
+	// metrics are zero; sweeps degrade gracefully rather than abort, so
+	// one pathological instance cannot take down a whole exploration.
+	Err string `json:",omitempty"`
 }
 
 // SweepTableSize evaluates cfg over growing routing tables — the

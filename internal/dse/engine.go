@@ -191,17 +191,26 @@ func firstError(insts []Instance, errs []error) error {
 // input order. The result is byte-for-byte independent of the worker
 // count: every instance is fully determined by its seeds, and results
 // are written to their input slot rather than collected by completion.
+//
+// Sweeps degrade gracefully: a failing instance (stalled simulation,
+// table build error) marks its own Point.Err and the sweep continues —
+// every other point is exactly what a fault-free sweep would have
+// produced. Only context cancellation aborts the whole call.
 func Sweep(ctx context.Context, insts []Instance, workers int) ([]Point, error) {
 	results, errs, err := evaluateInstances(ctx, insts, workers)
 	if err != nil {
 		return nil, err
 	}
-	if err := firstError(insts, errs); err != nil {
-		return nil, err
-	}
 	out := make([]Point, len(insts))
 	for i, m := range results {
 		out[i] = Point{X: insts[i].X, Metrics: m}
+		if errs[i] != nil {
+			out[i].Err = errs[i].Error()
+			// Keep the instance's identity on the failed point so exports
+			// can attribute the failure without cross-referencing inputs.
+			out[i].Metrics.Kind = insts[i].Cfg.Table
+			out[i].Metrics.Config = insts[i].Cfg
+		}
 	}
 	return out, nil
 }

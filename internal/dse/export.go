@@ -13,6 +13,7 @@ import (
 var csvHeader = []string{
 	"x", "kind", "config", "cycles_per_packet", "bus_utilization",
 	"required_clock_hz", "area_mm2", "power_w", "clock_feasible", "acceptable",
+	"err",
 }
 
 // WriteCSV exports sweep points as CSV for external plotting (the
@@ -23,7 +24,7 @@ func WriteCSV(w io.Writer, points []Point) error {
 		return err
 	}
 	for _, p := range points {
-		if err := cw.Write(metricsRow(p.X, p.Metrics)); err != nil {
+		if err := cw.Write(metricsRow(p.X, p.Metrics, p.Err)); err != nil {
 			return err
 		}
 	}
@@ -39,7 +40,7 @@ func WriteMetricsCSV(w io.Writer, ms []core.Metrics) error {
 		return err
 	}
 	for i, m := range ms {
-		if err := cw.Write(metricsRow(float64(i), m)); err != nil {
+		if err := cw.Write(metricsRow(float64(i), m, "")); err != nil {
 			return err
 		}
 	}
@@ -57,6 +58,8 @@ type instanceJSON struct {
 	// Kind shadows the embedded numeric enum with its name.
 	Kind       string
 	Acceptable bool
+	// Err marks a failed instance (graceful sweep degradation).
+	Err string `json:",omitempty"`
 }
 
 func jsonPoints(points []instanceJSON, w io.Writer) error {
@@ -72,7 +75,8 @@ func WriteJSON(w io.Writer, points []Point) error {
 	for i, p := range points {
 		x := p.X
 		out[i] = instanceJSON{X: &x, Metrics: p.Metrics,
-			Kind: p.Metrics.Kind.String(), Acceptable: p.Metrics.Acceptable()}
+			Kind: p.Metrics.Kind.String(), Acceptable: p.Metrics.Acceptable() && p.Err == "",
+			Err: p.Err}
 	}
 	return jsonPoints(out, w)
 }
@@ -87,7 +91,7 @@ func WriteMetricsJSON(w io.Writer, ms []core.Metrics) error {
 	return jsonPoints(out, w)
 }
 
-func metricsRow(x float64, m core.Metrics) []string {
+func metricsRow(x float64, m core.Metrics, errStr string) []string {
 	return []string{
 		fmt.Sprintf("%g", x),
 		m.Kind.String(),
@@ -98,6 +102,7 @@ func metricsRow(x float64, m core.Metrics) []string {
 		fmt.Sprintf("%.2f", m.Est.AreaMM2),
 		fmt.Sprintf("%.3f", m.Est.PowerW),
 		fmt.Sprintf("%t", m.ClockFeasible),
-		fmt.Sprintf("%t", m.Acceptable()),
+		fmt.Sprintf("%t", m.Acceptable() && errStr == ""),
+		errStr,
 	}
 }

@@ -1,0 +1,212 @@
+package fault
+
+import (
+	"sort"
+
+	"taco/internal/bits"
+	"taco/internal/ripng"
+	"taco/internal/workload"
+)
+
+// FlapEvent is one scheduled link-state change.
+type FlapEvent struct {
+	At int64 // time (caller's unit: ticks, packet index, seconds)
+	Up bool
+}
+
+// LinkStats counts what a faulty link did to the traffic through it.
+type LinkStats struct {
+	Sent       int64 // frames that made it through (possibly corrupted)
+	LostDown   int64 // frames discarded while the link was down
+	LostRandom int64 // frames lost to the random loss rate
+	Corrupted  int64 // frames delivered with a flipped bit
+}
+
+// Link models the wire in front of one line card: a deterministic flap
+// schedule plus seeded random loss and corruption. The link starts up;
+// the latest scheduled event at or before the current time decides its
+// state.
+type Link struct {
+	// Loss is the per-frame probability of silent loss while up.
+	Loss float64
+	// Corrupt is the per-frame probability of a single-bit flip.
+	Corrupt float64
+
+	events []FlapEvent
+	rng    *workload.RNG
+	stats  LinkStats
+}
+
+// NewLink returns a seeded link with no faults configured.
+func NewLink(seed uint64) *Link {
+	return &Link{rng: workload.NewRNG(seed)}
+}
+
+// Schedule adds a flap event, keeping the schedule sorted by time
+// (stable for equal times, so later calls win ties).
+func (l *Link) Schedule(at int64, up bool) {
+	l.events = append(l.events, FlapEvent{At: at, Up: up})
+	sort.SliceStable(l.events, func(i, j int) bool { return l.events[i].At < l.events[j].At })
+}
+
+// Up reports the link state at the given time.
+func (l *Link) Up(now int64) bool {
+	up := true
+	for _, e := range l.events {
+		if e.At > now {
+			break
+		}
+		up = e.Up
+	}
+	return up
+}
+
+// Transmit passes one frame across the link at the given time. It
+// returns the frame (a corrupted copy when the corruption fault fires,
+// so the caller's original bytes are never aliased) and whether it
+// arrived at all. A nil *Link is a perfect wire.
+func (l *Link) Transmit(now int64, d []byte) ([]byte, bool) {
+	if l == nil {
+		return d, true
+	}
+	if !l.Up(now) {
+		l.stats.LostDown++
+		return nil, false
+	}
+	if l.Loss > 0 && l.rng.Float64() < l.Loss {
+		l.stats.LostRandom++
+		return nil, false
+	}
+	if l.Corrupt > 0 && l.rng.Float64() < l.Corrupt && len(d) > 0 {
+		c := append([]byte(nil), d...)
+		bit := l.rng.Intn(len(c) * 8)
+		c[bit/8] ^= 1 << (bit % 8)
+		l.stats.Corrupted++
+		l.stats.Sent++
+		return c, true
+	}
+	l.stats.Sent++
+	return d, true
+}
+
+// Stats returns the link's fault counters.
+func (l *Link) Stats() LinkStats {
+	if l == nil {
+		return LinkStats{}
+	}
+	return l.stats
+}
+
+// PeerFaultStats counts what a faulty peer link did to RIPng updates.
+type PeerFaultStats struct {
+	Passed     int64
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	Released   int64
+}
+
+// PeerFault degrades the RIPng control channel between two engines:
+// updates are dropped, duplicated, or held back for a bounded number of
+// ticks before delivery — the misbehaving-neighbour model the protocol's
+// timers and poisoned reverse must survive.
+type PeerFault struct {
+	// Drop, Dup, Delay are per-packet probabilities.
+	Drop, Dup, Delay float64
+	// MaxDelayTicks bounds how long a delayed update is held (≥1 when
+	// Delay fires; 0 disables delaying regardless of Delay).
+	MaxDelayTicks int
+
+	rng     *workload.RNG
+	pending []delayedPacket
+	stats   PeerFaultStats
+}
+
+type delayedPacket struct {
+	due ripng.Clock
+	op  ripng.OutPacket
+}
+
+// NewPeerFault returns a seeded peer-fault filter with no faults
+// configured.
+func NewPeerFault(seed uint64) *PeerFault {
+	return &PeerFault{rng: workload.NewRNG(seed)}
+}
+
+// Filter passes a batch of outgoing RIPng packets through the fault
+// model at the given time: due delayed packets are released first (in
+// the order they were held), then each new packet is dropped, delayed,
+// or passed — and possibly duplicated. A nil *PeerFault passes the
+// batch through untouched.
+func (p *PeerFault) Filter(now ripng.Clock, ops []ripng.OutPacket) []ripng.OutPacket {
+	if p == nil {
+		return ops
+	}
+	var out []ripng.OutPacket
+	keep := p.pending[:0]
+	for _, d := range p.pending {
+		if d.due <= now {
+			out = append(out, d.op)
+			p.stats.Released++
+		} else {
+			keep = append(keep, d)
+		}
+	}
+	p.pending = keep
+	for _, op := range ops {
+		switch {
+		case p.Drop > 0 && p.rng.Float64() < p.Drop:
+			p.stats.Dropped++
+			continue
+		case p.MaxDelayTicks > 0 && p.Delay > 0 && p.rng.Float64() < p.Delay:
+			due := now + 1 + ripng.Clock(p.rng.Intn(p.MaxDelayTicks))
+			p.pending = append(p.pending, delayedPacket{due: due, op: op})
+			p.stats.Delayed++
+			continue
+		}
+		out = append(out, op)
+		p.stats.Passed++
+		if p.Dup > 0 && p.rng.Float64() < p.Dup {
+			out = append(out, op)
+			p.stats.Duplicated++
+		}
+	}
+	return out
+}
+
+// Pending returns how many delayed updates are still held back.
+func (p *PeerFault) Pending() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.pending)
+}
+
+// Stats returns the peer-fault counters.
+func (p *PeerFault) Stats() PeerFaultStats {
+	if p == nil {
+		return PeerFaultStats{}
+	}
+	return p.stats
+}
+
+// PoisonStorm builds the response flood a dying (or malicious) peer
+// emits: every given prefix advertised at metric Infinity, split across
+// MTU-sized packets. Feeding these to an Engine must poison exactly the
+// routes it learned from that peer and nothing else.
+func PoisonStorm(prefixes []bits.Prefix) []ripng.Packet {
+	var out []ripng.Packet
+	for len(prefixes) > 0 {
+		n := len(prefixes)
+		if n > ripng.MaxRTEsPerPacket {
+			n = ripng.MaxRTEsPerPacket
+		}
+		p := ripng.Packet{Command: ripng.CommandResponse}
+		for _, pfx := range prefixes[:n] {
+			p.RTEs = append(p.RTEs, ripng.RTE{Prefix: pfx, Metric: ripng.Infinity})
+		}
+		out = append(out, p)
+		prefixes = prefixes[n:]
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"taco/internal/fu"
+	"taco/internal/linecard"
+	"taco/internal/obs"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// SoakOptions configures a soak run: repeated seeded campaigns of
+// mutated traffic driven through the golden and TACO routers
+// differentially.
+type SoakOptions struct {
+	// Campaigns is the number of independent campaigns (fresh table,
+	// traffic and fault stream each). Default 4.
+	Campaigns int
+	// Packets per campaign. Default 64.
+	Packets int
+	// Entries in each campaign's routing table. Default 64.
+	Entries int
+	// Ifaces is the network interface count. Default 4.
+	Ifaces int
+	// Seed derives every campaign's table, traffic and fault seeds.
+	Seed uint64
+	// Spec is the fault spec (see ParseSpec). Empty means "all" at
+	// DefaultProb.
+	Spec string
+	// Config is the TACO architecture instance. Zero value means the
+	// 3-bus balanced-tree configuration.
+	Config fu.Config
+	// MaxCycles is the per-campaign watchdog budget; 0 picks a generous
+	// default scaled to the workload (a stall is then a real bug, not a
+	// tight budget).
+	MaxCycles int64
+}
+
+func (o *SoakOptions) defaults() {
+	if o.Campaigns <= 0 {
+		o.Campaigns = 4
+	}
+	if o.Packets <= 0 {
+		o.Packets = 64
+	}
+	if o.Entries <= 0 {
+		o.Entries = 64
+	}
+	if o.Ifaces <= 0 {
+		o.Ifaces = 4
+	}
+	if o.Config.Buses == 0 {
+		o.Config = fu.Config3Bus1FU(rtable.BalancedTree)
+	}
+	if o.Spec == "" {
+		o.Spec = "all"
+	}
+}
+
+// SoakReport aggregates a soak run. A clean run has Stalls,
+// Mismatches and Unexplained all zero: every campaign finished within
+// budget, golden and TACO agreed on every datagram's fate (including
+// its DropReason, per card), and every machine-level drop was
+// attributed to the taxonomy.
+type SoakReport struct {
+	Campaigns int
+	Packets   int64 // datagrams generated across all campaigns
+	Delivered int64 // accepted by the line cards
+	Forwarded int64
+	Local     int64
+	Dropped   int64
+	// Drops breaks Dropped down by reason (TACO's accounting; equal to
+	// golden's when Mismatches is zero).
+	Drops obs.DropCounters
+	// Mutations counts applied mutators by name.
+	Mutations map[string]int64
+	// Stalls counts campaigns killed by the watchdog.
+	Stalls int
+	// Mismatches counts golden-vs-TACO disagreements (per datagram fate
+	// and per drop-counter cell).
+	Mismatches int
+	// Unexplained counts machine drops the audit could not attribute.
+	Unexplained int64
+}
+
+// Clean reports whether the run surfaced no divergence at all.
+func (r SoakReport) Clean() bool {
+	return r.Stalls == 0 && r.Mismatches == 0 && r.Unexplained == 0
+}
+
+// String renders the human-readable soak summary.
+func (r SoakReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soak: %d campaigns, %d datagrams (%d delivered)\n",
+		r.Campaigns, r.Packets, r.Delivered)
+	fmt.Fprintf(&b, "  forwarded %d, local %d, dropped %d\n", r.Forwarded, r.Local, r.Dropped)
+	if m := r.Drops.Map(); len(m) > 0 {
+		names := make([]string, 0, len(m))
+		for k := range m {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			fmt.Fprintf(&b, "    %-20s %d\n", k, m[k])
+		}
+	}
+	if len(r.Mutations) > 0 {
+		names := make([]string, 0, len(r.Mutations))
+		for k := range r.Mutations {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString("  mutations:")
+		for _, k := range names {
+			fmt.Fprintf(&b, " %s=%d", k, r.Mutations[k])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  stalls %d, mismatches %d, unexplained drops %d", r.Stalls, r.Mismatches, r.Unexplained)
+	if r.Clean() {
+		b.WriteString(" — clean")
+	}
+	return b.String()
+}
+
+// campaignSeed spreads the base seed across campaigns (splitmix64's
+// increment keeps consecutive campaigns decorrelated).
+func campaignSeed(base uint64, c int) uint64 {
+	return base + uint64(c)*0x9e3779b97f4a7c15
+}
+
+// fate is one datagram's outcome, comparable across the two routers.
+type fate struct {
+	action router.Action
+	iface  int
+}
+
+// RunSoak drives o.Campaigns independent campaigns. Each campaign
+// generates a routing table and traffic from its seed, mutates the
+// traffic through the fault spec, runs the golden router and the TACO
+// router (drop audit enabled) over identical bytes, and compares the
+// forwarded-packet sets, local deliveries, and per-card per-reason drop
+// counts. Divergence is counted, not fatal: a soak run completes and
+// reports, it does not stop at the first bad campaign.
+func RunSoak(o SoakOptions) (SoakReport, error) {
+	o.defaults()
+	rep := SoakReport{Campaigns: o.Campaigns, Mutations: map[string]int64{}}
+	for c := 0; c < o.Campaigns; c++ {
+		seed := campaignSeed(o.Seed, c)
+		routes := workload.GenerateRoutes(workload.TableSpec{
+			Entries: o.Entries, Ifaces: o.Ifaces, Seed: seed,
+		})
+		mkTable := func() (rtable.Table, error) {
+			tbl := rtable.New(o.Config.Table)
+			if err := rtable.InsertAll(tbl, routes); err != nil {
+				return nil, err
+			}
+			return tbl, nil
+		}
+		gtbl, err := mkTable()
+		if err != nil {
+			return rep, fmt.Errorf("fault: campaign %d: %w", c, err)
+		}
+		ttbl, err := mkTable()
+		if err != nil {
+			return rep, fmt.Errorf("fault: campaign %d: %w", c, err)
+		}
+		pkts, err := workload.GenerateTraffic(routes, workload.TrafficSpec{
+			Packets:          o.Packets,
+			SizeBytes:        128,
+			MissRatio:        0.1,
+			HopLimitOneRatio: 0.05,
+			Seed:             seed,
+		})
+		if err != nil {
+			return rep, fmt.Errorf("fault: campaign %d: %w", c, err)
+		}
+		inj, err := ParseSpec(o.Spec, seed^0xda942042e4dd58b5)
+		if err != nil {
+			return rep, err
+		}
+		for i := range pkts {
+			pkts[i].Data = inj.Apply(pkts[i].Data)
+		}
+
+		g := router.NewGolden(gtbl, o.Ifaces)
+		tr, err := router.NewTACO(o.Config, ttbl, o.Ifaces)
+		if err != nil {
+			return rep, fmt.Errorf("fault: campaign %d: %w", c, err)
+		}
+		tr.EnableDropAudit()
+
+		want := make(map[int64]fate, len(pkts))
+		wantDrops := make([]obs.DropCounters, o.Ifaces)
+		delivered := int64(0)
+		for i, p := range pkts {
+			card := i % o.Ifaces
+			if tr.Deliver(card, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+				delivered++
+			}
+			dec, _ := g.Process(p.Data)
+			f := fate{action: dec.Action, iface: -1}
+			if dec.Action == router.Forward {
+				f.iface = dec.OutIface
+			} else if dec.Action == router.Drop {
+				wantDrops[card].Add(dec.Reason)
+			}
+			want[p.Seq] = f
+		}
+		rep.Packets += int64(len(pkts))
+		rep.Delivered += delivered
+
+		budget := o.MaxCycles
+		if budget <= 0 {
+			budget = int64(o.Packets) * int64(o.Entries+64) * 64
+		}
+		if err := tr.Run(delivered, budget); err != nil {
+			if errors.Is(err, router.ErrStall) {
+				rep.Stalls++
+				continue // campaign lost; the soak itself goes on
+			}
+			return rep, fmt.Errorf("fault: campaign %d: %w", c, err)
+		}
+		tr.FinalizeDropAudit()
+		rep.Unexplained += tr.UnexplainedDrops()
+
+		got := make(map[int64]fate, len(pkts))
+		for i := 0; i < o.Ifaces; i++ {
+			for _, d := range tr.Outputs(i) {
+				got[d.Seq] = fate{action: router.Forward, iface: i}
+				rep.Forwarded++
+			}
+		}
+		for _, d := range tr.LocalQueue() {
+			got[d.Seq] = fate{action: router.Local, iface: -1}
+			rep.Local++
+		}
+		for _, p := range pkts {
+			w := want[p.Seq]
+			gf, ok := got[p.Seq]
+			if !ok {
+				gf = fate{action: router.Drop, iface: -1}
+				rep.Dropped++
+			}
+			if w != gf {
+				rep.Mismatches++
+			}
+		}
+		for i, st := range tr.QueueStats() {
+			rep.Drops.Merge(st.Drops)
+			if i < o.Ifaces && st.Drops != wantDrops[i] {
+				rep.Mismatches++
+			}
+		}
+		for name, n := range inj.Counts() {
+			rep.Mutations[name] += n
+		}
+	}
+	return rep, nil
+}

@@ -279,9 +279,10 @@ func peekLen(c *linecard.Card) (int, bool) {
 	return maxDatagramBytes, true
 }
 
-// maxDatagramBytes bounds a line-card datagram (standard 1500-byte MTU
-// plus headers, rounded up).
-const maxDatagramBytes = 2048
+// maxDatagramBytes bounds a line-card datagram — the card's own MTU
+// contract (linecard.MaxFrameBytes), so the slot sizing here and the
+// card's oversize frame check can never disagree.
+const maxDatagramBytes = linecard.MaxFrameBytes
 
 // reserve finds words of contiguous free datagram memory, wrapping to
 // the region base when the tail is too small, and refusing regions that
@@ -446,7 +447,9 @@ func (u *OPPU) Clock() error {
 				d.Seq = s
 			}
 		}
-		if err := u.bank.Card(int(ifc)).WriteOutput(d); err != nil {
+		if !u.bank.Card(int(ifc)).PushOut(d) {
+			// The card counted the overload drop; the error signal lets
+			// the program observe it.
 			u.errFlag = true
 			return nil
 		}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"taco/internal/bits"
+	"taco/internal/ipv6"
 	"taco/internal/isa"
 	"taco/internal/linecard"
 	"taco/internal/rtable"
@@ -200,10 +201,17 @@ func TestIPPUEndToEndThroughOPPU(t *testing.T) {
 	_ = units
 }
 
-func TestIPPUDropsOversizedFrames(t *testing.T) {
+func TestOversizedFramesDropAtTheCard(t *testing.T) {
 	tbl := seqTableWith(t)
 	m, units, bank := routerMachine(t, Config1Bus1FU(rtable.Sequential), tbl)
-	bank.Card(0).Deliver(linecard.Datagram{Data: make([]byte, 4096), Seq: 1}) // beyond MTU
+	// Beyond the MTU contract: the card's frame check rejects it at
+	// delivery, so the IPPU's defensive oversize path never fires.
+	if bank.Card(0).Deliver(linecard.Datagram{Data: make([]byte, 4096), Seq: 1}) {
+		t.Fatal("card accepted a frame beyond MaxFrameBytes")
+	}
+	if got := bank.Card(0).Stats().Drops[ipv6.DropOversize]; got != 1 {
+		t.Errorf("oversize drops = %d, want 1", got)
+	}
 	bank.Card(0).Deliver(linecard.Datagram{Data: []byte{1, 2, 3, 4}, Seq: 2})
 	p := isa.NewProgram()
 	p.Ins = make([]isa.Instruction, 8) // idle cycles for the DMA
@@ -213,8 +221,8 @@ func TestIPPUDropsOversizedFrames(t *testing.T) {
 	if _, err := m.Run(-1); err != nil {
 		t.Fatal(err)
 	}
-	if units.IPPU.Oversized() != 1 {
-		t.Errorf("Oversized = %d", units.IPPU.Oversized())
+	if units.IPPU.Oversized() != 0 {
+		t.Errorf("Oversized = %d (the card should have dropped first)", units.IPPU.Oversized())
 	}
 	if units.IPPU.Stored() != 1 {
 		t.Errorf("Stored = %d (the valid frame must still arrive)", units.IPPU.Stored())

@@ -1,0 +1,105 @@
+package ipv6
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DropReason classifies why the router discarded a datagram. The
+// taxonomy is shared by every layer that can drop — the line cards'
+// frame checks, the golden software router and the TACO drop audit —
+// so adversarial traffic is counted in one vocabulary no matter where
+// it dies, and the differential tests can require the golden and TACO
+// routers to agree reason-for-reason.
+type DropReason int
+
+const (
+	// DropNone means the datagram was not dropped.
+	DropNone DropReason = iota
+	// DropMalformedHeader: shorter than the 40-byte fixed header.
+	DropMalformedHeader
+	// DropBadVersion: the version nibble is not 6.
+	DropBadVersion
+	// DropLengthMismatch: the Payload Length field overruns the frame
+	// actually received.
+	DropLengthMismatch
+	// DropHopLimit: hop limit 0 or 1 — not forwardable.
+	DropHopLimit
+	// DropOversize: the frame exceeds the line-card MTU contract.
+	DropOversize
+	// DropNoRoute: the longest-prefix lookup found no route.
+	DropNoRoute
+	// DropQueueOverflow: a line-card queue was full.
+	DropQueueOverflow
+
+	// NumDropReasons sizes fixed per-reason counter arrays.
+	NumDropReasons
+)
+
+var dropReasonNames = [NumDropReasons]string{
+	DropNone:            "none",
+	DropMalformedHeader: "malformed-header",
+	DropBadVersion:      "bad-version",
+	DropLengthMismatch:  "length-mismatch",
+	DropHopLimit:        "hop-limit-exceeded",
+	DropOversize:        "oversize-frame",
+	DropNoRoute:         "no-route",
+	DropQueueOverflow:   "queue-overflow",
+}
+
+func (r DropReason) String() string {
+	if r >= 0 && r < NumDropReasons {
+		return dropReasonNames[r]
+	}
+	return fmt.Sprintf("DropReason(%d)", int(r))
+}
+
+// FrameCheck applies the checks a line card performs before accepting a
+// frame off the wire: the frame must fit the MTU contract, and a frame
+// presenting itself as IPv6 must not claim more payload than it
+// carries. Frames the card cannot judge — runts too short to hold a
+// header, or non-IPv6 version nibbles — pass through for the forwarding
+// engine to classify. The function is a handful of comparisons and
+// never allocates.
+func FrameCheck(frame []byte, mtu int) DropReason {
+	if len(frame) > mtu {
+		return DropOversize
+	}
+	if len(frame) >= HeaderBytes && frame[0]>>4 == Version &&
+		HeaderBytes+int(binary.BigEndian.Uint16(frame[4:6])) > len(frame) {
+		return DropLengthMismatch
+	}
+	return DropNone
+}
+
+// ClassifyForward applies the header-level forwardability checks in the
+// order the combined line-card + forwarding-program pipeline applies
+// them: runt, version nibble, payload-length consistency, hop limit.
+// It returns the parsed header together with the first failing check
+// (DropNone when the datagram is forwardable as far as its header is
+// concerned — routing and local delivery are the caller's business).
+//
+// The ordering matters: the line card's length-mismatch check only
+// fires on frames it can already identify as IPv6, so a version-4
+// frame with an inconsistent length is a bad-version drop, exactly as
+// the hardware would classify it.
+func ClassifyForward(d []byte) (Header, DropReason) {
+	if len(d) < HeaderBytes {
+		return Header{}, DropMalformedHeader
+	}
+	if d[0]>>4 != Version {
+		return Header{}, DropBadVersion
+	}
+	h, err := ParseHeader(d)
+	if err != nil {
+		// Unreachable given the two checks above, but classify defensively.
+		return Header{}, DropMalformedHeader
+	}
+	if HeaderBytes+int(h.PayloadLen) > len(d) {
+		return h, DropLengthMismatch
+	}
+	if h.HopLimit <= 1 {
+		return h, DropHopLimit
+	}
+	return h, DropNone
+}

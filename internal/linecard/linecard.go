@@ -11,6 +11,9 @@ package linecard
 
 import (
 	"fmt"
+
+	"taco/internal/ipv6"
+	"taco/internal/obs"
 )
 
 // Datagram is a fully assembled IPv6 datagram (header plus payload) as a
@@ -43,17 +46,29 @@ type Stats struct {
 	Consumed    int64 // datagrams read by the processor
 	Transmitted int64 // datagrams written by the processor
 	DroppedIn   int64 // input datagrams dropped on overflow
+	DroppedOut  int64 // output datagrams dropped on overflow
 
 	// MaxInDepth and MaxOutDepth record the deepest observed input and
 	// output queues — the card's high-water marks under the simulated
 	// load, reported alongside the router's metrics.
 	MaxInDepth  int
 	MaxOutDepth int
+
+	// Drops counts every datagram this card discarded — or that the
+	// router's drop audit attributed to it — by ipv6.DropReason, the
+	// fault subsystem's shared taxonomy.
+	Drops obs.DropCounters
 }
 
 // MaxQueue bounds each queue; a full input queue drops (as real cards
 // do under overload).
 const MaxQueue = 4096
+
+// MaxFrameBytes is the card's MTU contract: the largest frame the card
+// accepts and the processor's datagram memory slots are sized for
+// (standard 1500-byte MTU plus headers, rounded up). Oversize frames
+// are dropped at delivery, as a real NIC drops giants.
+const MaxFrameBytes = 2048
 
 // New returns a card with the given interface index.
 func New(index int) *Card { return &Card{index: index} }
@@ -63,9 +78,20 @@ func (c *Card) Index() int { return c.index }
 
 // Deliver places a received datagram in the input queue (called by the
 // workload/network side). It reports whether the datagram was queued.
+//
+// Before queueing, the card applies its link-layer frame checks:
+// oversize frames (beyond MaxFrameBytes) and IPv6 frames whose Payload
+// Length field overruns the received bytes are dropped and counted by
+// reason. Frames the card cannot judge — runts, non-IPv6 version
+// nibbles — pass through for the forwarding engine to classify.
 func (c *Card) Deliver(d Datagram) bool {
+	if r := ipv6.FrameCheck(d.Data, MaxFrameBytes); r != ipv6.DropNone {
+		c.stats.Drops.Add(r)
+		return false
+	}
 	if c.InputLen() >= MaxQueue {
 		c.stats.DroppedIn++
+		c.stats.Drops.Add(ipv6.DropQueueOverflow)
 		return false
 	}
 	if c.inHead == len(c.in) {
@@ -99,18 +125,44 @@ func (c *Card) ReadInput() (Datagram, bool) {
 	return d, true
 }
 
-// WriteOutput enqueues a datagram for transmission (called by the
-// processor's postprocessing unit).
-func (c *Card) WriteOutput(d Datagram) error {
+// PushOut enqueues a datagram for transmission (called by the
+// processor's postprocessing unit and the control plane). A full
+// output queue drops the datagram — counted in DroppedOut and under
+// DropQueueOverflow, mirroring the input side — and returns false.
+func (c *Card) PushOut(d Datagram) bool {
 	if len(c.out) >= MaxQueue {
-		return fmt.Errorf("linecard %d: output queue full", c.index)
+		c.stats.DroppedOut++
+		c.stats.Drops.Add(ipv6.DropQueueOverflow)
+		return false
 	}
 	c.out = append(c.out, d)
 	c.stats.Transmitted++
 	if depth := len(c.out); depth > c.stats.MaxOutDepth {
 		c.stats.MaxOutDepth = depth
 	}
+	return true
+}
+
+// WriteOutput is PushOut for callers that treat output overload as an
+// error. The drop is counted either way.
+func (c *Card) WriteOutput(d Datagram) error {
+	if !c.PushOut(d) {
+		return fmt.Errorf("linecard %d: output queue full", c.index)
+	}
 	return nil
+}
+
+// CountDrop attributes a drop to this card (used by the router's drop
+// audit, which discovers machine-level drops after a run and charges
+// them to the arrival card).
+func (c *Card) CountDrop(r ipv6.DropReason) { c.stats.Drops.Add(r) }
+
+// ForEachOutput visits the queued outgoing datagrams oldest-first
+// without draining them.
+func (c *Card) ForEachOutput(fn func(Datagram)) {
+	for _, d := range c.out {
+		fn(d)
+	}
 }
 
 // DrainOutput removes and returns every queued outgoing datagram (called

@@ -5,7 +5,8 @@
 // package extends those aggregates to per-bus, per-unit and per-socket
 // resolution so a bottleneck can be *located*, not just measured.
 //
-// The package depends only on the standard library. The machine model
+// The package depends only on the standard library plus the shared
+// ipv6 drop taxonomy (DropCounters). The machine model
 // (internal/tta) holds an optional *Counters sink and feeds it from the
 // execution loop behind a single nil check; internal/tta also provides
 // the adapter that streams its trace records into a TraceWriter.

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+
+	"taco/internal/ipv6"
+)
+
+// DropCounters accumulates discarded datagrams by ipv6.DropReason — the
+// fault-injection subsystem's shared drop taxonomy. It is a fixed array
+// indexed by reason, so counting a drop is one increment with no map
+// lookup, and a zero value is ready to use.
+type DropCounters [ipv6.NumDropReasons]int64
+
+// Add counts one drop for the given reason. Out-of-range reasons
+// (including DropNone) are ignored rather than corrupting the array.
+func (c *DropCounters) Add(r ipv6.DropReason) {
+	if r > ipv6.DropNone && r < ipv6.NumDropReasons {
+		c[r]++
+	}
+}
+
+// AddN counts n drops for the given reason.
+func (c *DropCounters) AddN(r ipv6.DropReason, n int64) {
+	if r > ipv6.DropNone && r < ipv6.NumDropReasons {
+		c[r] += n
+	}
+}
+
+// Merge adds o's counts into c.
+func (c *DropCounters) Merge(o DropCounters) {
+	for i := range c {
+		c[i] += o[i]
+	}
+}
+
+// Total returns the number of drops across all reasons.
+func (c DropCounters) Total() int64 {
+	var t int64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Map returns the nonzero counts keyed by reason name — the export
+// shape used by the -json metrics and the soak reports.
+func (c DropCounters) Map() map[string]int64 {
+	m := make(map[string]int64)
+	for r, v := range c {
+		if v != 0 {
+			m[ipv6.DropReason(r).String()] = v
+		}
+	}
+	return m
+}
+
+// MarshalJSON emits the reason-name-keyed map of nonzero counts
+// (encoding/json sorts map keys, so the bytes are deterministic).
+func (c DropCounters) MarshalJSON() ([]byte, error) {
+	return json.Marshal(c.Map())
+}
+
+// UnmarshalJSON accepts the reason-name-keyed map form.
+func (c *DropCounters) UnmarshalJSON(b []byte) error {
+	var m map[string]int64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	*c = DropCounters{}
+	for r := ipv6.DropReason(0); r < ipv6.NumDropReasons; r++ {
+		if v, ok := m[r.String()]; ok {
+			c[r] = v
+		}
+	}
+	return nil
+}

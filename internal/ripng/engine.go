@@ -69,6 +69,7 @@ type Engine struct {
 
 	// Stats counters.
 	responsesIn, requestsIn, updatesOut int64
+	badRTEs                             int64
 }
 
 // NewEngine returns an engine over the given forwarding table and
@@ -186,6 +187,14 @@ func (e *Engine) handleResponse(iface int, src ipv6.Addr, p Packet) error {
 	for _, rte := range p.RTEs {
 		if rte.Metric == NextHopMetric {
 			continue // next-hop RTEs only redirect; our topology model doesn't need them
+		}
+		// RFC 2080 §2.4.2: validate each RTE and ignore invalid ones
+		// without discarding the rest of the response. Parse enforces the
+		// same bounds on the wire, but packets can also be injected
+		// in-memory (tests, fault campaigns), so the engine revalidates.
+		if rte.Prefix.Len > 128 || rte.Metric < 1 || rte.Metric > Infinity {
+			e.badRTEs++
+			continue
 		}
 		if ipv6.IsMulticast(rte.Prefix.Addr) || ipv6.IsLinkLocal(rte.Prefix.Addr) {
 			continue // never route to multicast or link-local prefixes
@@ -375,3 +384,8 @@ func (e *Engine) Ifaces() int { return len(e.ifaces) }
 func (e *Engine) Stats() (responsesIn, requestsIn, updatesOut int64) {
 	return e.responsesIn, e.requestsIn, e.updatesOut
 }
+
+// BadRTEs returns how many routing table entries were rejected by the
+// §2.4.2 per-entry validation (metric outside 1..Infinity, prefix
+// length beyond 128).
+func (e *Engine) BadRTEs() int64 { return e.badRTEs }

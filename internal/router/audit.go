@@ -1,0 +1,94 @@
+package router
+
+import (
+	"taco/internal/ipv6"
+	"taco/internal/linecard"
+)
+
+// auditEntry records one datagram delivered into the machine while the
+// drop audit is enabled: where it arrived, its workload sequence
+// number, and the frame bytes (the machine copies the frame into its
+// data memory, so the recorded slice is never rewritten).
+type auditEntry struct {
+	iface int
+	seq   int64
+	data  []byte
+}
+
+// EnableDropAudit makes the router account for machine-level drops by
+// reason. While enabled, every datagram accepted into an input queue is
+// recorded; FinalizeDropAudit later establishes the drop *fact* from
+// machine behaviour (the datagram surfaced in no output queue) and uses
+// the shared classifier only to *name* the reason, charging it to the
+// arrival card's Stats.Drops. Classifier/machine disagreements are
+// counted as unexplained instead of being papered over, which is what
+// keeps the golden-vs-TACO drop comparison falsifiable.
+//
+// The audit requires workload traffic with unique non-negative Seq
+// numbers; datagrams with negative Seq (control-plane traffic) are not
+// audited. Disabled (the default) the audit costs one nil check per
+// Deliver, like the obs counters.
+func (t *TACO) EnableDropAudit() {
+	if t.audit == nil {
+		t.audit = &dropAudit{}
+	}
+}
+
+type dropAudit struct {
+	entries     []auditEntry
+	unexplained int64
+}
+
+// FinalizeDropAudit classifies every audited datagram that the machine
+// neither forwarded nor delivered locally, attributing the drop reason
+// to its arrival card. It must run after Run and before the output
+// queues are drained (Outputs/LocalQueue), because the evidence of
+// non-drop lives in those queues.
+func (t *TACO) FinalizeDropAudit() {
+	if t.audit == nil {
+		return
+	}
+	sent := make(map[int64]bool, len(t.audit.entries))
+	for i := 0; i <= t.ifaces; i++ {
+		t.Bank.Card(i).ForEachOutput(func(d linecard.Datagram) {
+			if d.Seq >= 0 {
+				sent[d.Seq] = true
+			}
+		})
+	}
+	for _, e := range t.audit.entries {
+		if sent[e.seq] {
+			continue
+		}
+		dec := Classify(t.tbl, t.isLocal, e.data)
+		if dec.Action == Drop {
+			t.Bank.Card(e.iface).CountDrop(dec.Reason)
+		} else {
+			// The machine dropped something the classifier says it should
+			// have forwarded or delivered — a real divergence, surfaced
+			// rather than silently classified.
+			t.audit.unexplained++
+		}
+	}
+	t.audit.entries = t.audit.entries[:0]
+}
+
+// UnexplainedDrops returns the number of audited machine drops the
+// shared classifier could not explain (zero on a healthy machine).
+func (t *TACO) UnexplainedDrops() int64 {
+	if t.audit == nil {
+		return 0
+	}
+	return t.audit.unexplained
+}
+
+// isLocal reports whether the forwarding program would deliver addr to
+// the host queue as one of the router's own unicast addresses.
+func (t *TACO) isLocal(addr ipv6.Addr) bool {
+	for _, a := range t.localAddrs {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}

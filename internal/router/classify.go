@@ -1,0 +1,36 @@
+package router
+
+import (
+	"taco/internal/ipv6"
+	"taco/internal/linecard"
+	"taco/internal/rtable"
+)
+
+// Classify predicts the fate of one delivered frame by replaying the
+// pipeline's decision order in pure Go: the line card's frame checks
+// (oversize, payload-length overrun), then the forwarding program's
+// checks (runt, version nibble, hop limit), local delivery, and the
+// longest-prefix lookup. It is the single source of truth for the
+// DropReason taxonomy — the golden router decides with it directly,
+// and the TACO drop audit uses it only to *name* drops the machine
+// already performed, keeping the differential comparison honest.
+//
+// isLocal reports whether an address is one of the router's own; nil
+// means the router owns no unicast addresses.
+func Classify(tbl rtable.Table, isLocal func(ipv6.Addr) bool, d []byte) Decision {
+	if len(d) > linecard.MaxFrameBytes {
+		return Decision{Action: Drop, Reason: ipv6.DropOversize}
+	}
+	h, r := ipv6.ClassifyForward(d)
+	if r != ipv6.DropNone {
+		return Decision{Action: Drop, Reason: r}
+	}
+	if ipv6.IsMulticast(h.Dst) || (isLocal != nil && isLocal(h.Dst)) {
+		return Decision{Action: Local}
+	}
+	rt, ok := tbl.Lookup(h.Dst)
+	if !ok {
+		return Decision{Action: Drop, Reason: ipv6.DropNoRoute}
+	}
+	return Decision{Action: Forward, OutIface: rt.Iface}
+}

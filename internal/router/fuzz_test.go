@@ -12,10 +12,11 @@ import (
 	"taco/internal/workload"
 )
 
-// maxFuzzDatagram mirrors the IPPU's MTU contract: larger frames are
-// dropped by the line-card side before they are ever popped, which the
-// golden router (a pure function over delivered datagrams) cannot see.
-const maxFuzzDatagram = 2048
+// maxFuzzDatagram caps the fuzzer's raw frame well beyond the line
+// cards' MTU contract (linecard.MaxFrameBytes), so oversize frames are
+// exercised — both routers must classify them as oversize drops — while
+// pathological multi-megabyte inputs stay cheap.
+const maxFuzzDatagram = 4 * linecard.MaxFrameBytes
 
 // decision is a reconstructed per-datagram outcome, comparable across
 // the two router implementations.
@@ -53,16 +54,18 @@ func goldenDecisions(t *testing.T, kind rtable.Kind, routes []rtable.Route, pkts
 // tacoDecisions runs pkts through tr and reconstructs the per-sequence
 // Decision stream from the output queues: a datagram surfacing on
 // interface i was forwarded there, one in the host queue was delivered
-// locally, and anything else was dropped. Sequence numbers make the
+// locally, and anything else — including frames the line card's own
+// checks rejected at Deliver — was dropped. Sequence numbers make the
 // comparison independent of queue interleaving.
 func tacoDecisions(t *testing.T, tr *TACO, pkts []workload.Packet) map[int64]decision {
 	t.Helper()
+	delivered := int64(0)
 	for i, p := range pkts {
-		if !tr.Deliver(i%nIfaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
-			t.Fatalf("deliver %d failed", i)
+		if tr.Deliver(i%nIfaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+			delivered++
 		}
 	}
-	if err := tr.Run(int64(len(pkts)), 20_000_000); err != nil {
+	if err := tr.Run(delivered, 20_000_000); err != nil {
 		t.Fatal(err)
 	}
 	out := map[int64]decision{}
@@ -128,6 +131,28 @@ func fuzzWorkload(t *testing.T, routes []rtable.Route, seed uint64, hop uint8, r
 		mk(routerAddr, 64),                         // router's own unicast address
 		mk(ipv6.AllRIPRouters, 255),                // RIPng multicast group
 		workload.Packet{Data: raw},                 // arbitrary fuzz frame
+	)
+
+	// Seeded adversarial mutations of a known-good datagram: every
+	// DropReason the fault layer can provoke must classify identically
+	// on both routers (the drop-verdict half of the differential).
+	base := mk(routable, 64).Data
+	truncated := append([]byte(nil), base...)[:int(seed)%len(base)] // runt or length mismatch
+	badVersion := append([]byte(nil), base...)
+	badVersion[0] = byte((int(badVersion[0]>>4)+1+int(hop)%14)%16)<<4 | badVersion[0]&0x0f
+	lenMismatch := append([]byte(nil), base...)
+	lenMismatch[4], lenMismatch[5] = 0xff, byte(seed) // PayloadLen overruns the frame
+	oversize, err := ipv6.BuildDatagram(
+		ipv6.Header{HopLimit: 64, Src: ipv6.MustParseAddr("2001:db8::99"), Dst: routable},
+		nil, ipv6.ProtoNoNext, make([]byte, linecard.MaxFrameBytes+1+int(seed%64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts = append(pkts,
+		workload.Packet{Data: truncated},
+		workload.Packet{Data: badVersion},
+		workload.Packet{Data: lenMismatch},
+		workload.Packet{Data: oversize},
 	)
 	for i := range pkts {
 		pkts[i].Seq = int64(i)

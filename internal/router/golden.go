@@ -11,6 +11,7 @@ import (
 
 	"taco/internal/bits"
 	"taco/internal/ipv6"
+	"taco/internal/obs"
 	"taco/internal/rtable"
 )
 
@@ -43,12 +44,18 @@ func (a Action) String() string {
 // Decision is the outcome of processing one datagram.
 type Decision struct {
 	Action   Action
-	OutIface int // valid when Action == Forward
+	OutIface int             // valid when Action == Forward
+	Reason   ipv6.DropReason // valid when Action == Drop
 }
 
 // Stats counts datagram outcomes.
 type Stats struct {
 	Received, Forwarded, LocalDelivered, Dropped int64
+
+	// Drops breaks Dropped down by ipv6.DropReason — the same taxonomy
+	// the line cards and the TACO drop audit count in, so golden and
+	// TACO drop accounting are directly comparable.
+	Drops obs.DropCounters
 }
 
 // Golden is the reference software router. Its decision order matches
@@ -56,16 +63,19 @@ type Stats struct {
 // version check, hop-limit check, multicast/local check, longest-prefix
 // lookup, hop-limit rewrite.
 type Golden struct {
-	table  rtable.Table
-	local  map[bits.Word128]bool
-	ifaces int
-	stats  Stats
+	table   rtable.Table
+	local   map[bits.Word128]bool
+	isLocal func(ipv6.Addr) bool
+	ifaces  int
+	stats   Stats
 }
 
 // NewGolden returns a golden router forwarding over table with the given
 // interface count.
 func NewGolden(table rtable.Table, ifaces int) *Golden {
-	return &Golden{table: table, local: make(map[bits.Word128]bool), ifaces: ifaces}
+	g := &Golden{table: table, local: make(map[bits.Word128]bool), ifaces: ifaces}
+	g.isLocal = func(a ipv6.Addr) bool { return g.local[a] }
+	return g
 }
 
 // AddLocal registers an address as the router's own (unicast addresses
@@ -83,30 +93,20 @@ func (g *Golden) Ifaces() int { return g.ifaces }
 // needed, and is a fresh copy when the header was rewritten.
 func (g *Golden) Process(d []byte) (Decision, []byte) {
 	g.stats.Received++
-	h, err := ipv6.ParseHeader(d)
-	if err != nil {
+	dec := Classify(g.table, g.isLocal, d)
+	switch dec.Action {
+	case Drop:
 		g.stats.Dropped++
-		return Decision{Action: Drop}, nil
-	}
-	// Hop limit must exceed 1 for the datagram to be forwardable; this
-	// check precedes the local check to mirror the hardware program.
-	if h.HopLimit <= 1 {
-		g.stats.Dropped++
-		return Decision{Action: Drop}, nil
-	}
-	if ipv6.IsMulticast(h.Dst) || g.local[h.Dst] {
+		g.stats.Drops.Add(dec.Reason)
+		return dec, nil
+	case Local:
 		g.stats.LocalDelivered++
-		return Decision{Action: Local}, d
-	}
-	r, ok := g.table.Lookup(h.Dst)
-	if !ok {
-		g.stats.Dropped++
-		return Decision{Action: Drop}, nil
+		return dec, d
 	}
 	out := append([]byte(nil), d...)
 	ipv6.DecrementHopLimit(out)
 	g.stats.Forwarded++
-	return Decision{Action: Forward, OutIface: r.Iface}, out
+	return dec, out
 }
 
 // Stats returns the outcome counters.

@@ -111,7 +111,7 @@ func (h *Host) tryEchoReply(datagram []byte) bool {
 	if err != nil {
 		return false
 	}
-	if err := h.Router.Bank.Card(route.Iface).WriteOutput(linecard.Datagram{Data: out, Seq: -1}); err != nil {
+	if !h.Router.Bank.Card(route.Iface).PushOut(linecard.Datagram{Data: out, Seq: -1}) {
 		return false
 	}
 	h.EchoReplies++
@@ -130,9 +130,10 @@ func (h *Host) FlushUpdates() error {
 		if err != nil {
 			return err
 		}
-		if err := h.Router.Bank.Card(op.Iface).WriteOutput(linecard.Datagram{Data: d, Seq: -1}); err != nil {
-			return err
-		}
+		// Overload drops the update rather than failing the flush — a
+		// congested card loses control traffic like any other traffic,
+		// and the card's DroppedOut counter records it.
+		h.Router.Bank.Card(op.Iface).PushOut(linecard.Datagram{Data: d, Seq: -1})
 	}
 	return nil
 }

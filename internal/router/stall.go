@@ -1,0 +1,70 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"taco/internal/linecard"
+	"taco/internal/tta"
+)
+
+// ErrStall is the sentinel matched by errors.Is for forwarding runs
+// that exhausted their cycle budget. The concrete error is always a
+// *StallError carrying the machine-state dump; use errors.As to
+// inspect it.
+var ErrStall = errors.New("router: stall")
+
+// StallError reports a forwarding run that exceeded its cycle budget
+// without finishing — the watchdog's structured replacement for an
+// opaque "exceeded N cycles" failure. It captures enough machine state
+// at the moment the watchdog fired to diagnose the stall: where the
+// program counter sat, how much traffic was in flight, what every line
+// card's queues looked like, and the visible contents of the machine's
+// result and register sockets.
+type StallError struct {
+	// MaxCycles is the exhausted budget; Cycles is how many cycles this
+	// run actually executed (they differ only by the overshoot step).
+	MaxCycles, Cycles int64
+	// PC is the program counter when the watchdog fired.
+	PC int
+	// Expected and Popped count the datagrams the run was asked to
+	// process and how many the preprocessing unit had popped.
+	Expected, Popped int64
+	// QueueLen is the preprocessing unit's descriptor-queue depth.
+	QueueLen int
+	// Cards is every line card's queue counters in interface order
+	// (the last entry is the host card).
+	Cards []linecard.Stats
+	// Sockets is the visible machine state: every result and register
+	// socket's latched value.
+	Sockets []tta.SocketSnapshot
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("router: stall: exceeded %d cycles with %d of %d datagrams popped (pc %d, %d descriptors queued)",
+		e.MaxCycles, e.Popped, e.Expected, e.PC, e.QueueLen)
+}
+
+// Is makes errors.Is(err, ErrStall) true for any StallError.
+func (e *StallError) Is(target error) bool { return target == ErrStall }
+
+// Dump renders the full machine-state snapshot as an indented
+// multi-line report for CLI diagnostics.
+func (e *StallError) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stall after %d cycles (budget %d): pc %d, popped %d of %d, %d descriptors queued\n",
+		e.Cycles, e.MaxCycles, e.PC, e.Popped, e.Expected, e.QueueLen)
+	for i, c := range e.Cards {
+		name := fmt.Sprintf("card %d", i)
+		if i == len(e.Cards)-1 {
+			name = "host card"
+		}
+		fmt.Fprintf(&b, "  %s: in-queue %d (rx %d, consumed %d), out written %d, drops in/out %d/%d\n",
+			name, c.Received-c.Consumed, c.Received, c.Consumed, c.Transmitted, c.DroppedIn, c.DroppedOut)
+	}
+	for _, s := range e.Sockets {
+		fmt.Fprintf(&b, "  %-16s %-8s 0x%08x\n", s.Name, s.Kind, s.Value)
+	}
+	return b.String()
+}

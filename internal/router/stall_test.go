@@ -1,0 +1,134 @@
+package router
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/ipv6"
+	"taco/internal/linecard"
+	"taco/internal/rtable"
+)
+
+// TestRunStallWatchdog: exhausting the cycle budget must produce a
+// structured *StallError (matched by ErrStall) carrying the machine
+// state, and the stalled router must be resumable — the watchdog
+// observes, it does not corrupt.
+func TestRunStallWatchdog(t *testing.T) {
+	routes, pkts := buildWorkload(t, 16)
+	tbl := fillTable(t, rtable.BalancedTree, routes)
+	tr, err := NewTACO(fu.Config3Bus1FU(rtable.BalancedTree), tbl, nIfaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AddLocal(routerAddr)
+	for i, p := range pkts {
+		if !tr.Deliver(i%nIfaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+			t.Fatalf("deliver %d failed", i)
+		}
+	}
+
+	const budget = 50 // nowhere near enough for 16 datagrams
+	err = tr.Run(int64(len(pkts)), budget)
+	if err == nil {
+		t.Fatal("Run finished 16 datagrams in 50 cycles?")
+	}
+	if !errors.Is(err, ErrStall) {
+		t.Fatalf("errors.Is(err, ErrStall) = false for %v", err)
+	}
+	var stall *StallError
+	if !errors.As(err, &stall) {
+		t.Fatalf("not a *StallError: %T", err)
+	}
+	if stall.MaxCycles != budget {
+		t.Errorf("MaxCycles = %d, want %d", stall.MaxCycles, budget)
+	}
+	if stall.Cycles <= budget {
+		t.Errorf("Cycles = %d, want > %d", stall.Cycles, budget)
+	}
+	if stall.Expected != int64(len(pkts)) || stall.Popped >= stall.Expected {
+		t.Errorf("Popped/Expected = %d/%d", stall.Popped, stall.Expected)
+	}
+	if len(stall.Cards) != nIfaces+1 {
+		t.Errorf("Cards has %d entries, want %d (network cards + host)", len(stall.Cards), nIfaces+1)
+	}
+	if len(stall.Sockets) == 0 {
+		t.Error("no socket snapshot in the stall dump")
+	}
+	for _, s := range stall.Sockets {
+		if k := s.Kind.String(); k != "result" && k != "register" {
+			t.Errorf("socket %s has non-readable kind %s in snapshot", s.Name, s.Kind)
+		}
+	}
+	dump := stall.Dump()
+	for _, want := range []string{"stall after", "host card", "pc "} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump() missing %q:\n%s", want, dump)
+		}
+	}
+
+	// The watchdog fired mid-flight; a fresh budget must finish the batch.
+	if err := tr.Run(int64(len(pkts)), 20_000_000); err != nil {
+		t.Fatalf("resume after stall: %v", err)
+	}
+}
+
+// TestDropAuditClassifiesMachineDrops: with the audit enabled, every
+// datagram the machine dropped is charged to its arrival card under the
+// shared DropReason taxonomy, nothing is unexplained, and the per-card
+// totals agree with a golden replay of the same delivery order.
+func TestDropAuditClassifiesMachineDrops(t *testing.T) {
+	routes, pkts := buildWorkload(t, 24)
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		tbl := fillTable(t, kind, routes)
+		tr, err := NewTACO(fu.Config3Bus1FU(kind), tbl, nIfaces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr.AddLocal(routerAddr)
+		tr.EnableDropAudit()
+
+		// Golden replay keyed by arrival card.
+		g := NewGolden(fillTable(t, kind, routes), nIfaces)
+		g.AddLocal(routerAddr)
+		wantDrops := make([]map[ipv6.DropReason]int64, nIfaces)
+		for i := range wantDrops {
+			wantDrops[i] = map[ipv6.DropReason]int64{}
+		}
+		delivered := int64(0)
+		for i, p := range pkts {
+			card := i % nIfaces
+			if tr.Deliver(card, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+				delivered++
+			}
+			if dec, _ := g.Process(p.Data); dec.Action == Drop {
+				wantDrops[card][dec.Reason]++
+			}
+		}
+		if err := tr.Run(delivered, 20_000_000); err != nil {
+			t.Fatal(err)
+		}
+		tr.FinalizeDropAudit()
+		if n := tr.UnexplainedDrops(); n != 0 {
+			t.Errorf("%v: %d unexplained machine drops", kind, n)
+		}
+		for i := 0; i < nIfaces; i++ {
+			st := tr.Bank.Card(i).Stats()
+			for r := ipv6.DropReason(1); r < ipv6.NumDropReasons; r++ {
+				if got, want := st.Drops[r], wantDrops[i][r]; got != want {
+					t.Errorf("%v: card %d reason %v: taco %d, golden %d", kind, i, r, got, want)
+				}
+			}
+		}
+		// The workload includes hop-limit and no-route traffic, so the
+		// audit must actually have attributed something.
+		total := int64(0)
+		for _, qs := range tr.QueueStats() {
+			total += qs.Drops.Total()
+		}
+		if total == 0 {
+			t.Errorf("%v: audit attributed no drops at all", kind)
+		}
+	}
+}

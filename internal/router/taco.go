@@ -28,8 +28,14 @@ type TACO struct {
 	Sched   *sched.Result
 
 	cfg        fu.Config
+	tbl        rtable.Table
 	ifaces     int
 	localAddrs []ipv6.Addr
+
+	// audit, when enabled, records delivered datagrams so machine-level
+	// drops can be attributed to a DropReason after the run; nil (the
+	// default) costs one pointer check per Deliver.
+	audit *dropAudit
 }
 
 // NewTACO builds the processor for cfg over tbl, generates and loads the
@@ -50,7 +56,7 @@ func NewTACO(cfg fu.Config, tbl rtable.Table, ifaces int) (*TACO, error) {
 	}
 	return &TACO{
 		Machine: m, Units: units, Bank: bank, Sched: res,
-		cfg: cfg, ifaces: ifaces,
+		cfg: cfg, tbl: tbl, ifaces: ifaces,
 	}, nil
 }
 
@@ -63,6 +69,10 @@ func NewTACO(cfg fu.Config, tbl rtable.Table, ifaces int) (*TACO, error) {
 func (t *TACO) Reset() {
 	t.Machine.Reset()
 	t.Bank.Reset()
+	if t.audit != nil {
+		t.audit.entries = t.audit.entries[:0]
+		t.audit.unexplained = 0
+	}
 }
 
 // Config returns the architecture configuration.
@@ -77,21 +87,39 @@ func (t *TACO) AddLocal(addr ipv6.Addr) {
 	t.Units.LIU.SetLocal(t.localAddrs)
 }
 
-// Deliver places a datagram in iface's input queue.
+// Deliver places a datagram in iface's input queue. The card's frame
+// checks apply: oversize or length-inconsistent frames are dropped
+// (counted on the card) and false is returned.
 func (t *TACO) Deliver(iface int, d linecard.Datagram) bool {
-	return t.Bank.Card(iface).Deliver(d)
+	ok := t.Bank.Card(iface).Deliver(d)
+	if ok && t.audit != nil && d.Seq >= 0 {
+		t.audit.entries = append(t.audit.entries, auditEntry{iface: iface, seq: d.Seq, data: d.Data})
+	}
+	return ok
 }
 
 // Run executes the forwarding program until expected datagrams have been
 // popped and fully processed (the machine is back at its poll loop with
 // an empty descriptor queue), or maxCycles elapse.
+//
+// Budget exhaustion returns a *StallError (matched by errors.Is with
+// ErrStall) carrying a machine-state dump: the watchdog's structured
+// answer to "why did this instance never finish".
 func (t *TACO) Run(expected int64, maxCycles int64) error {
 	mainAddr := t.mainAddr()
 	start := t.Machine.Stats().Cycles
 	for {
-		if t.Machine.Stats().Cycles-start > maxCycles {
-			return fmt.Errorf("router: exceeded %d cycles with %d of %d datagrams popped",
-				maxCycles, t.Units.IPPU.Popped(), expected)
+		if cycles := t.Machine.Stats().Cycles - start; cycles > maxCycles {
+			return &StallError{
+				MaxCycles: maxCycles,
+				Cycles:    cycles,
+				PC:        t.Machine.PC(),
+				Expected:  expected,
+				Popped:    t.Units.IPPU.Popped(),
+				QueueLen:  t.Units.IPPU.QueueLen(),
+				Cards:     t.QueueStats(),
+				Sockets:   t.Machine.SnapshotSockets(),
+			}
 		}
 		if t.Units.IPPU.Popped() >= expected &&
 			t.Units.IPPU.QueueLen() == 0 &&

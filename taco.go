@@ -18,6 +18,7 @@
 //	internal/linecard line-card model
 //	internal/program  generated forwarding programs, Figure 3 example
 //	internal/router   golden and TACO routers, RIPng host bridge
+//	internal/fault    fault injection: mutators, link/peer faults, soak
 //	internal/estimate 0.18 µm area/power/frequency model
 //	internal/core     the fast-evaluation methodology (Table 1)
 //	internal/dse      design-space sweeps and automated exploration
@@ -33,7 +34,9 @@ import (
 	"taco/internal/core"
 	"taco/internal/dse"
 	"taco/internal/estimate"
+	"taco/internal/fault"
 	"taco/internal/fu"
+	"taco/internal/ipv6"
 	"taco/internal/linecard"
 	"taco/internal/obs"
 	"taco/internal/profile"
@@ -143,6 +146,47 @@ var (
 	NewHost = router.NewHost
 	// NewRIPngEngine builds a RIPng process over a table.
 	NewRIPngEngine = ripng.NewEngine
+)
+
+// Fault injection (adversarial traffic, link/peer faults, soak runs).
+type (
+	// Mutator corrupts datagrams deterministically; see AllMutators.
+	Mutator = fault.Mutator
+	// Injector applies a probabilistic mutator mix to a traffic stream.
+	Injector = fault.Injector
+	// FaultyLink models an unreliable wire (flaps, loss, corruption).
+	FaultyLink = fault.Link
+	// PeerFault drops/delays/duplicates RIPng exchanges.
+	PeerFault = fault.PeerFault
+	// SoakOptions configures a differential fault campaign run.
+	SoakOptions = fault.SoakOptions
+	// SoakReport aggregates a soak run's outcome; Clean() is the verdict.
+	SoakReport = fault.SoakReport
+	// DropReason is the shared drop taxonomy counted at every layer.
+	DropReason = ipv6.DropReason
+	// DropCounters accumulates drops by reason.
+	DropCounters = obs.DropCounters
+	// StallError is the watchdog's structured budget-exhaustion report.
+	StallError = router.StallError
+)
+
+var (
+	// NewInjector builds an injector from mutator rules.
+	NewInjector = fault.NewInjector
+	// ParseFaultSpec builds an injector from a "name[:prob],..." spec.
+	ParseFaultSpec = fault.ParseSpec
+	// AllMutators returns the built-in mutator set.
+	AllMutators = fault.AllMutators
+	// NewFaultyLink builds an unreliable wire.
+	NewFaultyLink = fault.NewLink
+	// NewPeerFault builds a RIPng peer-fault filter.
+	NewPeerFault = fault.NewPeerFault
+	// PoisonStorm builds metric-16 withdrawal bursts for prefixes.
+	PoisonStorm = fault.PoisonStorm
+	// RunSoak runs differential golden-vs-TACO fault campaigns.
+	RunSoak = fault.RunSoak
+	// ErrStall matches (errors.Is) any watchdog stall.
+	ErrStall = router.ErrStall
 )
 
 // Profiling.
