@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race slow soak fuzz fuzz-router fuzz-lpm fuzz-faults bench snapshot vet
+.PHONY: all build test race slow soak fuzz fuzz-router fuzz-lpm fuzz-faults fuzz-compiled bench bench-json snapshot vet
 
 all: build test
 
@@ -36,7 +36,7 @@ soak:
 # Short differential fuzz bursts (one -fuzz pattern per go test
 # invocation); extend FUZZTIME for longer campaigns.
 FUZZTIME ?= 30s
-fuzz: fuzz-router fuzz-lpm fuzz-faults
+fuzz: fuzz-router fuzz-lpm fuzz-faults fuzz-compiled
 
 # Golden router vs TACO processor on generated datagrams.
 fuzz-router:
@@ -51,8 +51,20 @@ fuzz-lpm:
 fuzz-faults:
 	$(GO) test ./internal/fault -run xxx -fuzz FuzzSoakDifferential -fuzztime $(FUZZTIME)
 
+# Compiled fast path vs interpreter on fault-mutated traffic: every
+# observable (cycles, sockets, drops, latency, forwarded bytes) must be
+# bit-identical on fuzzer-chosen cells, seeds and frames.
+fuzz-compiled:
+	$(GO) test ./internal/fault -run xxx -fuzz FuzzCompiledVsInterpreted -fuzztime $(FUZZTIME)
+
 bench:
 	$(GO) test -bench . -benchmem
+
+# Regenerate BENCH_0006.json: the Table 1 compiled-vs-interpreted
+# speedup record (medians over several runs, with cycle-identity
+# asserted per cell).
+bench-json:
+	$(GO) run ./cmd/tacobench -runs 5 -o BENCH_0006.json
 
 # Regenerate the reference snapshot the regression guard checks against.
 # Only commit the result when cycle counts are intentionally unchanged —

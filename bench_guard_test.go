@@ -80,15 +80,21 @@ func formatLike(v float64, token string) string {
 	return strconv.FormatFloat(v, 'f', decimals, 64)
 }
 
-// simulateCell runs the exact BenchmarkTable1 batch for one cell and
-// returns (cycles/packet, busUtil%).
-func simulateCell(t *testing.T, kind rtable.Kind, cfg fu.Config) (float64, float64) {
+// simulateCell runs the exact BenchmarkTable1 batch for one cell —
+// through the compiled fast path when compiled is set — and returns
+// (cycles/packet, busUtil%).
+func simulateCell(t *testing.T, kind rtable.Kind, cfg fu.Config, compiled bool) (float64, float64) {
 	t.Helper()
 	const packets = 32
 	tbl, pkts := benchWorkload(t, kind, 100, packets)
 	tr, err := router.NewTACO(cfg, tbl, 4)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if compiled {
+		if err := tr.UseCompiled(); err != nil {
+			t.Fatal(err)
+		}
 	}
 	for j, p := range pkts {
 		tr.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq})
@@ -99,35 +105,45 @@ func simulateCell(t *testing.T, kind rtable.Kind, cfg fu.Config) (float64, float
 	return tr.CyclesPerPacket(), tr.Machine.Stats().BusUtilization() * 100
 }
 
-// TestBenchSnapshotCycles locks the nine Table 1 cells to the snapshot.
+// TestBenchSnapshotCycles locks the nine Table 1 cells to the snapshot,
+// on both step paths: the compiled fast path must reproduce the same
+// recorded cycle counts as the interpreter it specializes.
 func TestBenchSnapshotCycles(t *testing.T) {
 	if testing.Short() {
 		t.Skip("snapshot guard re-simulates all nine Table 1 cells")
 	}
 	snap := parseSnapshot(t)
-	cells := 0
-	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
-		for _, cfg := range fu.PaperConfigs(kind) {
-			name := fmt.Sprintf("BenchmarkTable1/%s/%s", kind, cfg.Name)
-			rec, ok := snap[name]
-			if !ok {
-				t.Errorf("%s: not recorded in bench_snapshot.txt", name)
-				continue
+	for _, mode := range []struct {
+		name     string
+		compiled bool
+	}{{"interpreted", false}, {"compiled", true}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			cells := 0
+			for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+				for _, cfg := range fu.PaperConfigs(kind) {
+					name := fmt.Sprintf("BenchmarkTable1/%s/%s", kind, cfg.Name)
+					rec, ok := snap[name]
+					if !ok {
+						t.Errorf("%s: not recorded in bench_snapshot.txt", name)
+						continue
+					}
+					cells++
+					cycles, busUtil := simulateCell(t, kind, cfg, mode.compiled)
+					if got := formatLike(cycles, rec.cycles); got != rec.cycles {
+						t.Errorf("%s: cycles/packet drifted: simulated %s, snapshot %s",
+							name, got, rec.cycles)
+					}
+					if got := formatLike(busUtil, rec.busUtil); got != rec.busUtil {
+						t.Errorf("%s: busUtil%% drifted: simulated %s, snapshot %s",
+							name, got, rec.busUtil)
+					}
+				}
 			}
-			cells++
-			cycles, busUtil := simulateCell(t, kind, cfg)
-			if got := formatLike(cycles, rec.cycles); got != rec.cycles {
-				t.Errorf("%s: cycles/packet drifted: simulated %s, snapshot %s",
-					name, got, rec.cycles)
+			if cells != 9 {
+				t.Errorf("guarded %d Table 1 cells, want 9", cells)
 			}
-			if got := formatLike(busUtil, rec.busUtil); got != rec.busUtil {
-				t.Errorf("%s: busUtil%% drifted: simulated %s, snapshot %s",
-					name, got, rec.busUtil)
-			}
-		}
-	}
-	if cells != 9 {
-		t.Errorf("guarded %d Table 1 cells, want 9", cells)
+		})
 	}
 }
 

@@ -45,12 +45,21 @@ func benchWorkload(b testing.TB, kind rtable.Kind, entries, packets int) (rtable
 // instance — Reset between batches, never rebuilt — and reports the
 // Table 1 metrics.
 func runForwarding(b *testing.B, kind rtable.Kind, cfg fu.Config, entries int) {
+	runForwardingMode(b, kind, cfg, entries, false)
+}
+
+func runForwardingMode(b *testing.B, kind rtable.Kind, cfg fu.Config, entries int, compiled bool) {
 	b.Helper()
 	const packets = 32
 	tbl, pkts := benchWorkload(b, kind, entries, packets)
 	tr, err := router.NewTACO(cfg, tbl, 4)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if compiled {
+		if err := tr.UseCompiled(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	var cyclesPerPacket float64
 	b.ReportAllocs()
@@ -79,6 +88,20 @@ func BenchmarkTable1(b *testing.B) {
 			cfg := cfg
 			b.Run(fmt.Sprintf("%s/%s", kind, cfg.Name), func(b *testing.B) {
 				runForwarding(b, kind, cfg, 100)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Compiled is BenchmarkTable1 through the compiled fast
+// path; the cycles/packet metrics it reports must match BenchmarkTable1
+// exactly (pinned by TestCompiledVsInterpreted and the snapshot guard).
+func BenchmarkTable1Compiled(b *testing.B) {
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		for _, cfg := range fu.PaperConfigs(kind) {
+			cfg := cfg
+			b.Run(fmt.Sprintf("%s/%s", kind, cfg.Name), func(b *testing.B) {
+				runForwardingMode(b, kind, cfg, 100, true)
 			})
 		}
 	}
@@ -211,10 +234,24 @@ func BenchmarkLookupGo(b *testing.B) {
 // BenchmarkISS measures raw simulator speed in machine cycles per
 // second of host time.
 func BenchmarkISS(b *testing.B) {
+	benchISS(b, false)
+}
+
+// BenchmarkISSCompiled is BenchmarkISS through the compiled fast path.
+func BenchmarkISSCompiled(b *testing.B) {
+	benchISS(b, true)
+}
+
+func benchISS(b *testing.B, compiled bool) {
 	tbl, pkts := benchWorkload(b, rtable.Sequential, 100, 16)
 	tr, err := router.NewTACO(fu.Config3Bus1FU(rtable.Sequential), tbl, 4)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if compiled {
+		if err := tr.UseCompiled(); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

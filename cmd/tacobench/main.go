@@ -1,0 +1,194 @@
+// Command tacobench measures the compiled fast path against the
+// interpreter on the nine Table 1 cells and writes the committed
+// benchmark record (BENCH_0006.json): per-cell ns/op and allocs/op on
+// both step paths, the speedup ratio, and the cycles/packet each side
+// observed — which must be identical, or the run fails. Medians over
+// -runs repetitions tame scheduler noise; `make bench-json` regenerates
+// the file.
+//
+// Usage:
+//
+//	tacobench [-runs 5] [-packets 32] [-entries 100] [-o BENCH_0006.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/linecard"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// cellRecord is one Table 1 cell's measurement on both step paths.
+type cellRecord struct {
+	Kind   string
+	Config string
+	// CyclesPerPacket is the simulated metric — identical on both paths
+	// by construction (the run aborts otherwise).
+	CyclesPerPacket     float64
+	InterpretedNsOp     int64
+	CompiledNsOp        int64
+	InterpretedAllocsOp int64
+	CompiledAllocsOp    int64
+	// Speedup is interpreted ns/op over compiled ns/op.
+	Speedup float64
+}
+
+// benchReport is the BENCH_0006.json schema.
+type benchReport struct {
+	Benchmark string
+	// Workload identifies the measured batch.
+	Workload struct {
+		Packets int
+		Entries int
+		Ifaces  int
+		Seed    uint64
+	}
+	Runs  int
+	Cells []cellRecord
+	// AggregateSpeedup is the full-sweep ratio: summed interpreted ns/op
+	// over summed compiled ns/op (what a Table 1 regeneration saves).
+	AggregateSpeedup float64
+}
+
+func main() {
+	var (
+		runs    = flag.Int("runs", 5, "repetitions per cell; the median ns/op is recorded")
+		packets = flag.Int("packets", 32, "datagrams per simulated batch")
+		entries = flag.Int("entries", 100, "routing-table entries")
+		out     = flag.String("o", "BENCH_0006.json", "output file (- for stdout)")
+	)
+	flag.Parse()
+
+	rep := benchReport{Benchmark: "table1-compiled-vs-interpreted", Runs: *runs}
+	rep.Workload.Packets = *packets
+	rep.Workload.Entries = *entries
+	rep.Workload.Ifaces = 4
+	rep.Workload.Seed = 2003
+
+	var sumInterp, sumCompiled int64
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		for _, cfg := range fu.PaperConfigs(kind) {
+			rec, err := measureCell(kind, cfg, *entries, *packets, *runs)
+			if err != nil {
+				fatal(fmt.Errorf("%v/%s: %w", kind, cfg.Name, err))
+			}
+			fmt.Fprintf(os.Stderr, "tacobench: %-13v %-16s %9d ns/op interpreted, %9d ns/op compiled, %.2fx\n",
+				kind, cfg.Name, rec.InterpretedNsOp, rec.CompiledNsOp, rec.Speedup)
+			sumInterp += rec.InterpretedNsOp
+			sumCompiled += rec.CompiledNsOp
+			rep.Cells = append(rep.Cells, rec)
+		}
+	}
+	rep.AggregateSpeedup = round2(float64(sumInterp) / float64(sumCompiled))
+	fmt.Fprintf(os.Stderr, "tacobench: aggregate Table 1 speedup %.2fx\n", rep.AggregateSpeedup)
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+// measureCell benchmarks one cell on both paths and checks the
+// cycle-identity invariant.
+func measureCell(kind rtable.Kind, cfg fu.Config, entries, packets, runs int) (cellRecord, error) {
+	rec := cellRecord{Kind: kind.String(), Config: cfg.Name}
+	var cycles [2]float64
+	for mode := 0; mode < 2; mode++ {
+		compiled := mode == 1
+		ns := make([]int64, 0, runs)
+		var allocs int64
+		for r := 0; r < runs; r++ {
+			res, cyc, err := benchOnce(kind, cfg, entries, packets, compiled)
+			if err != nil {
+				return rec, err
+			}
+			ns = append(ns, res.NsPerOp())
+			allocs = res.AllocsPerOp()
+			cycles[mode] = cyc
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		med := ns[len(ns)/2]
+		if compiled {
+			rec.CompiledNsOp, rec.CompiledAllocsOp = med, allocs
+		} else {
+			rec.InterpretedNsOp, rec.InterpretedAllocsOp = med, allocs
+		}
+	}
+	if cycles[0] != cycles[1] {
+		return rec, fmt.Errorf("cycles/packet diverged: interpreted %v, compiled %v", cycles[0], cycles[1])
+	}
+	rec.CyclesPerPacket = cycles[0]
+	rec.Speedup = round2(float64(rec.InterpretedNsOp) / float64(rec.CompiledNsOp))
+	return rec, nil
+}
+
+// benchOnce runs the exact BenchmarkTable1 batch (reset-reuse, one
+// batch per iteration) under testing.Benchmark.
+func benchOnce(kind rtable.Kind, cfg fu.Config, entries, packets int, compiled bool) (testing.BenchmarkResult, float64, error) {
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: entries, Ifaces: 4, Seed: 2003})
+	tbl := rtable.New(kind)
+	if err := rtable.InsertAll(tbl, routes); err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	spec := workload.PaperTrafficSpec(packets)
+	spec.MissRatio = 0.05
+	pkts, err := workload.GenerateTraffic(routes, spec)
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	tr, err := router.NewTACO(cfg, tbl, 4)
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	if compiled {
+		if err := tr.UseCompiled(); err != nil {
+			return testing.BenchmarkResult{}, 0, err
+		}
+	}
+	budget := int64(packets) * int64(entries+64) * 64
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Reset()
+			for j, p := range pkts {
+				tr.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq})
+			}
+			if err := tr.Run(int64(len(pkts)), budget); err != nil {
+				runErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if runErr != nil {
+		return res, 0, runErr
+	}
+	return res, tr.CyclesPerPacket(), nil
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tacobench:", err)
+	os.Exit(1)
+}

@@ -18,8 +18,10 @@
 // counts), plus -churn to play an update stream into each table first.
 //
 // Common flags: -packets, -entries, -seed, -workers, -json (structured
-// metrics with per-FU counters on stdout), -progress (live engine
-// progress on stderr), -cpuprofile/-memprofile.
+// metrics with per-FU counters on stdout), -compiled (simulate through
+// the compiled fast path; Table 1 results are spot-checked against the
+// interpreter), -progress (live engine progress on stderr),
+// -cpuprofile/-memprofile.
 package main
 
 import (
@@ -50,7 +52,9 @@ func main() {
 		seed     = flag.Uint64("seed", 2003, "workload seed")
 		workers  = flag.Int("workers", runtime.GOMAXPROCS(0),
 			"parallel simulation workers (results are identical for any value)")
-		jsonOut   = flag.Bool("json", false, "emit per-instance metrics (with counters) as JSON on stdout")
+		jsonOut  = flag.Bool("json", false, "emit per-instance metrics (with counters) as JSON on stdout")
+		compiled = flag.Bool("compiled", false,
+			"simulate through the compiled fast path (bit-identical, several times faster); Table 1 runs are spot-checked against the interpreter")
 		progress  = flag.Bool("progress", false, "report live engine progress on stderr")
 		tableKind = flag.String("table-kind", "seq,tree,cam,multibit",
 			"largetable sweep: comma-separated table kinds")
@@ -76,6 +80,10 @@ func main() {
 	// The JSON export is the consumer of the fine-grained counters, so
 	// -json switches them on for every simulated instance.
 	sim.Observe = *jsonOut
+	// -compiled composes with everything; with -json's counters attached
+	// the fast path defers to the interpreter per its contract, so the
+	// combination is valid but gains nothing.
+	sim.Compiled = *compiled
 
 	ctx := context.Background()
 	if *progress {
@@ -170,6 +178,14 @@ func runTable1(ctx context.Context, cons core.Constraints, sim core.SimOptions, 
 	ms, err := dse.Table1(ctx, cons, sim, workers)
 	if err != nil {
 		return err
+	}
+	if sim.Compiled && !sim.Observe {
+		// Spot-check the compiled results: replay every third cell with
+		// the interpreter and require field-for-field identity.
+		if err := dse.ReplayInterpreted(ctx, dse.Table1Instances(cons, sim), ms, 3, workers); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "tacoexplore: compiled results spot-checked against the interpreter")
 	}
 	if jsonOut {
 		return dse.WriteMetricsJSON(os.Stdout, ms)

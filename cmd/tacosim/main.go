@@ -8,6 +8,7 @@
 //	tacosim -f prog.s [-config 1bus] [-trace] [-max 100000] [-read gpr.r0,gpr.r1]
 //	tacosim -f prog.s -trace-out trace.json   # open in ui.perfetto.dev
 //	tacosim -f prog.s -json                   # machine-readable run metrics
+//	tacosim -f prog.s -compiled               # compiled fast path (no counters)
 package main
 
 import (
@@ -32,8 +33,10 @@ func main() {
 		trace    = flag.Bool("trace", false, "print a per-cycle move trace")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto)")
 		jsonOut  = flag.Bool("json", false, "emit run metrics as JSON instead of text")
-		maxCy    = flag.Int64("max", 1_000_000, "cycle budget")
-		read     = flag.String("read", "", "comma-separated result/register sockets to print after the run")
+		compiled = flag.Bool("compiled", false,
+			"run through the compiled fast path (bit-identical; per-unit counters unavailable)")
+		maxCy = flag.Int64("max", 1_000_000, "cycle budget")
+		read  = flag.String("read", "", "comma-separated result/register sockets to print after the run")
 	)
 	var prof cliutil.Profiling
 	prof.RegisterFlags(flag.CommandLine)
@@ -73,7 +76,12 @@ func main() {
 		fatal(err)
 	}
 
-	ctrs := m.AttachCounters()
+	// The counters live in the interpreter; attaching them would make the
+	// compiled path delegate every cycle, so -compiled leaves them off.
+	var ctrs *obs.Counters
+	if !*compiled {
+		ctrs = m.AttachCounters()
+	}
 
 	// Compose the requested trace sinks: the human-readable stdout trace
 	// and/or the Chrome trace-event stream.
@@ -103,7 +111,16 @@ func main() {
 		}
 	}
 
-	cycles, err := m.Run(*maxCy)
+	var cycles int64
+	if *compiled {
+		cm, cerr := tta.Compile(m)
+		if cerr != nil {
+			fatal(cerr)
+		}
+		cycles, err = cm.Run(*maxCy)
+	} else {
+		cycles, err = m.Run(*maxCy)
+	}
 	if err != nil {
 		dumpStall(m, cycles)
 		fatal(err)
@@ -125,12 +142,14 @@ func main() {
 	st := m.Stats()
 	fmt.Printf("halted after %d cycles; %d moves executed; bus utilization %.1f%%\n",
 		cycles, st.MovesExecuted, st.BusUtilization()*100)
-	for u, unit := range m.Units() {
-		if ctrs.UnitTriggers[u] == 0 {
-			continue
+	if ctrs != nil {
+		for u, unit := range m.Units() {
+			if ctrs.UnitTriggers[u] == 0 {
+				continue
+			}
+			fmt.Printf("  %-6s %5d triggers, %4.0f%% utilized\n",
+				unit.Name(), ctrs.UnitTriggers[u], ctrs.UnitUtilization(u)*100)
 		}
-		fmt.Printf("  %-6s %5d triggers, %4.0f%% utilized\n",
-			unit.Name(), ctrs.UnitTriggers[u], ctrs.UnitUtilization(u)*100)
 	}
 	if *read != "" {
 		for _, name := range strings.Split(*read, ",") {
@@ -209,24 +228,27 @@ func emitJSON(m *tta.Machine, ctrs *obs.Counters, read string) error {
 		MovesExecuted:  st.MovesExecuted,
 		BusUtilization: st.BusUtilization(),
 	}
-	for b := 0; b < m.Buses(); b++ {
-		out.BusOccupancy = append(out.BusOccupancy, ctrs.BusOccupancy(b))
-	}
-	for u, unit := range m.Units() {
-		out.FUs = append(out.FUs, fuJSON{
-			Unit:        unit.Name(),
-			Triggers:    ctrs.UnitTriggers[u],
-			Results:     ctrs.UnitResults[u],
-			Utilization: ctrs.UnitUtilization(u),
-		})
-	}
-	for i, name := range m.SocketNames() {
-		if ctrs.SocketReads[i] == 0 && ctrs.SocketWrites[i] == 0 {
-			continue
+	// Counter-derived sections are omitted under -compiled (ctrs nil).
+	if ctrs != nil {
+		for b := 0; b < m.Buses(); b++ {
+			out.BusOccupancy = append(out.BusOccupancy, ctrs.BusOccupancy(b))
 		}
-		out.Sockets = append(out.Sockets, socketJSON{
-			Socket: name, Reads: ctrs.SocketReads[i], Writes: ctrs.SocketWrites[i],
-		})
+		for u, unit := range m.Units() {
+			out.FUs = append(out.FUs, fuJSON{
+				Unit:        unit.Name(),
+				Triggers:    ctrs.UnitTriggers[u],
+				Results:     ctrs.UnitResults[u],
+				Utilization: ctrs.UnitUtilization(u),
+			})
+		}
+		for i, name := range m.SocketNames() {
+			if ctrs.SocketReads[i] == 0 && ctrs.SocketWrites[i] == 0 {
+				continue
+			}
+			out.Sockets = append(out.Sockets, socketJSON{
+				Socket: name, Reads: ctrs.SocketReads[i], Writes: ctrs.SocketWrites[i],
+			})
+		}
 	}
 	if read != "" {
 		out.Reads = map[string]uint32{}

@@ -143,6 +143,14 @@ type SimOptions struct {
 	// speed.
 	Observe bool
 
+	// Compiled runs the simulation through the compiled fast path
+	// (tta.Compile): the forwarding program is pre-lowered into a
+	// specialized step function that is bit-identical to the interpreter
+	// but several times faster. With Observe set the fast path defers to
+	// the interpreter (the counters live there), so Compiled+Observe
+	// costs interpreter speed. Off by default.
+	Compiled bool `json:",omitempty"`
+
 	// MaxCyclesPerPacket overrides the watchdog's cycle budget (budget =
 	// Packets × MaxCyclesPerPacket). Zero keeps the generous default
 	// scaled to the table size. Setting it absurdly low is the
@@ -179,6 +187,11 @@ func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) 
 	var ctrs *obs.Counters
 	if sim.Observe {
 		ctrs = tr.Machine.AttachCounters()
+	}
+	if sim.Compiled {
+		if err := tr.UseCompiled(); err != nil {
+			return Metrics{}, err
+		}
 	}
 	spec := workload.TrafficSpec{
 		Packets:   sim.Packets,

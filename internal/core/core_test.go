@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
 	"taco/internal/fu"
+	"taco/internal/router"
 	"taco/internal/rtable"
 )
 
@@ -242,5 +245,44 @@ func TestEvaluateCAMConverged(t *testing.T) {
 	// Non-CAM configurations are rejected.
 	if _, _, err := EvaluateCAMConverged(fu.Config1Bus1FU(rtable.Sequential), cons, sim); err == nil {
 		t.Error("sequential configuration accepted")
+	}
+}
+
+// TestMaxCyclesPerPacketBudget pins the watchdog override: a budget too
+// small for the sequential scan must surface a StallError whose dump is
+// identical on the interpreted and compiled paths (same cycle count, pc,
+// progress counters, line-card stats and socket snapshot), and raising
+// the budget must clear the stall on both.
+func TestMaxCyclesPerPacketBudget(t *testing.T) {
+	cfg := fu.Config1Bus1FU(rtable.Sequential)
+	cons := PaperConstraints()
+
+	stallDump := func(compiled bool) *router.StallError {
+		sim := smallSim()
+		sim.MaxCyclesPerPacket = 100 // the 100-entry scan alone needs ~1700
+		sim.Compiled = compiled
+		_, err := Evaluate(cfg, cons, sim)
+		var se *router.StallError
+		if !errors.As(err, &se) {
+			t.Fatalf("compiled=%t: got %v, want a *StallError", compiled, err)
+		}
+		return se
+	}
+	seI, seC := stallDump(false), stallDump(true)
+	if !reflect.DeepEqual(seI, seC) {
+		t.Fatalf("stall dumps differ:\ninterpreted: %+v\ncompiled:    %+v", seI, seC)
+	}
+	if seI.MaxCycles != int64(smallSim().Packets)*100 {
+		t.Errorf("budget = %d, want Packets×MaxCyclesPerPacket = %d",
+			seI.MaxCycles, int64(smallSim().Packets)*100)
+	}
+
+	for _, compiled := range []bool{false, true} {
+		sim := smallSim()
+		sim.MaxCyclesPerPacket = 4096
+		sim.Compiled = compiled
+		if _, err := Evaluate(cfg, cons, sim); err != nil {
+			t.Errorf("compiled=%t: generous per-packet budget still stalled: %v", compiled, err)
+		}
 	}
 }

@@ -402,6 +402,14 @@ func ExploreCtx(ctx context.Context, cons core.Constraints, sim core.SimOptions,
 		}
 	}
 	rankCandidates(res)
+	if sim.Compiled && res.OK {
+		// Compiled grids carry an always-on oracle for the pick that
+		// matters: the winner is re-evaluated with the interpreter, and
+		// any divergence fails the exploration (see compiled.go).
+		if err := verifyBestInterpreted(cons, sim, res.Best.Metrics); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 

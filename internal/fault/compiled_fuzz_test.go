@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/linecard"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// compareRouterState requires every observable of the compiled router
+// to equal the interpreted one — the same contract as the root
+// differential suite, restated here so fuzz failures print the first
+// diverging observable.
+func compareRouterState(t *testing.T, trI, trC *router.TACO) {
+	t.Helper()
+	if got, want := trC.Machine.Stats(), trI.Machine.Stats(); got != want {
+		t.Fatalf("stats differ: compiled %+v, interpreted %+v", got, want)
+	}
+	if got, want := trC.Machine.SnapshotSockets(), trI.Machine.SnapshotSockets(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sockets differ:\ncompiled:    %+v\ninterpreted: %+v", got, want)
+	}
+	if got, want := trC.QueueStats(), trI.QueueStats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("line card stats differ:\ncompiled:    %+v\ninterpreted: %+v", got, want)
+	}
+	if got, want := trC.Latency(), trI.Latency(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("latency summaries differ: compiled %+v, interpreted %+v", got, want)
+	}
+	for ifc := 0; ifc < trI.Ifaces(); ifc++ {
+		outI, outC := trI.Outputs(ifc), trC.Outputs(ifc)
+		if len(outI) != len(outC) {
+			t.Fatalf("iface %d: compiled sent %d, interpreted %d", ifc, len(outC), len(outI))
+		}
+		for k := range outI {
+			if outI[k].Seq != outC[k].Seq || !bytes.Equal(outI[k].Data, outC[k].Data) {
+				t.Fatalf("iface %d slot %d: compiled seq %d, interpreted seq %d",
+					ifc, k, outC[k].Seq, outI[k].Seq)
+			}
+		}
+	}
+}
+
+// FuzzCompiledVsInterpreted is the compiled fast path's adversarial
+// differential: the fuzzer picks the architecture cell, the workload
+// seed, the fault-injection probability and a raw frame of its own
+// invention; the traffic is run through the fault mutators and then
+// through two identical routers — one interpreted, one compiled — and
+// every observable (cycle statistics, socket file, drop counters,
+// latency records, forwarded bytes) must agree, in two reset batches.
+func FuzzCompiledVsInterpreted(f *testing.F) {
+	f.Add([]byte{}, uint64(1), uint8(0), uint8(0))
+	f.Add([]byte{0x60, 1, 2}, uint64(2003), uint8(4), uint8(100))
+	f.Add(make([]byte, 39), uint64(0xdead), uint8(8), uint8(255))
+	f.Add(bytes.Repeat([]byte{0x66}, 2048), uint64(42), uint8(2), uint8(40))
+
+	kinds := []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM}
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64, sel uint8, probByte uint8) {
+		kind := kinds[int(sel)%len(kinds)]
+		cfg := fu.PaperConfigs(kind)[int(sel/3)%3]
+		routes := workload.GenerateRoutes(workload.TableSpec{
+			Entries: 16 + int(seed%16), Ifaces: 4, Seed: seed,
+		})
+		spec := workload.PaperTrafficSpec(12)
+		spec.Seed = seed
+		spec.MissRatio = 0.25
+		spec.HopLimitOneRatio = 0.1
+		pkts, err := workload.GenerateTraffic(routes, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Run the generated traffic through the fault layer, then append
+		// the fuzzer's raw frame verbatim (capped well past the MTU so
+		// oversize handling is exercised without multi-megabyte inputs).
+		inj := NewInjector(seed, Rule{Mutator: AllMutators()[int(seed)%len(AllMutators())],
+			Prob: float64(probByte) / 255})
+		for i := range pkts {
+			pkts[i].Data = inj.Apply(pkts[i].Data)
+		}
+		if max := 4 * linecard.MaxFrameBytes; len(raw) > max {
+			raw = raw[:max]
+		}
+		pkts = append(pkts, workload.Packet{Data: raw, Seq: int64(len(pkts))})
+
+		build := func() *router.TACO {
+			tbl := rtable.New(kind)
+			if err := rtable.InsertAll(tbl, routes); err != nil {
+				t.Fatal(err)
+			}
+			tr, err := router.NewTACO(cfg, tbl, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		}
+		trI, trC := build(), build()
+		if err := trC.UseCompiled(); err != nil {
+			t.Fatal(err)
+		}
+		for batch := 0; batch < 2; batch++ {
+			trI.Reset()
+			trC.Reset()
+			delivered := int64(0)
+			for j, p := range pkts {
+				okI := trI.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq})
+				okC := trC.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq})
+				if okI != okC {
+					t.Fatalf("batch %d seq %d: accepted=%t compiled vs %t interpreted",
+						batch, p.Seq, okC, okI)
+				}
+				if okI {
+					delivered++
+				}
+			}
+			errI := trI.Run(delivered, 4_000_000)
+			errC := trC.Run(delivered, 4_000_000)
+			if (errI == nil) != (errC == nil) {
+				t.Fatalf("batch %d: run errors differ: compiled %v, interpreted %v", batch, errC, errI)
+			}
+			if errI != nil {
+				t.Fatalf("batch %d: run failed on both paths: %v", batch, errI)
+			}
+			compareRouterState(t, trI, trC)
+		}
+	})
+}

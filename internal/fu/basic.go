@@ -48,6 +48,19 @@ func (g *GPR) Reset() {
 	}
 }
 
+// Settled reports that the register file is purely write-driven: with
+// no pending socket writes its Clock is a no-op (tta.Settler).
+func (g *GPR) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (g *GPR) SettledAlways() {}
+
+// ReadSlot exposes a register's current value (tta.SlotReader).
+func (g *GPR) ReadSlot(local int) *uint32 { return &g.regs[local].cur }
+
+// WriteSlot exposes a register's input latch (tta.SlotWriter).
+func (g *GPR) WriteSlot(local int) (*uint32, *bool) { return g.regs[local].slot() }
+
 // Counter performs arithmetic (increment, decrement, addition,
 // subtraction) and counting from a start value toward a stop value,
 // raising a result signal into the network controller when the stop
@@ -184,6 +197,50 @@ func (c *Counter) Signal(local int) bool {
 }
 func (c *Counter) Reset() { *c = *NewCounter(c.name) }
 
+// Settled is false while the unit counts autonomously toward its stop
+// value (tcnt); otherwise its Clock only services socket writes
+// (tta.Settler).
+func (c *Counter) Settled() bool { return !c.counting }
+
+// ReadSlot exposes the result register (tta.SlotReader).
+func (c *Counter) ReadSlot(local int) *uint32 {
+	if local == cntR {
+		return &c.r
+	}
+	return nil
+}
+
+// WriteSlot exposes the input latches and triggers (tta.SlotWriter).
+func (c *Counter) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case cntO:
+		return c.o.slot()
+	case cntStop:
+		return c.stop.slot()
+	case cntTAdd:
+		return c.tadd.slot()
+	case cntTSub:
+		return c.tsub.slot()
+	case cntTInc:
+		return c.tinc.slot()
+	case cntTDec:
+		return c.tdec.slot()
+	case cntTLd:
+		return c.tld.slot()
+	case cntTCnt:
+		return c.tcnt.slot()
+	}
+	return nil, nil
+}
+
+// SignalSlot exposes the done/zero flags (tta.SlotSignal).
+func (c *Counter) SignalSlot(local int) *bool {
+	if local == 0 {
+		return &c.done
+	}
+	return &c.zero
+}
+
 // Comparator compares a triggered operand against a reference value and
 // signals the outcome to the network controller (paper §3).
 //
@@ -249,6 +306,43 @@ func (c *Comparator) Signal(local int) bool {
 	return c.gt
 }
 func (c *Comparator) Reset() { *c = Comparator{name: c.name} }
+
+// Settled reports that the comparator is purely write-driven
+// (tta.Settler).
+func (c *Comparator) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (c *Comparator) SettledAlways() {}
+
+// ReadSlot exposes the result register (tta.SlotReader).
+func (c *Comparator) ReadSlot(local int) *uint32 {
+	if local == 2 {
+		return &c.r
+	}
+	return nil
+}
+
+// WriteSlot exposes the input latch and trigger (tta.SlotWriter).
+func (c *Comparator) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case 0:
+		return c.o.slot()
+	case 1:
+		return c.t.slot()
+	}
+	return nil, nil
+}
+
+// SignalSlot exposes the eq/lt/gt flags (tta.SlotSignal).
+func (c *Comparator) SignalSlot(local int) *bool {
+	switch local {
+	case 0:
+		return &c.eq
+	case 1:
+		return &c.lt
+	}
+	return &c.gt
+}
 
 // Matcher processes only the parts of its input selected by a mask and
 // reports the match over a result line wired directly to the network
@@ -324,6 +418,39 @@ func (m *Matcher) Clock() error {
 func (m *Matcher) Signal(local int) bool { return m.match }
 func (m *Matcher) Reset()                { *m = Matcher{name: m.name} }
 
+// Settled reports that the matcher is purely write-driven (its r
+// register is recomputed from the unchanged match flag) (tta.Settler).
+func (m *Matcher) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (m *Matcher) SettledAlways() {}
+
+// ReadSlot exposes the result register (tta.SlotReader).
+func (m *Matcher) ReadSlot(local int) *uint32 {
+	if local == 4 {
+		return &m.r
+	}
+	return nil
+}
+
+// WriteSlot exposes the input latches and triggers (tta.SlotWriter).
+func (m *Matcher) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case 0:
+		return m.mask.slot()
+	case 1:
+		return m.ref.slot()
+	case 2:
+		return m.t.slot()
+	case 3:
+		return m.tand.slot()
+	}
+	return nil, nil
+}
+
+// SignalSlot exposes the match flag (tta.SlotSignal).
+func (m *Matcher) SignalSlot(local int) *bool { return &m.match }
+
 // Masker sets the bits of a register according to a given mask and a
 // given value (paper §3): r = (data &^ mask) | (value & mask).
 //
@@ -377,6 +504,33 @@ func (m *Masker) Clock() error {
 }
 func (m *Masker) Signal(local int) bool { return false }
 func (m *Masker) Reset()                { *m = Masker{name: m.name} }
+
+// Settled reports that the masker is purely write-driven (tta.Settler).
+func (m *Masker) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (m *Masker) SettledAlways() {}
+
+// ReadSlot exposes the result register (tta.SlotReader).
+func (m *Masker) ReadSlot(local int) *uint32 {
+	if local == 3 {
+		return &m.r
+	}
+	return nil
+}
+
+// WriteSlot exposes the input latches and trigger (tta.SlotWriter).
+func (m *Masker) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case 0:
+		return m.mask.slot()
+	case 1:
+		return m.val.slot()
+	case 2:
+		return m.t.slot()
+	}
+	return nil, nil
+}
 
 // Shifter performs logical shifts; per the paper it also serves as an
 // arithmetical multiplier by two.
@@ -447,6 +601,38 @@ func (s *Shifter) Clock() error {
 func (s *Shifter) Signal(local int) bool { return s.zero }
 func (s *Shifter) Reset()                { *s = *NewShifter(s.name) }
 
+// Settled reports that the shifter is purely write-driven (tta.Settler).
+func (s *Shifter) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (s *Shifter) SettledAlways() {}
+
+// ReadSlot exposes the result register (tta.SlotReader).
+func (s *Shifter) ReadSlot(local int) *uint32 {
+	if local == 4 {
+		return &s.r
+	}
+	return nil
+}
+
+// WriteSlot exposes the input latch and triggers (tta.SlotWriter).
+func (s *Shifter) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case 0:
+		return s.amt.slot()
+	case 1:
+		return s.tl.slot()
+	case 2:
+		return s.tr.slot()
+	case 3:
+		return s.tmul2.slot()
+	}
+	return nil, nil
+}
+
+// SignalSlot exposes the zero flag (tta.SlotSignal).
+func (s *Shifter) SignalSlot(local int) *bool { return &s.zero }
+
 // Checksum accumulates the Internet one's-complement sum used by the
 // UDP/ICMPv6 checksums that RIPng traffic requires.
 //
@@ -506,3 +692,23 @@ func (c *Checksum) Clock() error {
 }
 func (c *Checksum) Signal(local int) bool { return c.folded() == 0xffff }
 func (c *Checksum) Reset()                { *c = Checksum{name: c.name} }
+
+// Settled reports that the checksum unit is purely write-driven
+// (tta.Settler).
+func (c *Checksum) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (c *Checksum) SettledAlways() {}
+
+// WriteSlot exposes the triggers (tta.SlotWriter). The result socket and
+// the valid signal are computed by folding the accumulator on demand, so
+// the unit deliberately exposes no read or signal slots.
+func (c *Checksum) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case 0:
+		return c.tclr.slot()
+	case 1:
+		return c.tadd.slot()
+	}
+	return nil, nil
+}

@@ -33,6 +33,10 @@ func (l *latch) clock() {
 
 func (l *latch) reset() { *l = latch{} }
 
+// slot exposes the latch's (value, armed) pair for the compiled fast
+// path (tta.SlotWriter): a store to both is exactly write().
+func (l *latch) slot() (*uint32, *bool) { return &l.pend, &l.dirty }
+
 // trigger records a trigger-socket write for consumption by Clock.
 type trigger struct {
 	val   uint32
@@ -49,6 +53,10 @@ func (t *trigger) take() (uint32, bool) {
 }
 
 func (t *trigger) reset() { *t = trigger{} }
+
+// slot exposes the trigger's (value, armed) pair for the compiled fast
+// path (tta.SlotWriter): a store to both is exactly write().
+func (t *trigger) slot() (*uint32, *bool) { return &t.val, &t.fired }
 
 // Config describes one TACO architecture instance: the interconnection
 // network width and the number of functional units of each type. This is

@@ -99,6 +99,41 @@ func (u *LIU) Clock() error {
 	return nil
 }
 func (u *LIU) Signal(local int) bool { return u.mine }
+
+// Settled reports that the local-info unit is purely write-driven
+// (tta.Settler). The IPPU and OPPU deliberately do NOT implement
+// Settler: both count wall-clock cycles for latency measurement, and
+// the IPPU polls the line cards for DMA work every cycle. They
+// implement tta.LagClocker instead, which preserves those semantics
+// while letting the compiled fast path skip their idle cycles.
+func (u *LIU) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (u *LIU) SettledAlways() {}
+
+// ReadSlot exposes the interface-count register; the mine result is
+// computed from the flag on demand (tta.SlotReader).
+func (u *LIU) ReadSlot(local int) *uint32 {
+	if local == liuNIfc {
+		return &u.nifc
+	}
+	return nil
+}
+
+// WriteSlot exposes the address latches and trigger (tta.SlotWriter).
+func (u *LIU) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case liuA0, liuA1, liuA2:
+		return u.a[local].slot()
+	case liuTChk:
+		return u.tchk.slot()
+	}
+	return nil, nil
+}
+
+// SignalSlot exposes the mine flag (tta.SlotSignal).
+func (u *LIU) SignalSlot(local int) *bool { return &u.mine }
+
 func (u *LIU) Reset() {
 	for i := range u.a {
 		u.a[i].reset()
@@ -337,6 +372,48 @@ func (u *IPPU) Reset() {
 // HazardClass marks the preprocessing unit as a data-memory client.
 func (u *IPPU) HazardClass() string { return "dmem" }
 
+// ReadSlot exposes the popped-entry registers (tta.SlotReader). The
+// pending signal is computed from the queue depth, so the unit exposes
+// no signal slot.
+func (u *IPPU) ReadSlot(local int) *uint32 {
+	switch local {
+	case ippuPtr:
+		return &u.rptr
+	case ippuIfc:
+		return &u.rifc
+	case ippuLen:
+		return &u.rln
+	}
+	return nil
+}
+
+// WriteSlot exposes the pop trigger (tta.SlotWriter).
+func (u *IPPU) WriteSlot(local int) (*uint32, *bool) {
+	if local == ippuTPop {
+		return u.tpop.slot()
+	}
+	return nil, nil
+}
+
+// ClockIdle reports that a Clock would only advance the cycle counter:
+// no pop is pending and DMA has nothing to do — either the descriptor
+// queue is full (the gate reopens only on a pop, which is a socket
+// write) or no card has input waiting (tta.LagClocker).
+func (u *IPPU) ClockIdle() bool {
+	if u.tpop.fired {
+		return false
+	}
+	return u.QueueLen() >= maxInflight || u.bank.AnyPending() < 0
+}
+
+// CatchUp advances the cycle counter over a parked stretch so storedAt
+// stamps keep wall-clock cycle numbering (tta.LagClocker).
+func (u *IPPU) CatchUp(n int64) { u.now += n }
+
+// WakeGen changes whenever a line card delivery gives the drained bank
+// new input (tta.LagClocker).
+func (u *IPPU) WakeGen() uint64 { return u.bank.DeliverGen() }
+
 // SeqAt returns the workload sequence number of the datagram stored at
 // ptr (harness correlation aid).
 func (u *IPPU) SeqAt(ptr uint32) (int64, bool) {
@@ -477,6 +554,37 @@ func (u *OPPU) Reset() {
 // send trigger must stay in program order with MMU writes so that the
 // datagram it copies out reflects the header rewrite.
 func (u *OPPU) HazardClass() string { return "dmem" }
+
+// WriteSlot exposes the input latches and trigger (tta.SlotWriter).
+func (u *OPPU) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case oppuPtr:
+		return u.optr.slot()
+	case oppuLen:
+		return u.olen.slot()
+	case oppuTSend:
+		return u.tsend.slot()
+	}
+	return nil, nil
+}
+
+// SignalSlot exposes the send-error flag (tta.SlotSignal).
+func (u *OPPU) SignalSlot(local int) *bool { return &u.errFlag }
+
+// ClockIdle reports that a Clock would only advance the cycle counter:
+// no send is triggered and no operand latch update is pending. All
+// reactivation paths are socket writes (tta.LagClocker).
+func (u *OPPU) ClockIdle() bool {
+	return !u.tsend.fired && !u.optr.dirty && !u.olen.dirty
+}
+
+// CatchUp advances the cycle counter over a parked stretch so recorded
+// latencies keep wall-clock cycle numbering (tta.LagClocker).
+func (u *OPPU) CatchUp(n int64) { u.now += n }
+
+// WakeGen is constant: nothing outside the socket interface ever gives
+// the postprocessing unit work (tta.LagClocker).
+func (u *OPPU) WakeGen() uint64 { return 0 }
 
 // Sent reports the number of datagrams moved to output buffers.
 func (u *OPPU) Sent() int64 { return u.sent }

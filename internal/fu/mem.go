@@ -1,6 +1,7 @@
 package fu
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"taco/internal/tta"
@@ -23,6 +24,12 @@ type MMU struct {
 	ow     latch
 	tr, tw trigger
 	r      uint32
+
+	// hw is the high-water mark: one past the highest word ever written
+	// since the last Reset. Words at or above hw are still power-on zero,
+	// so Reset only has to clear mem[:hw] — the datagram slots actually
+	// used — instead of the whole memory.
+	hw int
 
 	reads, writes int64
 }
@@ -79,15 +86,17 @@ func (m *MMU) Clock() error {
 			return fmt.Errorf("fu: mmu write past memory: address %d of %d", wAddr, len(m.mem))
 		}
 		m.mem[wAddr] = m.ow.cur
+		if int(wAddr) >= m.hw {
+			m.hw = int(wAddr) + 1
+		}
 		m.writes++
 	}
 	return nil
 }
 func (m *MMU) Signal(local int) bool { return false }
 func (m *MMU) Reset() {
-	for i := range m.mem {
-		m.mem[i] = 0
-	}
+	clear(m.mem[:m.hw])
+	m.hw = 0
 	m.ow.reset()
 	m.tr.reset()
 	m.tw.reset()
@@ -99,6 +108,35 @@ func (m *MMU) Reset() {
 // its triggers in program order with the DMA units' triggers.
 func (m *MMU) HazardClass() string { return "dmem" }
 
+// Settled reports that the MMU is purely write-driven: memory traffic
+// happens only on triggered cycles, and the DMA backdoors (StoreBytes,
+// LoadBytes) bypass Clock entirely (tta.Settler).
+func (m *MMU) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (m *MMU) SettledAlways() {}
+
+// ReadSlot exposes the read-result register (tta.SlotReader).
+func (m *MMU) ReadSlot(local int) *uint32 {
+	if local == 3 {
+		return &m.r
+	}
+	return nil
+}
+
+// WriteSlot exposes the input latch and triggers (tta.SlotWriter).
+func (m *MMU) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case 0:
+		return m.ow.slot()
+	case 1:
+		return m.tr.slot()
+	case 2:
+		return m.tw.slot()
+	}
+	return nil, nil
+}
+
 // Words returns the memory size.
 func (m *MMU) Words() int { return len(m.mem) }
 
@@ -106,7 +144,12 @@ func (m *MMU) Words() int { return len(m.mem) }
 func (m *MMU) Peek(addr int) uint32 { return m.mem[addr] }
 
 // Poke writes a word directly (backdoor for DMA units and tests).
-func (m *MMU) Poke(addr int, v uint32) { m.mem[addr] = v }
+func (m *MMU) Poke(addr int, v uint32) {
+	m.mem[addr] = v
+	if addr >= m.hw {
+		m.hw = addr + 1
+	}
+}
 
 // Accesses reports the socket-level read and write counts.
 func (m *MMU) Accesses() (reads, writes int64) { return m.reads, m.writes }
@@ -120,15 +163,20 @@ func (m *MMU) StoreBytes(addr int, data []byte) (int, error) {
 		return 0, fmt.Errorf("fu: mmu store of %d words at %d overflows %d-word memory",
 			words, addr, len(m.mem))
 	}
-	for w := 0; w < words; w++ {
+	full := len(data) / 4
+	dst := m.mem[addr:]
+	for w := 0; w < full; w++ {
+		dst[w] = binary.BigEndian.Uint32(data[w*4:])
+	}
+	if rem := len(data) & 3; rem != 0 {
 		var v uint32
-		for b := 0; b < 4; b++ {
-			v <<= 8
-			if i := w*4 + b; i < len(data) {
-				v |= uint32(data[i])
-			}
+		for b := 0; b < rem; b++ {
+			v |= uint32(data[full*4+b]) << (24 - 8*b)
 		}
-		m.mem[addr+w] = v
+		dst[full] = v
+	}
+	if addr+words > m.hw {
+		m.hw = addr + words
 	}
 	return words, nil
 }
@@ -141,10 +189,10 @@ func (m *MMU) LoadBytes(addr, n int) ([]byte, error) {
 		return nil, fmt.Errorf("fu: mmu load of %d words at %d overflows %d-word memory",
 			words, addr, len(m.mem))
 	}
-	out := make([]byte, 0, words*4)
+	out := make([]byte, words*4)
+	src := m.mem[addr:]
 	for w := 0; w < words; w++ {
-		v := m.mem[addr+w]
-		out = append(out, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+		binary.BigEndian.PutUint32(out[w*4:], src[w])
 	}
 	return out[:n], nil
 }

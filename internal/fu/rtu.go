@@ -38,7 +38,21 @@ type RTUSeq struct {
 	lenp1 uint32
 	valid bool
 
+	// cache holds the entries pre-lowered to register words, keyed on the
+	// table's mutation generation — an entry load is then a flat copy
+	// instead of per-load prefix/mask word extraction.
+	cache    []seqRec
+	cacheGen uint64
+	cacheOK  bool
+
 	loads int64
+}
+
+// seqRec is one routing entry lowered to the unit's register words.
+type seqRec struct {
+	p, m  [4]uint32
+	ifc   uint32
+	lenp1 uint32
 }
 
 // NewRTUSeq returns a sequential-backend routing-table unit.
@@ -99,16 +113,34 @@ func (u *RTUSeq) Write(local int, v uint32) {
 func (u *RTUSeq) Clock() error {
 	if idx, ok := u.tidx.take(); ok {
 		u.loads++
-		r, ok := u.table.EntryAt(int(idx))
-		u.valid = ok
-		if ok {
-			u.p = r.Prefix.Addr.Words()
-			u.m = bits.Mask(r.Prefix.Len).Words()
-			u.ifc = uint32(r.Iface)
-			u.lenp1 = uint32(r.Prefix.Len) + 1
+		if !u.cacheOK || u.cacheGen != u.table.Gen() {
+			u.rebuildCache()
+		}
+		if int(idx) < len(u.cache) {
+			r := &u.cache[idx]
+			u.p, u.m = r.p, r.m
+			u.ifc = r.ifc
+			u.lenp1 = r.lenp1
+			u.valid = true
+		} else {
+			u.valid = false
 		}
 	}
 	return nil
+}
+
+func (u *RTUSeq) rebuildCache() {
+	u.cache = u.cache[:0]
+	for i, n := 0, u.table.Len(); i < n; i++ {
+		r, _ := u.table.EntryAt(i)
+		u.cache = append(u.cache, seqRec{
+			p:   r.Prefix.Addr.Words(),
+			m:   bits.Mask(r.Prefix.Len).Words(),
+			ifc: uint32(r.Iface), lenp1: uint32(r.Prefix.Len) + 1,
+		})
+	}
+	u.cacheGen = u.table.Gen()
+	u.cacheOK = true
 }
 func (u *RTUSeq) Signal(local int) bool { return u.valid }
 func (u *RTUSeq) Reset() {
@@ -119,6 +151,40 @@ func (u *RTUSeq) Reset() {
 
 // Loads reports the number of entry loads performed.
 func (u *RTUSeq) Loads() int64 { return u.loads }
+
+// Settled reports that the sequential RTU is purely trigger-driven
+// (tta.Settler).
+func (u *RTUSeq) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (u *RTUSeq) SettledAlways() {}
+
+// ReadSlot exposes the entry registers; count is computed live from the
+// table (tta.SlotReader).
+func (u *RTUSeq) ReadSlot(local int) *uint32 {
+	switch local {
+	case seqP0, seqP1, seqP2, seqP3:
+		return &u.p[local-seqP0]
+	case seqM0, seqM1, seqM2, seqM3:
+		return &u.m[local-seqM0]
+	case seqIfc:
+		return &u.ifc
+	case seqLenP1:
+		return &u.lenp1
+	}
+	return nil
+}
+
+// WriteSlot exposes the index trigger (tta.SlotWriter).
+func (u *RTUSeq) WriteSlot(local int) (*uint32, *bool) {
+	if local == seqTIdx {
+		return u.tidx.slot()
+	}
+	return nil, nil
+}
+
+// SignalSlot exposes the valid flag (tta.SlotSignal).
+func (u *RTUSeq) SignalSlot(local int) *bool { return &u.valid }
 
 // RTUTree is the routing-table unit over the balanced range tree: the
 // table is an array of nodes, each holding a disjoint address range, the
@@ -146,7 +212,19 @@ type RTUTree struct {
 	ifc         uint32
 	valid       bool
 
+	// cache holds the nodes pre-lowered to register words, keyed on the
+	// table's rebuild generation (see RTUSeq.cache).
+	cache    []treeRec
+	cacheGen uint64
+	cacheOK  bool
+
 	loads int64
+}
+
+// treeRec is one tree node lowered to the unit's register words.
+type treeRec struct {
+	f, l             [4]uint32
+	left, right, ifc uint32
 }
 
 // NewRTUTree returns a balanced-tree-backend routing-table unit.
@@ -217,17 +295,35 @@ func (u *RTUTree) Clock() error {
 			u.valid = false
 			return nil
 		}
-		n, ok := u.table.NodeAt(int(idx))
-		u.valid = ok
-		if ok {
-			u.f = n.First.Words()
-			u.l = n.Last.Words()
-			u.left = childIndex(n.Left)
-			u.right = childIndex(n.Right)
-			u.ifc = uint32(n.Route.Iface)
+		if !u.cacheOK || u.cacheGen != u.table.Gen() {
+			u.rebuildCache()
+		}
+		if int(idx) < len(u.cache) {
+			n := &u.cache[idx]
+			u.f, u.l = n.f, n.l
+			u.left, u.right = n.left, n.right
+			u.ifc = n.ifc
+			u.valid = true
+		} else {
+			u.valid = false
 		}
 	}
 	return nil
+}
+
+func (u *RTUTree) rebuildCache() {
+	u.cache = u.cache[:0]
+	nodes, _ := u.table.Nodes()
+	for i := range nodes {
+		n := &nodes[i]
+		u.cache = append(u.cache, treeRec{
+			f: n.First.Words(), l: n.Last.Words(),
+			left: childIndex(n.Left), right: childIndex(n.Right),
+			ifc: uint32(n.Route.Iface),
+		})
+	}
+	u.cacheGen = u.table.Gen()
+	u.cacheOK = true
 }
 
 func childIndex(i int) uint32 {
@@ -247,6 +343,42 @@ func (u *RTUTree) Reset() {
 
 // Loads reports the number of node loads performed.
 func (u *RTUTree) Loads() int64 { return u.loads }
+
+// Settled reports that the tree RTU is purely trigger-driven
+// (tta.Settler).
+func (u *RTUTree) Settled() bool { return true }
+
+// SettledAlways marks the constant answer (tta.ConstSettler).
+func (u *RTUTree) SettledAlways() {}
+
+// ReadSlot exposes the node registers; root is computed live from the
+// table (tta.SlotReader).
+func (u *RTUTree) ReadSlot(local int) *uint32 {
+	switch local {
+	case treeF0, treeF1, treeF2, treeF3:
+		return &u.f[local-treeF0]
+	case treeL0, treeL1, treeL2, treeL3:
+		return &u.l[local-treeL0]
+	case treeLeft:
+		return &u.left
+	case treeRight:
+		return &u.right
+	case treeIfc:
+		return &u.ifc
+	}
+	return nil
+}
+
+// WriteSlot exposes the node trigger (tta.SlotWriter).
+func (u *RTUTree) WriteSlot(local int) (*uint32, *bool) {
+	if local == treeTNode {
+		return u.tnode.slot()
+	}
+	return nil, nil
+}
+
+// SignalSlot exposes the valid flag (tta.SlotSignal).
+func (u *RTUTree) SignalSlot(local int) *bool { return &u.valid }
 
 // RTUCAM is the routing-table unit over the CAM+SRAM solution: the
 // processor hands the unit a destination address and receives, after a
@@ -374,6 +506,39 @@ func (u *RTUCAM) Reset() {
 
 // Searches reports the number of CAM searches started.
 func (u *RTUCAM) Searches() int64 { return u.searches }
+
+// Settled is false while a search is in flight (the busy countdown
+// advances every cycle); otherwise the CAM only reacts to socket
+// writes (tta.Settler).
+func (u *RTUCAM) Settled() bool { return u.busy == 0 }
+
+// ReadSlot exposes the interface register; hit is computed from the
+// flag on demand (tta.SlotReader).
+func (u *RTUCAM) ReadSlot(local int) *uint32 {
+	if local == camIfc {
+		return &u.ifc
+	}
+	return nil
+}
+
+// WriteSlot exposes the address latches and trigger (tta.SlotWriter).
+func (u *RTUCAM) WriteSlot(local int) (*uint32, *bool) {
+	switch local {
+	case camA0, camA1, camA2:
+		return u.a[local].slot()
+	case camTLook:
+		return u.tlook.slot()
+	}
+	return nil, nil
+}
+
+// SignalSlot exposes the ready/hit flags (tta.SlotSignal).
+func (u *RTUCAM) SignalSlot(local int) *bool {
+	if local == 0 {
+		return &u.ready
+	}
+	return &u.hit
+}
 
 // WaitCycles returns the configured search latency.
 func (u *RTUCAM) WaitCycles() int { return u.wait }

@@ -37,6 +37,11 @@ type Card struct {
 	inHead int
 	out    []Datagram
 
+	// bank, when the card belongs to a Bank, receives pending-count
+	// updates so Bank.AnyPending can answer "nothing pending" — the
+	// common case the processor polls every cycle — in O(1).
+	bank *Bank
+
 	stats Stats
 }
 
@@ -97,6 +102,12 @@ func (c *Card) Deliver(d Datagram) bool {
 	if c.inHead == len(c.in) {
 		// Queue fully drained: rewind to reuse the array's capacity.
 		c.in, c.inHead = c.in[:0], 0
+		if c.bank != nil {
+			c.bank.pending++
+			// An empty card gained input: bump the delivery generation so
+			// a parked preprocessing unit knows to wake (Bank.DeliverGen).
+			c.bank.deliverGen++
+		}
 	}
 	c.in = append(c.in, d)
 	c.stats.Received++
@@ -121,6 +132,9 @@ func (c *Card) ReadInput() (Datagram, bool) {
 	d := c.in[c.inHead]
 	c.in[c.inHead] = Datagram{} // release the data reference
 	c.inHead++
+	if c.inHead == len(c.in) && c.bank != nil {
+		c.bank.pending--
+	}
 	c.stats.Consumed++
 	return d, true
 }
@@ -184,6 +198,9 @@ func (c *Card) Stats() Stats { return c.stats }
 // hands its slice to the caller, so the output array is only reusable
 // when it was never drained.)
 func (c *Card) Reset() {
+	if c.bank != nil && c.InputPending() {
+		c.bank.pending--
+	}
 	clear(c.in)
 	c.in, c.inHead = c.in[:0], 0
 	clear(c.out)
@@ -194,6 +211,13 @@ func (c *Card) Reset() {
 // Bank is the router's full set of line cards.
 type Bank struct {
 	cards []*Card
+	// pending counts cards with input waiting, maintained on every
+	// empty/non-empty input-queue transition.
+	pending int
+	// deliverGen increments whenever a delivery puts input into a card
+	// that was empty — the external-wake events a sleeping DMA consumer
+	// (the preprocessing unit's compiled fast path) must observe.
+	deliverGen uint64
 }
 
 // NewBank creates n cards with interface indices 0..n-1.
@@ -201,6 +225,7 @@ func NewBank(n int) *Bank {
 	b := &Bank{cards: make([]*Card, n)}
 	for i := range b.cards {
 		b.cards[i] = New(i)
+		b.cards[i].bank = b
 	}
 	return b
 }
@@ -214,10 +239,18 @@ func (b *Bank) Card(i int) *Card { return b.cards[i] }
 // Cards returns the underlying slice.
 func (b *Bank) Cards() []*Card { return b.cards }
 
+// DeliverGen returns the delivery generation: a counter that changes
+// whenever an empty card receives input. Consumers that stop polling a
+// drained bank compare generations to learn that work has arrived.
+func (b *Bank) DeliverGen() uint64 { return b.deliverGen }
+
 // AnyPending returns the lowest-numbered card with input pending, or -1 —
 // the scan the preprocessing unit performs over the cards' status
 // registers.
 func (b *Bank) AnyPending() int {
+	if b.pending == 0 {
+		return -1
+	}
 	for i, c := range b.cards {
 		if c.InputPending() {
 			return i

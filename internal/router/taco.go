@@ -32,6 +32,11 @@ type TACO struct {
 	ifaces     int
 	localAddrs []ipv6.Addr
 
+	// compiled, when set by UseCompiled, makes Run batch cycles through
+	// the pre-lowered fast path instead of stepping the interpreter.
+	// Both are bit-identical by contract.
+	compiled *tta.CompiledMachine
+
 	// audit, when enabled, records delivered datagrams so machine-level
 	// drops can be attributed to a DropReason after the run; nil (the
 	// default) costs one pointer check per Deliver.
@@ -59,6 +64,24 @@ func NewTACO(cfg fu.Config, tbl rtable.Table, ifaces int) (*TACO, error) {
 		cfg: cfg, tbl: tbl, ifaces: ifaces,
 	}, nil
 }
+
+// UseCompiled switches Run to the compiled fast path: the loaded
+// forwarding program is pre-lowered once (tta.Compile) and every
+// subsequent cycle executes through the specialized step function.
+// Observable behavior — cycles, stalls, socket and queue state — is
+// bit-identical to the interpreter; with counters or tracing attached
+// the compiled step itself falls back to the interpreter.
+func (t *TACO) UseCompiled() error {
+	cm, err := tta.Compile(t.Machine)
+	if err != nil {
+		return err
+	}
+	t.compiled = cm
+	return nil
+}
+
+// Compiled reports whether Run executes through the compiled fast path.
+func (t *TACO) Compiled() bool { return t.compiled != nil }
 
 // Reset returns the router to its power-on state — units, statistics,
 // line-card queues — with the forwarding program still loaded, so the
@@ -121,13 +144,26 @@ func (t *TACO) Run(expected int64, maxCycles int64) error {
 				Sockets:   t.Machine.SnapshotSockets(),
 			}
 		}
-		if t.Units.IPPU.Popped() >= expected &&
+		// Cheapest-first, most-selective-first: the machine is only back
+		// at its poll loop (pc == mainAddr) for a few cycles per packet,
+		// so testing the PC short-circuits the queue scans on the vast
+		// majority of cycles.
+		if t.Machine.PC() == mainAddr &&
+			t.Units.IPPU.Popped() >= expected &&
 			t.Units.IPPU.QueueLen() == 0 &&
-			t.Machine.PC() == mainAddr &&
 			t.Bank.AnyPending() < 0 {
 			return nil
 		}
-		if err := t.Machine.Step(); err != nil {
+		if t.compiled != nil {
+			// Batch: run until the next poll-loop visit (the only PC at
+			// which the stop condition above can hold) or until one cycle
+			// past the budget — exactly where the interpreted loop lands,
+			// so the StallError dump is identical.
+			cycles := t.Machine.Stats().Cycles - start
+			if _, err := t.compiled.RunToPC(mainAddr, maxCycles-cycles+1); err != nil {
+				return err
+			}
+		} else if err := t.Machine.Step(); err != nil {
 			return err
 		}
 		if t.Machine.Halted() {

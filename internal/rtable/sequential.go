@@ -11,6 +11,9 @@ import (
 type SequentialTable struct {
 	entries []Route
 	stats   Stats
+	// gen counts mutations, letting the routing-table unit cache a
+	// lowered copy of the entries and invalidate it on table updates.
+	gen uint64
 }
 
 // NewSequential returns an empty sequential table.
@@ -21,6 +24,7 @@ func (t *SequentialTable) Kind() Kind { return Sequential }
 
 // Insert adds or replaces the route for r.Prefix.
 func (t *SequentialTable) Insert(r Route) error {
+	t.gen++
 	r.Prefix = bits.MakePrefix(r.Prefix.Addr, r.Prefix.Len)
 	for i := range t.entries {
 		if t.entries[i].Prefix == r.Prefix {
@@ -36,6 +40,7 @@ func (t *SequentialTable) Insert(r Route) error {
 // of the quadratic per-insert duplicate scan. Appends in slice order, so
 // the storage (and hardware scan) order is identical to repeated Insert.
 func (t *SequentialTable) InsertAll(rs []Route) error {
+	t.gen++
 	idx := make(map[bits.Prefix]int, len(t.entries)+len(rs))
 	for i := range t.entries {
 		idx[t.entries[i].Prefix] = i
@@ -54,6 +59,7 @@ func (t *SequentialTable) InsertAll(rs []Route) error {
 
 // Delete removes the route for p, reporting whether it existed.
 func (t *SequentialTable) Delete(p bits.Prefix) bool {
+	t.gen++
 	p = bits.MakePrefix(p.Addr, p.Len)
 	for i := range t.entries {
 		if t.entries[i].Prefix == p {
@@ -104,6 +110,11 @@ func (t *SequentialTable) EntryAt(i int) (Route, bool) {
 	}
 	return t.entries[i], true
 }
+
+// Gen returns the mutation generation: any Insert/InsertAll/Delete
+// changes it, so a cached lowering of the entries keyed on Gen stays
+// coherent across control-plane updates.
+func (t *SequentialTable) Gen() uint64 { return t.gen }
 
 // Stats implements Table.
 func (t *SequentialTable) Stats() Stats { return t.stats }

@@ -32,6 +32,9 @@ type BalancedTreeTable struct {
 	nodes  []TreeNode
 	root   int
 	stats  Stats
+	// gen counts rebuilds, letting the routing-table unit cache a
+	// lowered copy of the node array and invalidate it on table updates.
+	gen uint64
 }
 
 // NewBalancedTree returns an empty balanced-tree table.
@@ -76,6 +79,7 @@ func (t *BalancedTreeTable) Delete(p bits.Prefix) bool {
 }
 
 func (t *BalancedTreeTable) rebuild() {
+	t.gen++
 	rs := t.Routes() // deterministic order so Owner indices are stable
 	prefixes := make([]bits.Prefix, len(rs))
 	for i, r := range rs {
@@ -156,6 +160,11 @@ func (t *BalancedTreeTable) NodeAt(i int) (TreeNode, bool) {
 
 // Root returns the root node index (-1 when empty).
 func (t *BalancedTreeTable) Root() int { return t.root }
+
+// Gen returns the rebuild generation: any mutation changes it, so a
+// cached lowering of the node array keyed on Gen stays coherent across
+// control-plane updates.
+func (t *BalancedTreeTable) Gen() uint64 { return t.gen }
 
 // Depth returns the tree height (0 for an empty tree).
 func (t *BalancedTreeTable) Depth() int { return t.depth(t.root) }

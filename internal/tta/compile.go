@@ -1,0 +1,820 @@
+package tta
+
+import (
+	"errors"
+	"fmt"
+	mathbits "math/bits"
+
+	"taco/internal/isa"
+)
+
+// This file implements the compiled fast path: for a fixed machine
+// instance and loaded program, Compile pre-lowers the move schedule
+// into flat per-pc move records — guards resolved to direct unit
+// signal reads, socket routing resolved to (unit, local) pairs,
+// immediates inlined, error cases pre-rendered — so the steady-state
+// step loop touches no maps, no socket tables and no per-move
+// validation. The compiled step is required to be bit-identical to
+// Machine.Step: same cycle counts, same halt behavior, same errors
+// (byte-for-byte message text), same observable socket/FU/stats state
+// after every cycle. The differential suites in compile_test.go, the
+// root-level TestCompiledVsInterpreted and FuzzCompiledVsInterpreted
+// enforce that contract.
+
+// Settler is an optional Unit capability consumed by the compiled fast
+// path. A unit implementing it promises: whenever Settled reports true,
+// a Clock call on a cycle in which none of the unit's sockets were
+// written would be a no-op — no visible state change, no signal change,
+// no error. The fast path uses the promise to skip Clock on idle units.
+//
+// Units with autonomous per-cycle behavior must gate the promise on
+// that activity (the counter while counting toward its stop value, the
+// CAM while a search is in flight) or not implement Settler at all —
+// possibly offering LagClocker instead (the pre- and postprocessing
+// units, which count wall-clock cycles and poll the line cards).
+type Settler interface {
+	Settled() bool
+}
+
+// ConstSettler marks a Settler whose Settled answer is constant true —
+// a purely trigger-driven unit with no autonomous state at all. The
+// compiled fast path then clears the unit's active bit right after its
+// Clock without the per-cycle Settled query.
+type ConstSettler interface {
+	Settler
+	// SettledAlways is a marker; implementations are empty.
+	SettledAlways()
+}
+
+// LagClocker is an optional capability for units that cannot implement
+// Settler because every Clock advances an internal cycle counter (the
+// pre- and postprocessing units, which timestamp DMA events against
+// wall-clock cycles), but whose Clock is otherwise a no-op on idle
+// cycles. The contract:
+//
+//   - Whenever ClockIdle reports true, every subsequent Clock would do
+//     nothing but advance the internal counter, until either one of the
+//     unit's sockets is written or WakeGen changes.
+//   - CatchUp(n) advances the internal counter by n cycles, exactly as
+//     n idle Clocks would have.
+//   - WakeGen changes (monotonically) whenever external, non-socket
+//     input may give the unit work again — e.g. a line card delivery
+//     into a bank the unit had drained. Units with no external inputs
+//     return a constant.
+//
+// The compiled fast path uses the promise to skip idle Clocks entirely:
+// it records the machine cycle at which the unit was parked, re-checks
+// WakeGen once per batch, and calls CatchUp with the skipped cycle
+// count immediately before the unit's next real Clock — so cycle-
+// stamped observables (DMA latencies) stay bit-identical to the
+// interpreter, which clocks every unit every cycle.
+type LagClocker interface {
+	ClockIdle() bool
+	CatchUp(n int64)
+	WakeGen() uint64
+}
+
+// SlotReader is an optional Unit capability: a stable pointer to the
+// uint32 backing a readable socket, valid for the unit's lifetime
+// (including across Reset), with Read(local) == *ReadSlot(local) at
+// every observable point. Nil means the socket's value is computed on
+// demand and must go through Read. The compiled fast path uses the
+// pointer to read sources without an interface call.
+type SlotReader interface {
+	ReadSlot(local int) *uint32
+}
+
+// SlotWriter is an optional Unit capability: the (value, armed) pair
+// backing a writable socket's input latch or trigger, such that
+// Write(local, v) is exactly {*val = v; *armed = true} — in particular
+// the write stays invisible to Read and Signal until the unit's next
+// Clock. (nil, nil) means the socket has no such flat latch.
+type SlotWriter interface {
+	WriteSlot(local int) (val *uint32, armed *bool)
+}
+
+// SlotSignal is an optional Unit capability: a stable pointer to the
+// bool backing a signal, with Signal(local) == *SignalSlot(local) at
+// every observable point. Nil means the signal is computed on demand.
+type SlotSignal interface {
+	SignalSlot(local int) *bool
+}
+
+// Destination op codes for a compiled move. Error ops reproduce the
+// interpreter's runtime failures for programs that pass Load validation
+// (which checks structure, not socket kinds) but fault when executed.
+const (
+	opWrite     uint8 = iota // latch into an Operand or Register socket
+	opTrigger                // latch into a Trigger socket
+	opJump                   // nc.jmp: next PC = moved value
+	opHalt                   // nc.halt: stop after this cycle
+	opDstErr                 // destination socket out of range
+	opResultErr              // write to a Result socket
+)
+
+// cterm is one pre-resolved guard term. A term referencing an unknown
+// signal is lowered with bad set; it faults only when guard evaluation
+// reaches it, exactly like the interpreter (an earlier failing term
+// short-circuits without error), so lowering stops at the bad term.
+type cterm struct {
+	unit Unit
+	// flag, when non-nil, is the bool backing the signal (SlotSignal);
+	// reading it replaces the Signal interface call.
+	flag   *bool
+	local  int32
+	negate bool
+	bad    bool
+}
+
+// cmoveErrs collects a move's pre-rendered failure messages (pc and bus
+// are static per move, so the whole text is known at compile time). The
+// pointer is nil for moves that cannot fail, keeping the hot cmove
+// record small.
+type cmoveErrs struct {
+	guardErr string // a guard term references an unknown signal
+	srcErr   string // unreadable source (bad id, controller, write-only)
+	dstErr   string // opDstErr / opResultErr text
+	conflict string // conflicting writes within this instruction
+	retrig   string // unit triggered twice in one cycle
+}
+
+// Move flag bits. A move with flags == 0 is the steady-state common
+// case — unguarded, source read from a socket, destination a plain unit
+// write with no hazard to check — and executes through a branch-free
+// fast path. fImm alone is the same with an inlined immediate. Any
+// other bit routes the move through the general path.
+const (
+	fImm     uint8 = 1 << iota // source is an immediate
+	fGuarded                   // move has guard terms
+	fSrcBad                    // source read faults when executed
+	fCheckWr                   // destination shared within the instruction
+	fCheckTr                   // trigger unit shared within the instruction
+	fCtl                       // destination is the controller or an error op
+)
+
+// cmove is one pre-lowered move. Field order is deliberate: the first
+// group — the devirtualized access paths plus flags — is everything the
+// steady-state fast paths touch, packed so a typical move costs a
+// single cache line; the trailing group is only read on fallback and
+// error paths.
+type cmove struct {
+	// Devirtualized access paths (nil when the unit exposes no slot):
+	// srcPtr reads the source socket directly; dstVal/dstArmed write the
+	// destination's input latch directly. Latch writes are deferred by
+	// construction (invisible until Clock), so the direct store is only
+	// taken for instructions where the interpreter's deferred buffer
+	// cannot matter (cins.direct). flag0/neg0 inline a single-term guard
+	// whose signal has a slot — the dominant guard shape — avoiding the
+	// guard slice entirely.
+	srcPtr   *uint32
+	dstVal   *uint32
+	dstArmed *bool
+	flag0    *bool
+
+	immVal  uint32
+	unitIdx int32 // destination unit index (active-mask bookkeeping)
+	flags   uint8
+	op      uint8
+	neg0    bool
+
+	// Fallback and error-path fields.
+	guard    []cterm
+	srcUnit  Unit
+	dstUnit  Unit
+	errs     *cmoveErrs
+	srcLocal int32
+	dstLocal int32
+	sockIdx  int32 // destination SocketID-1 (conflict stamp index)
+}
+
+// cins is one pre-lowered instruction: its moves are c.moves[start:end]
+// (one flat array for the whole program, so stepping an instruction is
+// a contiguous scan, not a per-pc slice chase).
+type cins struct {
+	start, end int32
+	n          int64 // encoded move count (SlotsEncoded per cycle)
+	// direct: no move of this instruction can raise a move-level error,
+	// so unit writes may be applied immediately instead of through the
+	// deferred buffer — the buffer exists only so a mid-cycle error
+	// leaves unit latches exactly as the interpreter would, and written
+	// pend latches are invisible until Clock anyway. Requires a maskable
+	// machine (direct writes update the active mask inline).
+	direct bool
+}
+
+// cwrite is a deferred unit write, committed after the move loop so a
+// mid-cycle error leaves unit latches exactly as the interpreter would.
+type cwrite struct {
+	unitIdx int32
+	local   int32
+	val     uint32
+}
+
+// Settler classes cached per unit (settleKind).
+const (
+	settleNever   uint8 = iota // no Settler: permanently active
+	settleDynamic              // Settler: query Settled after each Clock
+	settleAlways               // ConstSettler: settles on every Clock
+	settleLag                  // LagClocker: park idle, CatchUp on wake
+)
+
+// CompiledMachine executes a specific (machine, program) pair through
+// pre-lowered step records. It shares the underlying Machine's state —
+// pc, halt flag, statistics, stamp arrays and of course the units — so
+// interpreter-side observers (SnapshotSockets, Stats, PC, Halted) see
+// identical values after every compiled cycle, and the two step paths
+// may be interleaved freely.
+//
+// When counters or a trace sink are attached to the machine, stepping
+// delegates to the interpreter, which carries the observability hooks;
+// the fast path stays zero-cost when observability is off.
+type CompiledMachine struct {
+	m    *Machine
+	prog *isa.Program
+	ins  []cins
+	// moves backs every instruction's [start:end) window (see cins).
+	moves []cmove
+
+	writes []cwrite
+
+	// Clock-skipping state. A unit is "active" — its Clock must run this
+	// cycle — unless it reported Settled at its last Clock and none of
+	// its sockets have been written since. Units without a Settler are
+	// permanently active. Machines with at most 64 units (maskable) track
+	// activity as a bitmask iterated lowest-bit-first, preserving the
+	// interpreter's declaration-order clocking; wider machines fall back
+	// to the per-unit idle array.
+	maskable bool
+	active   uint64
+	allMask  uint64
+	idle     []bool
+	settlers []Settler
+	// settleKind caches each unit's Settler class so the hot loop avoids
+	// the Settled interface call for purely trigger-driven units.
+	settleKind []uint8
+
+	// Lag-clocked units (LagClocker): lags and lagIdx index the units,
+	// lastClock records the absolute machine cycle (Stats.Cycles
+	// numbering) of each unit's most recent Clock so a wake can CatchUp
+	// the skipped span, and wakeSeen holds the WakeGen observed when the
+	// unit was parked — a changed generation at batch entry re-activates
+	// the unit.
+	lags      []LagClocker
+	lagIdx    []int
+	lastClock []int64
+	wakeSeen  []uint64
+
+	// Staleness tracking: if the machine was reset or stepped by the
+	// interpreter since our last cycle, the idle cache is invalid (unit
+	// activity may have changed without a socket write we saw).
+	lastCycles int64
+	resetGen   uint64
+	dirty      bool
+}
+
+// Compile lowers the machine's loaded program into a CompiledMachine.
+// The result is tied to the exact *isa.Program pointer loaded at
+// compile time; loading a different program later makes the compiled
+// machine stale and its Step returns an error.
+func Compile(m *Machine) (*CompiledMachine, error) {
+	if m.prog == nil {
+		return nil, fmt.Errorf("tta: compile: no program loaded")
+	}
+	if err := m.prog.Validate(m.buses); err != nil {
+		return nil, fmt.Errorf("tta: compile: %w", err)
+	}
+	c := &CompiledMachine{
+		m:          m,
+		prog:       m.prog,
+		ins:        make([]cins, len(m.prog.Ins)),
+		maskable:   len(m.units) <= 64,
+		idle:       make([]bool, len(m.units)),
+		settlers:   make([]Settler, len(m.units)),
+		settleKind: make([]uint8, len(m.units)),
+		lags:       make([]LagClocker, len(m.units)),
+		lastClock:  make([]int64, len(m.units)),
+		wakeSeen:   make([]uint64, len(m.units)),
+		lastCycles: m.stats.Cycles,
+		resetGen:   m.resetGen,
+	}
+	if n := len(m.units); c.maskable && n > 0 {
+		c.allMask = ^uint64(0) >> (64 - uint(n))
+	}
+	c.active = c.allMask
+	for i, u := range m.units {
+		c.lastClock[i] = m.stats.Cycles
+		if s, ok := u.(Settler); ok {
+			c.settlers[i] = s
+			if _, ok := u.(ConstSettler); ok {
+				c.settleKind[i] = settleAlways
+			} else {
+				c.settleKind[i] = settleDynamic
+			}
+		} else if lg, ok := u.(LagClocker); ok && c.maskable {
+			c.settleKind[i] = settleLag
+			c.lags[i] = lg
+			c.lagIdx = append(c.lagIdx, i)
+		}
+	}
+	for pc, in := range m.prog.Ins {
+		c.ins[pc] = c.lowerInstruction(pc, in)
+	}
+	return c, nil
+}
+
+func (c *CompiledMachine) lowerInstruction(pc int, in isa.Instruction) cins {
+	m := c.m
+	// Static hazard analysis: a runtime conflicting-write (or double
+	// trigger) check is only needed when two moves of this instruction
+	// can hit the same destination socket (or trigger unit). Guards are
+	// ignored — whether both actually execute is decided at runtime,
+	// exactly as the interpreter does with its stamp arrays.
+	wrCount := map[isa.SocketID]int{}
+	trigCount := map[int]int{}
+	for _, mv := range in.Moves {
+		if mv.Dst == isa.InvalidSocket || int(mv.Dst) > len(m.sockets) {
+			continue
+		}
+		wrCount[mv.Dst]++
+		if ref := m.sockets[mv.Dst-1]; ref.unit >= 0 && ref.kind == Trigger {
+			trigCount[ref.unit]++
+		}
+	}
+	moves := make([]cmove, 0, len(in.Moves))
+	for bus, mv := range in.Moves {
+		cm := cmove{}
+		errs := &cmoveErrs{}
+		fail := false
+		if len(mv.Guard.Terms) > 0 {
+			cm.flags |= fGuarded
+		}
+		for _, t := range mv.Guard.Terms {
+			if int(t.Signal) >= len(m.signals) {
+				// The interpreter evaluates terms in order and faults on
+				// reaching an unknown signal; terms after it are never
+				// evaluated, so lowering stops here too.
+				errs.guardErr = fmt.Sprintf(
+					"tta: pc %d bus %d: tta: guard references unknown signal %d", pc, bus, t.Signal)
+				fail = true
+				cm.guard = append(cm.guard, cterm{bad: true})
+				break
+			}
+			ref := m.signals[t.Signal]
+			term := cterm{
+				unit: m.units[ref.unit], local: int32(ref.local), negate: t.Negate,
+			}
+			if ss, ok := term.unit.(SlotSignal); ok {
+				term.flag = ss.SignalSlot(ref.local)
+			}
+			cm.guard = append(cm.guard, term)
+		}
+		if len(cm.guard) == 1 && cm.guard[0].flag != nil && !cm.guard[0].bad {
+			// Single resolved term: the hot loop tests the flag inline and
+			// never touches the guard slice.
+			cm.flag0, cm.neg0 = cm.guard[0].flag, cm.guard[0].negate
+		}
+		switch {
+		case mv.Src.Imm:
+			cm.flags |= fImm
+			cm.immVal = mv.Src.Value
+		case mv.Src.Socket == isa.InvalidSocket || int(mv.Src.Socket) > len(m.sockets):
+			cm.flags |= fSrcBad
+			fail = true
+			errs.srcErr = fmt.Sprintf("tta: pc %d bus %d: bad source socket %d", pc, bus, mv.Src.Socket)
+		default:
+			ref := m.sockets[mv.Src.Socket-1]
+			switch {
+			case ref.unit < 0:
+				cm.flags |= fSrcBad
+				fail = true
+				errs.srcErr = fmt.Sprintf("tta: pc %d bus %d: controller socket %s is not readable",
+					pc, bus, ref.name)
+			case ref.kind != Result && ref.kind != Register:
+				cm.flags |= fSrcBad
+				fail = true
+				errs.srcErr = fmt.Sprintf("tta: pc %d bus %d: socket %s (%v) is not readable",
+					pc, bus, ref.name, ref.kind)
+			default:
+				cm.srcUnit, cm.srcLocal = m.units[ref.unit], int32(ref.local)
+				if sr, ok := cm.srcUnit.(SlotReader); ok {
+					cm.srcPtr = sr.ReadSlot(ref.local)
+				}
+			}
+		}
+		if mv.Dst == isa.InvalidSocket || int(mv.Dst) > len(m.sockets) {
+			cm.op = opDstErr
+			cm.flags |= fCtl
+			fail = true
+			errs.dstErr = fmt.Sprintf("tta: pc %d bus %d: bad destination socket %d", pc, bus, mv.Dst)
+			cm.errs = errs
+			moves = append(moves, cm)
+			continue
+		}
+		ref := m.sockets[mv.Dst-1]
+		cm.sockIdx = int32(mv.Dst - 1)
+		if wrCount[mv.Dst] > 1 {
+			cm.flags |= fCheckWr
+			fail = true
+			errs.conflict = fmt.Sprintf("tta: pc %d: conflicting writes to %s", pc, ref.name)
+		}
+		switch {
+		case ref.unit < 0:
+			cm.flags |= fCtl
+			if ref.ctl == ctlJump {
+				cm.op = opJump
+			} else {
+				cm.op = opHalt
+			}
+		case ref.kind == Result:
+			cm.op = opResultErr
+			cm.flags |= fCtl
+			fail = true
+			errs.dstErr = fmt.Sprintf("tta: pc %d: write to result socket %s", pc, ref.name)
+		case ref.kind == Trigger:
+			cm.op = opTrigger
+			cm.dstUnit, cm.dstLocal, cm.unitIdx = m.units[ref.unit], int32(ref.local), int32(ref.unit)
+			if trigCount[ref.unit] > 1 {
+				cm.flags |= fCheckTr
+				fail = true
+				errs.retrig = fmt.Sprintf("tta: pc %d: unit %s triggered twice in one cycle",
+					pc, m.units[ref.unit].Name())
+			}
+		default: // Operand or Register
+			cm.op = opWrite
+			cm.dstUnit, cm.dstLocal, cm.unitIdx = m.units[ref.unit], int32(ref.local), int32(ref.unit)
+		}
+		if cm.dstUnit != nil {
+			if sw, ok := cm.dstUnit.(SlotWriter); ok {
+				cm.dstVal, cm.dstArmed = sw.WriteSlot(int(cm.dstLocal))
+			}
+		}
+		if fail {
+			cm.errs = errs
+		}
+		moves = append(moves, cm)
+	}
+	// An instruction whose moves can raise no move-level error may apply
+	// unit writes immediately (see cins.direct). Conflict checks, bad
+	// guards/sources/destinations and result writes all disqualify;
+	// controller moves (jump, halt) are fine — they touch no unit.
+	direct := c.maskable
+	for i := range moves {
+		if moves[i].errs != nil {
+			direct = false
+			break
+		}
+	}
+	start := int32(len(c.moves))
+	c.moves = append(c.moves, moves...)
+	return cins{start: start, end: int32(len(c.moves)), n: int64(len(in.Moves)), direct: direct}
+}
+
+// Machine returns the underlying machine (shared state, not a copy).
+func (c *CompiledMachine) Machine() *Machine { return c.m }
+
+// Step executes one cycle through the pre-lowered schedule, mirroring
+// Machine.Step bit for bit. With counters or tracing attached it
+// delegates to the interpreter (the hooks live there); the next fast
+// cycle then rebuilds its idle-unit knowledge from scratch.
+func (c *CompiledMachine) Step() error {
+	_, err := c.RunToPC(-1, 1)
+	return err
+}
+
+// RunToPC executes up to maxSteps cycles, additionally stopping once
+// the program counter reaches stopPC after at least one executed cycle
+// (stopPC < 0 never stops; machine halt always does). It returns the
+// number of cycles executed.
+//
+// This is the batch entry point the router's run loop drives: per-cycle
+// bookkeeping (statistics, pc, the cycle stamp) lives in locals and is
+// flushed to the machine on every exit path, so observable state is
+// bit-identical to stepping the interpreter the same number of cycles —
+// while the tight loop itself touches almost no shared memory.
+func (c *CompiledMachine) RunToPC(stopPC int, maxSteps int64) (int64, error) {
+	m := c.m
+	if m.prog != c.prog {
+		return 0, errors.New("tta: compiled machine is stale: program reloaded since Compile")
+	}
+	if m.Counters != nil || m.Trace != nil {
+		// Observability attached: the interpreter carries the hooks.
+		c.dirty = true
+		var executed int64
+		for executed < maxSteps {
+			if m.halted {
+				return executed, nil
+			}
+			if err := m.Step(); err != nil {
+				return executed, err
+			}
+			executed++
+			if stopPC >= 0 && m.pc == stopPC {
+				return executed, nil
+			}
+		}
+		return executed, nil
+	}
+	if c.dirty || m.stats.Cycles != c.lastCycles || m.resetGen != c.resetGen {
+		// The machine was reset or stepped outside the fast path since
+		// our last cycle: every cached "this unit is idle" fact is
+		// suspect, so clock everything until units re-report settled.
+		// Lag units count as clocked on the (interpreter-run) previous
+		// cycle — their counters are already current, nothing to CatchUp.
+		c.active = c.allMask
+		for i := range c.idle {
+			c.idle[i] = false
+		}
+		for i := range c.lastClock {
+			c.lastClock[i] = m.stats.Cycles
+		}
+		c.dirty = false
+		c.resetGen = m.resetGen
+	} else {
+		// Re-activate parked lag units woken by external input (a line
+		// card delivery) since they were parked. Wakes cannot happen
+		// mid-batch — nothing inside the machine delivers input traffic —
+		// so one generation check per batch suffices.
+		for _, li := range c.lagIdx {
+			if c.active&(1<<uint(li)) == 0 && c.lags[li].WakeGen() != c.wakeSeen[li] {
+				c.active |= 1 << uint(li)
+			}
+		}
+	}
+
+	statsBase := m.stats.Cycles
+	pc := m.pc
+	stamp := m.stamp
+	halted := m.halted
+	jumped := m.jumped
+	var cycles, encoded, moved int64
+	var retErr error
+	ins := c.ins
+	allMoves := c.moves
+	units := m.units
+	maskable := c.maskable
+	active := c.active
+	idle := c.idle
+	settlers := c.settlers
+	kinds := c.settleKind
+	lags := c.lags
+	lastClock := c.lastClock
+	wakeSeen := c.wakeSeen
+
+loop:
+	for !halted && cycles < maxSteps {
+		if pc < 0 || pc >= len(ins) {
+			halted = true
+			break
+		}
+		stamp++
+		if stamp == 0 {
+			clear(m.trigStamp)
+			clear(m.wrStamp)
+			stamp = 1
+		}
+		nextPC := pc + 1
+		jumped = false
+		haltReq := false
+		writes := c.writes[:0]
+
+		ci := &ins[pc]
+		direct := ci.direct
+		for mi := ci.start; mi < ci.end; mi++ {
+			mv := &allMoves[mi]
+			// Fast paths: hazard-free unit writes, at most one inlined
+			// guard term — the whole steady state of a scheduled program.
+			fl := mv.flags
+			if fl&fGuarded != 0 && mv.flag0 != nil {
+				if *mv.flag0 == mv.neg0 {
+					continue // guard failed: move not executed
+				}
+				fl &^= fGuarded
+			}
+			if fl == 0 {
+				var val uint32
+				if mv.srcPtr != nil {
+					val = *mv.srcPtr
+				} else {
+					val = mv.srcUnit.Read(int(mv.srcLocal))
+				}
+				if direct {
+					if mv.dstVal != nil {
+						*mv.dstVal = val
+						*mv.dstArmed = true
+					} else {
+						mv.dstUnit.Write(int(mv.dstLocal), val)
+					}
+					active |= 1 << uint(mv.unitIdx)
+				} else {
+					writes = append(writes, cwrite{unitIdx: mv.unitIdx, local: mv.dstLocal, val: val})
+				}
+				moved++
+				continue
+			}
+			if fl == fImm {
+				if direct {
+					if mv.dstVal != nil {
+						*mv.dstVal = mv.immVal
+						*mv.dstArmed = true
+					} else {
+						mv.dstUnit.Write(int(mv.dstLocal), mv.immVal)
+					}
+					active |= 1 << uint(mv.unitIdx)
+				} else {
+					writes = append(writes, cwrite{unitIdx: mv.unitIdx, local: mv.dstLocal, val: mv.immVal})
+				}
+				moved++
+				continue
+			}
+			if fl&fGuarded != 0 {
+				executed := true
+				for ti := range mv.guard {
+					t := &mv.guard[ti]
+					if t.bad {
+						retErr = errors.New(mv.errs.guardErr)
+						break loop
+					}
+					var sig bool
+					if t.flag != nil {
+						sig = *t.flag
+					} else {
+						sig = t.unit.Signal(int(t.local))
+					}
+					if sig == t.negate {
+						executed = false
+						break
+					}
+				}
+				if !executed {
+					continue
+				}
+			}
+			if mv.flags&fSrcBad != 0 {
+				retErr = errors.New(mv.errs.srcErr)
+				break loop
+			}
+			val := mv.immVal
+			if mv.flags&fImm == 0 {
+				if mv.srcPtr != nil {
+					val = *mv.srcPtr
+				} else {
+					val = mv.srcUnit.Read(int(mv.srcLocal))
+				}
+			}
+			if mv.op == opDstErr {
+				retErr = errors.New(mv.errs.dstErr)
+				break loop
+			}
+			if mv.flags&fCheckWr != 0 {
+				if m.wrStamp[mv.sockIdx] == stamp {
+					retErr = errors.New(mv.errs.conflict)
+					break loop
+				}
+				m.wrStamp[mv.sockIdx] = stamp
+			}
+			switch mv.op {
+			case opWrite, opTrigger:
+				if mv.flags&fCheckTr != 0 {
+					if m.trigStamp[mv.unitIdx] == stamp {
+						retErr = errors.New(mv.errs.retrig)
+						break loop
+					}
+					m.trigStamp[mv.unitIdx] = stamp
+				}
+				if direct {
+					if mv.dstVal != nil {
+						*mv.dstVal = val
+						*mv.dstArmed = true
+					} else {
+						mv.dstUnit.Write(int(mv.dstLocal), val)
+					}
+					active |= 1 << uint(mv.unitIdx)
+				} else {
+					writes = append(writes, cwrite{unitIdx: mv.unitIdx, local: mv.dstLocal, val: val})
+				}
+			case opJump:
+				nextPC = int(val)
+				jumped = true
+			case opHalt:
+				haltReq = true
+			case opResultErr:
+				retErr = errors.New(mv.errs.dstErr)
+				break loop
+			}
+			moved++
+		}
+		c.writes = writes
+
+		if maskable {
+			for wi := range writes {
+				w := &writes[wi]
+				units[w.unitIdx].Write(int(w.local), w.val)
+				active |= 1 << uint(w.unitIdx)
+			}
+			for a := active; a != 0; a &= a - 1 {
+				ui := mathbits.TrailingZeros64(a)
+				k := kinds[ui]
+				if k == settleLag {
+					// A parked stretch ended: advance the unit's internal
+					// cycle counter over the skipped span before its next
+					// real Clock. Current cycle = statsBase+cycles+1.
+					if skipped := statsBase + cycles - lastClock[ui]; skipped > 0 {
+						lags[ui].CatchUp(skipped)
+					}
+					lastClock[ui] = statsBase + cycles + 1
+				}
+				if err := units[ui].Clock(); err != nil {
+					retErr = fmt.Errorf("tta: pc %d: unit %s: %w", pc, units[ui].Name(), err)
+					break loop
+				}
+				switch k {
+				case settleAlways:
+					active &^= 1 << uint(ui)
+				case settleDynamic:
+					if settlers[ui].Settled() {
+						active &^= 1 << uint(ui)
+					}
+				case settleLag:
+					if lg := lags[ui]; lg.ClockIdle() {
+						active &^= 1 << uint(ui)
+						wakeSeen[ui] = lg.WakeGen()
+					}
+				}
+			}
+		} else {
+			for wi := range writes {
+				w := &writes[wi]
+				units[w.unitIdx].Write(int(w.local), w.val)
+				idle[w.unitIdx] = false
+			}
+			for ui := range units {
+				if idle[ui] {
+					continue
+				}
+				if err := units[ui].Clock(); err != nil {
+					retErr = fmt.Errorf("tta: pc %d: unit %s: %w", pc, units[ui].Name(), err)
+					break loop
+				}
+				if s := settlers[ui]; s != nil {
+					idle[ui] = s.Settled()
+				}
+			}
+		}
+
+		cycles++
+		encoded += ci.n
+		if haltReq {
+			halted = true
+		}
+		pc = nextPC
+		if pc < 0 || pc >= len(ins) {
+			halted = true
+		}
+		if stopPC >= 0 && pc == stopPC {
+			break
+		}
+	}
+
+	// Flush the register-resident cycle state back to the machine so any
+	// observer — or an interleaved interpreter step — sees exactly the
+	// state the interpreter would have produced.
+	m.pc = pc
+	m.nextPC = pc
+	m.jumped = jumped
+	m.stamp = stamp
+	m.halted = halted
+	m.stats.Cycles += cycles
+	m.stats.SlotsTotal += cycles * int64(m.buses)
+	m.stats.SlotsEncoded += encoded
+	m.stats.MovesExecuted += moved
+	c.active = active
+	c.lastCycles = m.stats.Cycles
+	if retErr != nil {
+		// A mid-cycle abort may have clocked some units of an uncounted
+		// cycle; discard the idle/lastClock caches rather than reason
+		// about the partial state.
+		c.dirty = true
+	}
+	return cycles, retErr
+}
+
+// Run executes until the machine halts or maxCycles elapse, mirroring
+// Machine.Run (including its error text). It returns the number of
+// cycles executed by this call.
+func (c *CompiledMachine) Run(maxCycles int64) (int64, error) {
+	m := c.m
+	start := m.stats.Cycles
+	for !m.halted {
+		if maxCycles >= 0 && m.stats.Cycles-start >= maxCycles {
+			return m.stats.Cycles - start, fmt.Errorf("tta: exceeded %d cycles (pc=%d)", maxCycles, m.pc)
+		}
+		budget := int64(1) << 62
+		if maxCycles >= 0 {
+			budget = maxCycles - (m.stats.Cycles - start)
+		}
+		if _, err := c.RunToPC(-1, budget); err != nil {
+			return m.stats.Cycles - start, err
+		}
+	}
+	return m.stats.Cycles - start, nil
+}

@@ -1,0 +1,251 @@
+package tta
+
+import (
+	"strings"
+	"testing"
+
+	"taco/internal/isa"
+)
+
+// stepBoth steps an interpreted machine and a compiled twin one cycle
+// and requires the same error text, halt flag, pc and statistics.
+func stepBoth(t *testing.T, mi, mc *Machine, cm *CompiledMachine, cyc int) (error, bool) {
+	t.Helper()
+	errI := mi.Step()
+	errC := cm.Step()
+	switch {
+	case (errI == nil) != (errC == nil):
+		t.Fatalf("cycle %d: errors differ: compiled %v, interpreted %v", cyc, errC, errI)
+	case errI != nil && errI.Error() != errC.Error():
+		t.Fatalf("cycle %d: error text differs: compiled %q, interpreted %q", cyc, errC, errI)
+	}
+	if mi.Halted() != mc.Halted() || mi.PC() != mc.PC() || mi.Stats() != mc.Stats() {
+		t.Fatalf("cycle %d: state differs: compiled halted=%t pc=%d %+v, interpreted halted=%t pc=%d %+v",
+			cyc, mc.Halted(), mc.PC(), mc.Stats(), mi.Halted(), mi.PC(), mi.Stats())
+	}
+	return errI, mi.Halted()
+}
+
+// runEdgeCase loads the program built by build on an interpreted and a
+// compiled test machine, runs both in lockstep until halt, error or the
+// cycle cap, and returns the interpreter's machine and final error.
+func runEdgeCase(t *testing.T, buses int, build func(m *Machine) *isa.Program) (*Machine, error) {
+	t.Helper()
+	mi, mc := newTestMachine(t, buses), newTestMachine(t, buses)
+	if err := mi.Load(build(mi)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.Load(build(mc)); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := Compile(mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cyc := 0; cyc < 1000; cyc++ {
+		err, halted := stepBoth(t, mi, mc, cm, cyc)
+		if err != nil || halted {
+			return mi, err
+		}
+	}
+	t.Fatal("no halt within 1000 cycles")
+	return nil, nil
+}
+
+// guarded builds a move guarded on add0.nz (optionally negated).
+func guarded(m *Machine, mov isa.Move, neg bool) isa.Move {
+	sig, err := m.Signal("add0.nz")
+	if err != nil {
+		panic(err)
+	}
+	mov.Guard = isa.Guard{Terms: []isa.GuardTerm{{Signal: sig, Negate: neg}}}
+	return mov
+}
+
+// TestStampWraparound forces the 32-bit cycle stamp to wrap and checks
+// that the stale stamp arrays are cleared: a socket legitimately written
+// in the first post-wrap cycle must not be misreported as a conflicting
+// write just because a billion-cycle-old stamp happens to equal the
+// recycled value. Exercised on both step paths (they share the arrays).
+func TestStampWraparound(t *testing.T) {
+	for _, compiled := range []bool{false, true} {
+		m := newTestMachine(t, 2)
+		p := isa.NewProgram()
+		p.Ins = []isa.Instruction{
+			{Moves: []isa.Move{imm(m, 7, "gpr.r0"), imm(m, 1, "gpr.r1")}},
+			{Moves: []isa.Move{imm(m, 8, "gpr.r0")}},
+		}
+		if err := m.Load(p); err != nil {
+			t.Fatal(err)
+		}
+		// One cycle from wrapping; the post-wrap stamp restarts at 1, and
+		// these poisoned entries alias it unless the wrap clears them.
+		m.stamp = ^uint32(0)
+		for i := range m.wrStamp {
+			m.wrStamp[i] = 1
+		}
+		for i := range m.trigStamp {
+			m.trigStamp[i] = 1
+		}
+		run := func() (int64, error) {
+			if !compiled {
+				return m.Run(-1)
+			}
+			cm, err := Compile(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return cm.Run(1000)
+		}
+		if _, err := run(); err != nil {
+			t.Fatalf("compiled=%t: wraparound cycle misflagged: %v", compiled, err)
+		}
+		if got, err := m.ReadSocket("gpr.r0"); err != nil || got != 8 {
+			t.Fatalf("compiled=%t: gpr.r0 = %d, %v; want 8", compiled, got, err)
+		}
+		if m.stamp == 0 || m.stamp > 2 {
+			t.Fatalf("compiled=%t: stamp = %d after wrap, want 1 or 2", compiled, m.stamp)
+		}
+	}
+}
+
+// TestGuardNegationTerms drives every guard shape through both step
+// paths: plain and negated single terms against a true and a false
+// signal, and a self-contradictory two-term conjunction that can never
+// fire.
+func TestGuardNegationTerms(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   uint32 // add0 result: nonzero ⇒ nz signal true
+		neg    bool
+		expect uint32 // gpr.r3 after the guarded move of 9 (0 = suppressed)
+	}{
+		{"true-signal-plain", 5, false, 9},
+		{"true-signal-negated", 5, true, 0},
+		{"false-signal-plain", 0, false, 0},
+		{"false-signal-negated", 0, true, 9},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := runEdgeCase(t, 2, func(m *Machine) *isa.Program {
+				p := isa.NewProgram()
+				p.Ins = []isa.Instruction{
+					// r = 0 + seed; nz latches (seed != 0) next cycle.
+					{Moves: []isa.Move{imm(m, 0, "add0.o"), imm(m, tc.seed, "add0.t")}},
+					{Moves: []isa.Move{guarded(m, imm(m, 9, "gpr.r3"), tc.neg)}},
+				}
+				return p
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := m.ReadSocket("gpr.r3"); err != nil || got != tc.expect {
+				t.Fatalf("gpr.r3 = %d, %v; want %d", got, err, tc.expect)
+			}
+		})
+	}
+
+	t.Run("contradictory-conjunction", func(t *testing.T) {
+		m, err := runEdgeCase(t, 2, func(m *Machine) *isa.Program {
+			sig, err := m.Signal("add0.nz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mov := imm(m, 9, "gpr.r3")
+			mov.Guard = isa.Guard{Terms: []isa.GuardTerm{
+				{Signal: sig}, {Signal: sig, Negate: true},
+			}}
+			p := isa.NewProgram()
+			p.Ins = []isa.Instruction{
+				{Moves: []isa.Move{imm(m, 0, "add0.o"), imm(m, 5, "add0.t")}},
+				{Moves: []isa.Move{mov}},
+			}
+			return p
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := m.ReadSocket("gpr.r3"); got != 0 {
+			t.Fatalf("contradictory guard executed: gpr.r3 = %d", got)
+		}
+	})
+}
+
+// TestConflictingWriteDetection checks the per-cycle write-conflict and
+// double-trigger detectors, including the dynamic case where the
+// conflict only materialises when two guards both hold — identically on
+// both step paths.
+func TestConflictingWriteDetection(t *testing.T) {
+	wantErr := func(t *testing.T, err error, frag string) {
+		t.Helper()
+		if err == nil || !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error = %v, want one containing %q", err, frag)
+		}
+	}
+	t.Run("same-destination-rejected-at-load", func(t *testing.T) {
+		// Two unguarded writes to one socket are statically detectable, so
+		// Load refuses the program before either step path can run it.
+		m := newTestMachine(t, 2)
+		p := isa.NewProgram()
+		p.Ins = []isa.Instruction{
+			{Moves: []isa.Move{imm(m, 1, "gpr.r0"), imm(m, 2, "gpr.r0")}},
+		}
+		wantErr(t, m.Load(p), "duplicate unguarded write")
+	})
+	t.Run("double-trigger", func(t *testing.T) {
+		_, err := runEdgeCase(t, 2, func(m *Machine) *isa.Program {
+			p := isa.NewProgram()
+			p.Ins = []isa.Instruction{
+				{Moves: []isa.Move{imm(m, 1, "add0.t"), imm(m, 2, "add0.tsub")}},
+			}
+			return p
+		})
+		wantErr(t, err, "triggered twice in one cycle")
+	})
+	t.Run("guarded-conflict-fires", func(t *testing.T) {
+		// Both guards hold (nz true), so the two writes collide at runtime.
+		_, err := runEdgeCase(t, 3, func(m *Machine) *isa.Program {
+			p := isa.NewProgram()
+			p.Ins = []isa.Instruction{
+				{Moves: []isa.Move{imm(m, 0, "add0.o"), imm(m, 5, "add0.t")}},
+				{Moves: []isa.Move{
+					guarded(m, imm(m, 1, "gpr.r0"), false),
+					guarded(m, imm(m, 2, "gpr.r0"), false),
+				}},
+			}
+			return p
+		})
+		wantErr(t, err, "conflicting writes to gpr.r0")
+	})
+	t.Run("guarded-conflict-suppressed", func(t *testing.T) {
+		// Opposite guards: exactly one write executes, so no conflict.
+		m, err := runEdgeCase(t, 3, func(m *Machine) *isa.Program {
+			p := isa.NewProgram()
+			p.Ins = []isa.Instruction{
+				{Moves: []isa.Move{imm(m, 0, "add0.o"), imm(m, 5, "add0.t")}},
+				{Moves: []isa.Move{
+					guarded(m, imm(m, 1, "gpr.r0"), false),
+					guarded(m, imm(m, 2, "gpr.r0"), true),
+				}},
+			}
+			return p
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := m.ReadSocket("gpr.r0"); got != 1 {
+			t.Fatalf("gpr.r0 = %d, want 1 (the nz-guarded write)", got)
+		}
+	})
+	t.Run("write-to-result-socket", func(t *testing.T) {
+		_, err := runEdgeCase(t, 1, func(m *Machine) *isa.Program {
+			p := isa.NewProgram()
+			p.Ins = []isa.Instruction{
+				{Moves: []isa.Move{imm(m, 1, "add0.r")}},
+			}
+			return p
+		})
+		wantErr(t, err, "write to result socket")
+	})
+}

@@ -149,6 +149,10 @@ type Machine struct {
 	trigStamp []uint32 // per unit: stamp of the cycle that triggered it
 	wrStamp   []uint32 // per socket (index = SocketID-1): stamp of last write
 	stamp     uint32
+
+	// resetGen counts power-on resets so a CompiledMachine can tell that
+	// unit state was rebuilt behind its back (see compile.go).
+	resetGen uint64
 }
 
 type pendingWrite struct {
@@ -410,6 +414,7 @@ func (m *Machine) Reset() {
 	m.pc = 0
 	m.halted = false
 	m.stats = Stats{}
+	m.resetGen++
 	if m.Counters != nil {
 		m.Counters.Reset()
 	}
