@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race slow soak fuzz fuzz-router fuzz-lpm fuzz-faults fuzz-compiled bench bench-json snapshot vet
+.PHONY: all build test race slow soak fuzz fuzz-router fuzz-lpm fuzz-faults fuzz-compiled bench bench-json bench-guard snapshot vet
 
 all: build test
 
@@ -60,11 +60,17 @@ fuzz-compiled:
 bench:
 	$(GO) test -bench . -benchmem
 
-# Regenerate BENCH_0006.json: the Table 1 compiled-vs-interpreted
-# speedup record (medians over several runs, with cycle-identity
-# asserted per cell).
+# Regenerate BENCH_0007.json: the Table 1 speedup and counter-overhead
+# record — interpreted vs compiled vs compiled-with-counters, with
+# cycle- and latency-identity asserted per cell and the per-cell
+# latency percentiles included.
 bench-json:
-	$(GO) run ./cmd/tacobench -runs 5 -o BENCH_0006.json
+	$(GO) run ./cmd/tacobench -runs 5 -o BENCH_0007.json
+
+# The CI overhead guard: compiled-with-counters must stay within 1.3x
+# of compiled-bare across the Table 1 sweep.
+bench-guard:
+	$(GO) run ./cmd/tacobench -runs 3 -guard-overhead 1.3 -o -
 
 # Regenerate the reference snapshot the regression guard checks against.
 # Only commit the result when cycle counts are intentionally unchanged —

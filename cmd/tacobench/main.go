@@ -1,14 +1,21 @@
 // Command tacobench measures the compiled fast path against the
 // interpreter on the nine Table 1 cells and writes the committed
-// benchmark record (BENCH_0006.json): per-cell ns/op and allocs/op on
-// both step paths, the speedup ratio, and the cycles/packet each side
-// observed — which must be identical, or the run fails. Medians over
-// -runs repetitions tame scheduler noise; `make bench-json` regenerates
-// the file.
+// benchmark record (BENCH_0007.json): per-cell ns/op and allocs/op on
+// three paths — interpreted, compiled bare, and compiled with obs
+// counters attached — the speedup ratio, the counter-overhead ratio,
+// the cycles/packet each side observed (which must be identical, or the
+// run fails), and the per-packet latency percentiles of the measured
+// batch. Medians over -runs repetitions tame scheduler noise;
+// `make bench-json` regenerates the file.
+//
+// -guard-overhead turns the record into a gate: the run fails when the
+// aggregate compiled-with-counters time exceeds the given multiple of
+// compiled-bare (the CI overhead guard uses 1.3).
 //
 // Usage:
 //
-//	tacobench [-runs 5] [-packets 32] [-entries 100] [-o BENCH_0006.json]
+//	tacobench [-runs 5] [-packets 32] [-entries 100] [-o BENCH_0007.json]
+//	tacobench -guard-overhead 1.3 -o -
 package main
 
 import (
@@ -21,27 +28,41 @@ import (
 
 	"taco/internal/fu"
 	"taco/internal/linecard"
+	"taco/internal/obs"
 	"taco/internal/router"
 	"taco/internal/rtable"
 	"taco/internal/workload"
 )
 
-// cellRecord is one Table 1 cell's measurement on both step paths.
+// cellRecord is one Table 1 cell's measurement on the three step paths.
 type cellRecord struct {
 	Kind   string
 	Config string
-	// CyclesPerPacket is the simulated metric — identical on both paths
+	// CyclesPerPacket is the simulated metric — identical on every path
 	// by construction (the run aborts otherwise).
-	CyclesPerPacket     float64
+	CyclesPerPacket float64
+	// Latency percentiles (machine cycles, store->transmit) of the
+	// measured batch — also path-identical by construction.
+	LatencyP50  int64
+	LatencyP90  int64
+	LatencyP99  int64
+	LatencyP999 int64
+
 	InterpretedNsOp     int64
 	CompiledNsOp        int64
+	CompiledObsNsOp     int64 // compiled with obs.Counters attached
 	InterpretedAllocsOp int64
 	CompiledAllocsOp    int64
-	// Speedup is interpreted ns/op over compiled ns/op.
+	CompiledObsAllocsOp int64
+
+	// Speedup is interpreted ns/op over compiled-bare ns/op.
 	Speedup float64
+	// CounterOverhead is compiled-with-counters ns/op over compiled-bare
+	// ns/op — the price of leaving observation on.
+	CounterOverhead float64
 }
 
-// benchReport is the BENCH_0006.json schema.
+// benchReport is the BENCH_0007.json schema.
 type benchReport struct {
 	Benchmark string
 	// Workload identifies the measured batch.
@@ -56,6 +77,9 @@ type benchReport struct {
 	// AggregateSpeedup is the full-sweep ratio: summed interpreted ns/op
 	// over summed compiled ns/op (what a Table 1 regeneration saves).
 	AggregateSpeedup float64
+	// AggregateCounterOverhead is summed compiled-with-counters ns/op
+	// over summed compiled-bare ns/op across the sweep.
+	AggregateCounterOverhead float64
 }
 
 func main() {
@@ -63,32 +87,38 @@ func main() {
 		runs    = flag.Int("runs", 5, "repetitions per cell; the median ns/op is recorded")
 		packets = flag.Int("packets", 32, "datagrams per simulated batch")
 		entries = flag.Int("entries", 100, "routing-table entries")
-		out     = flag.String("o", "BENCH_0006.json", "output file (- for stdout)")
+		out     = flag.String("o", "BENCH_0007.json", "output file (- for stdout)")
+		guard   = flag.Float64("guard-overhead", 0,
+			"fail when aggregate compiled-with-counters time exceeds this multiple of compiled-bare (0 disables)")
 	)
 	flag.Parse()
 
-	rep := benchReport{Benchmark: "table1-compiled-vs-interpreted", Runs: *runs}
+	rep := benchReport{Benchmark: "table1-compiled-vs-interpreted-obs", Runs: *runs}
 	rep.Workload.Packets = *packets
 	rep.Workload.Entries = *entries
 	rep.Workload.Ifaces = 4
 	rep.Workload.Seed = 2003
 
-	var sumInterp, sumCompiled int64
+	var sumInterp, sumCompiled, sumObs int64
 	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
 		for _, cfg := range fu.PaperConfigs(kind) {
 			rec, err := measureCell(kind, cfg, *entries, *packets, *runs)
 			if err != nil {
 				fatal(fmt.Errorf("%v/%s: %w", kind, cfg.Name, err))
 			}
-			fmt.Fprintf(os.Stderr, "tacobench: %-13v %-16s %9d ns/op interpreted, %9d ns/op compiled, %.2fx\n",
-				kind, cfg.Name, rec.InterpretedNsOp, rec.CompiledNsOp, rec.Speedup)
+			fmt.Fprintf(os.Stderr, "tacobench: %-13v %-16s %9d ns/op interpreted, %9d ns/op compiled, %9d ns/op compiled+obs, %.2fx, obs %.2fx\n",
+				kind, cfg.Name, rec.InterpretedNsOp, rec.CompiledNsOp, rec.CompiledObsNsOp,
+				rec.Speedup, rec.CounterOverhead)
 			sumInterp += rec.InterpretedNsOp
 			sumCompiled += rec.CompiledNsOp
+			sumObs += rec.CompiledObsNsOp
 			rep.Cells = append(rep.Cells, rec)
 		}
 	}
 	rep.AggregateSpeedup = round2(float64(sumInterp) / float64(sumCompiled))
-	fmt.Fprintf(os.Stderr, "tacobench: aggregate Table 1 speedup %.2fx\n", rep.AggregateSpeedup)
+	rep.AggregateCounterOverhead = round2(float64(sumObs) / float64(sumCompiled))
+	fmt.Fprintf(os.Stderr, "tacobench: aggregate Table 1 speedup %.2fx, counter overhead %.2fx\n",
+		rep.AggregateSpeedup, rep.AggregateCounterOverhead)
 
 	w := os.Stdout
 	if *out != "-" {
@@ -104,63 +134,86 @@ func main() {
 	if err := enc.Encode(rep); err != nil {
 		fatal(err)
 	}
+	if *guard > 0 && rep.AggregateCounterOverhead > *guard {
+		fatal(fmt.Errorf("counter overhead %.2fx exceeds the %.2fx guard",
+			rep.AggregateCounterOverhead, *guard))
+	}
 }
 
-// measureCell benchmarks one cell on both paths and checks the
-// cycle-identity invariant.
+// measureCell benchmarks one cell on all three paths and checks the
+// cycle- and latency-identity invariants across them.
 func measureCell(kind rtable.Kind, cfg fu.Config, entries, packets, runs int) (cellRecord, error) {
 	rec := cellRecord{Kind: kind.String(), Config: cfg.Name}
-	var cycles [2]float64
-	for mode := 0; mode < 2; mode++ {
-		compiled := mode == 1
+	var cycles [3]float64
+	var p99s [3]int64
+	for mode := 0; mode < 3; mode++ {
+		compiled := mode >= 1
+		observe := mode == 2
 		ns := make([]int64, 0, runs)
 		var allocs int64
 		for r := 0; r < runs; r++ {
-			res, cyc, err := benchOnce(kind, cfg, entries, packets, compiled)
+			res, cyc, lat, err := benchOnce(kind, cfg, entries, packets, compiled, observe)
 			if err != nil {
 				return rec, err
 			}
 			ns = append(ns, res.NsPerOp())
 			allocs = res.AllocsPerOp()
 			cycles[mode] = cyc
+			p99s[mode] = lat.P99
+			if mode == 0 {
+				rec.LatencyP50, rec.LatencyP90 = lat.P50, lat.P90
+				rec.LatencyP99, rec.LatencyP999 = lat.P99, lat.P999
+			}
 		}
 		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
 		med := ns[len(ns)/2]
-		if compiled {
-			rec.CompiledNsOp, rec.CompiledAllocsOp = med, allocs
-		} else {
+		switch mode {
+		case 0:
 			rec.InterpretedNsOp, rec.InterpretedAllocsOp = med, allocs
+		case 1:
+			rec.CompiledNsOp, rec.CompiledAllocsOp = med, allocs
+		case 2:
+			rec.CompiledObsNsOp, rec.CompiledObsAllocsOp = med, allocs
 		}
 	}
-	if cycles[0] != cycles[1] {
-		return rec, fmt.Errorf("cycles/packet diverged: interpreted %v, compiled %v", cycles[0], cycles[1])
+	if cycles[0] != cycles[1] || cycles[0] != cycles[2] {
+		return rec, fmt.Errorf("cycles/packet diverged: interpreted %v, compiled %v, compiled+obs %v",
+			cycles[0], cycles[1], cycles[2])
+	}
+	if p99s[0] != p99s[1] || p99s[0] != p99s[2] {
+		return rec, fmt.Errorf("latency p99 diverged: interpreted %d, compiled %d, compiled+obs %d",
+			p99s[0], p99s[1], p99s[2])
 	}
 	rec.CyclesPerPacket = cycles[0]
 	rec.Speedup = round2(float64(rec.InterpretedNsOp) / float64(rec.CompiledNsOp))
+	rec.CounterOverhead = round2(float64(rec.CompiledObsNsOp) / float64(rec.CompiledNsOp))
 	return rec, nil
 }
 
 // benchOnce runs the exact BenchmarkTable1 batch (reset-reuse, one
 // batch per iteration) under testing.Benchmark.
-func benchOnce(kind rtable.Kind, cfg fu.Config, entries, packets int, compiled bool) (testing.BenchmarkResult, float64, error) {
+func benchOnce(kind rtable.Kind, cfg fu.Config, entries, packets int, compiled, observe bool) (testing.BenchmarkResult, float64, obs.LatencyPercentiles, error) {
 	routes := workload.GenerateRoutes(workload.TableSpec{Entries: entries, Ifaces: 4, Seed: 2003})
 	tbl := rtable.New(kind)
 	if err := rtable.InsertAll(tbl, routes); err != nil {
-		return testing.BenchmarkResult{}, 0, err
+		return testing.BenchmarkResult{}, 0, obs.LatencyPercentiles{}, err
 	}
 	spec := workload.PaperTrafficSpec(packets)
 	spec.MissRatio = 0.05
 	pkts, err := workload.GenerateTraffic(routes, spec)
 	if err != nil {
-		return testing.BenchmarkResult{}, 0, err
+		return testing.BenchmarkResult{}, 0, obs.LatencyPercentiles{}, err
 	}
 	tr, err := router.NewTACO(cfg, tbl, 4)
 	if err != nil {
-		return testing.BenchmarkResult{}, 0, err
+		return testing.BenchmarkResult{}, 0, obs.LatencyPercentiles{}, err
+	}
+	if observe {
+		tr.Machine.AttachCounters()
 	}
 	if compiled {
 		if err := tr.UseCompiled(); err != nil {
-			return testing.BenchmarkResult{}, 0, err
+			return testing.BenchmarkResult{}, 0, obs.LatencyPercentiles{}, err
 		}
 	}
 	budget := int64(packets) * int64(entries+64) * 64
@@ -179,9 +232,9 @@ func benchOnce(kind rtable.Kind, cfg fu.Config, entries, packets int, compiled b
 		}
 	})
 	if runErr != nil {
-		return res, 0, runErr
+		return res, 0, obs.LatencyPercentiles{}, runErr
 	}
-	return res, tr.CyclesPerPacket(), nil
+	return res, tr.CyclesPerPacket(), tr.LatencyHist().Percentiles(), nil
 }
 
 func round2(v float64) float64 {

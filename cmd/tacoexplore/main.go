@@ -20,8 +20,10 @@
 // Common flags: -packets, -entries, -seed, -workers, -json (structured
 // metrics with per-FU counters on stdout), -compiled (simulate through
 // the compiled fast path; Table 1 results are spot-checked against the
-// interpreter), -progress (live engine progress on stderr),
-// -cpuprofile/-memprofile.
+// interpreter), -progress (live engine progress with a running p99 of
+// per-instance evaluation time on stderr), -hist (merged latency
+// histogram summary on stderr), -metrics-out (aggregated Prometheus
+// text exposition), -cpuprofile/-memprofile.
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 	"taco/internal/dse"
 	"taco/internal/estimate"
 	"taco/internal/fu"
+	"taco/internal/obs"
 	"taco/internal/rtable"
 )
 
@@ -55,7 +58,10 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit per-instance metrics (with counters) as JSON on stdout")
 		compiled = flag.Bool("compiled", false,
 			"simulate through the compiled fast path (bit-identical, several times faster); Table 1 runs are spot-checked against the interpreter")
-		progress  = flag.Bool("progress", false, "report live engine progress on stderr")
+		progress   = flag.Bool("progress", false, "report live engine progress on stderr")
+		hist       = flag.Bool("hist", false, "print the merged per-packet latency histogram summary on stderr")
+		metricsOut = flag.String("metrics-out", "",
+			"write the run's aggregated Prometheus text exposition to this file")
 		tableKind = flag.String("table-kind", "seq,tree,cam,multibit",
 			"largetable sweep: comma-separated table kinds")
 		tableSize = flag.String("table-size", "10000,100000,1000000",
@@ -80,9 +86,8 @@ func main() {
 	// The JSON export is the consumer of the fine-grained counters, so
 	// -json switches them on for every simulated instance.
 	sim.Observe = *jsonOut
-	// -compiled composes with everything; with -json's counters attached
-	// the fast path defers to the interpreter per its contract, so the
-	// combination is valid but gains nothing.
+	// -compiled composes with everything: counters are recorded natively
+	// by the fast path, so -compiled -json keeps the compiled speedup.
 	sim.Compiled = *compiled
 
 	ctx := context.Background()
@@ -94,8 +99,10 @@ func main() {
 		*table1 = true // default action
 	}
 
+	exp := obsExport{hist: *hist, metricsOut: *metricsOut}
+
 	if *table1 {
-		if err := runTable1(ctx, cons, sim, *workers, *jsonOut); err != nil {
+		if err := runTable1(ctx, cons, sim, *workers, *jsonOut, exp); err != nil {
 			fatal(err)
 		}
 	}
@@ -105,16 +112,51 @@ func main() {
 		}
 	}
 	if *auto {
-		if err := runAuto(ctx, cons, sim, *workers, *jsonOut); err != nil {
+		if err := runAuto(ctx, cons, sim, *workers, *jsonOut, exp); err != nil {
 			fatal(err)
 		}
 	}
 	if *sweep != "" {
 		lt := largeOpts{kinds: *tableKind, sizes: *tableSize, churn: *churn}
-		if err := runSweep(ctx, *sweep, cons, sim, *workers, *jsonOut, lt); err != nil {
+		if err := runSweep(ctx, *sweep, cons, sim, *workers, *jsonOut, lt, exp); err != nil {
 			fatal(err)
 		}
 	}
+}
+
+// obsExport carries the -hist/-metrics-out requests to whichever action
+// ran, which hands its evaluated instances to emit.
+type obsExport struct {
+	hist       bool
+	metricsOut string
+}
+
+// emit renders the merged latency summary (stderr) and/or the aggregated
+// Prometheus exposition (file) over the run's evaluated instances.
+func (e obsExport) emit(source string, ms []core.Metrics) error {
+	if e.hist {
+		h := &obs.LatencyHist{}
+		for _, m := range ms {
+			h.Merge(m.LatencyHist)
+		}
+		p := h.Percentiles()
+		fmt.Fprintf(os.Stderr,
+			"tacoexplore: latency over %d packets (%d instances): p50 %d, p90 %d, p99 %d, p99.9 %d cycles\n",
+			h.Count(), len(ms), p.P50, p.P90, p.P99, p.P999)
+	}
+	if e.metricsOut != "" {
+		f, err := os.Create(e.metricsOut)
+		if err != nil {
+			return err
+		}
+		snap := dse.PromSnapshot(map[string]string{"source": source}, ms)
+		if err := obs.WriteProm(f, snap); err != nil {
+			f.Close()
+			return fmt.Errorf("metrics-out: %w", err)
+		}
+		return f.Close()
+	}
+	return nil
 }
 
 // largeOpts carries the raw -table-kind/-table-size/-churn flags into
@@ -168,7 +210,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func runTable1(ctx context.Context, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool) error {
+func runTable1(ctx context.Context, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool, exp obsExport) error {
 	if !jsonOut {
 		fmt.Printf("Table 1 — estimated minimum clock frequencies, areas and power\n")
 		fmt.Printf("constraint: %.0f Gbps, %d-byte datagrams (%.2f Mpps), %d-entry table, %s\n\n",
@@ -179,13 +221,18 @@ func runTable1(ctx context.Context, cons core.Constraints, sim core.SimOptions, 
 	if err != nil {
 		return err
 	}
-	if sim.Compiled && !sim.Observe {
+	if sim.Compiled {
 		// Spot-check the compiled results: replay every third cell with
-		// the interpreter and require field-for-field identity.
+		// the interpreter and require field-for-field identity. With
+		// counters attached (-json) the check also covers the occupancy,
+		// utilization and latency fields they derive.
 		if err := dse.ReplayInterpreted(ctx, dse.Table1Instances(cons, sim), ms, 3, workers); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "tacoexplore: compiled results spot-checked against the interpreter")
+	}
+	if err := exp.emit("table1", ms); err != nil {
+		return err
 	}
 	if jsonOut {
 		return dse.WriteMetricsJSON(os.Stdout, ms)
@@ -219,19 +266,22 @@ func runCAMPower(ctx context.Context, cons core.Constraints, sim core.SimOptions
 	return nil
 }
 
-func runAuto(ctx context.Context, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool) error {
+func runAuto(ctx context.Context, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool, exp obsExport) error {
 	res, err := dse.ExploreCtx(ctx, cons, sim, 4, 3, workers)
 	if err != nil {
 		return err
 	}
+	ranked := make([]core.Metrics, len(res.Ranked))
+	for i, c := range res.Ranked {
+		ranked[i] = c.Metrics
+	}
+	if err := exp.emit("auto", ranked); err != nil {
+		return err
+	}
 	if jsonOut {
-		ms := make([]core.Metrics, len(res.Ranked))
-		for i, c := range res.Ranked {
-			ms[i] = c.Metrics
-		}
 		fmt.Fprintf(os.Stderr, "tacoexplore: %d instances evaluated, %d pruned\n",
 			res.Evaluated, res.Pruned)
-		return dse.WriteMetricsJSON(os.Stdout, ms)
+		return dse.WriteMetricsJSON(os.Stdout, ranked)
 	}
 	fmt.Printf("automated exploration: %d instances evaluated, %d pruned\n",
 		res.Evaluated, res.Pruned)
@@ -256,9 +306,10 @@ func runAuto(ctx context.Context, cons core.Constraints, sim core.SimOptions, wo
 	return nil
 }
 
-func runSweep(ctx context.Context, which string, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool, lt largeOpts) error {
-	// With -json every sweep collects its points (all kinds concatenated;
-	// each point's Kind/Config identifies it) and exports one array.
+func runSweep(ctx context.Context, which string, cons core.Constraints, sim core.SimOptions, workers int, jsonOut bool, lt largeOpts, exp obsExport) error {
+	// Every sweep collects its points (all kinds concatenated; each
+	// point's Kind/Config identifies it) for the -json array and the
+	// -hist/-metrics-out aggregation.
 	var jsonPts []dse.Point
 	switch which {
 	case "tablesize":
@@ -291,8 +342,8 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 			if err != nil {
 				return err
 			}
+			jsonPts = append(jsonPts, pts...)
 			if jsonOut {
-				jsonPts = append(jsonPts, pts...)
 				continue
 			}
 			fmt.Printf("bus sweep, %s:\n", kind)
@@ -313,8 +364,8 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 		if err != nil {
 			return err
 		}
+		jsonPts = append(jsonPts, pts...)
 		if jsonOut {
-			jsonPts = append(jsonPts, pts...)
 			break
 		}
 		fmt.Printf("packet-size sweep (%s, CAM):\n", cfg.Name)
@@ -332,8 +383,8 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 			if err != nil {
 				return err
 			}
+			jsonPts = append(jsonPts, pts...)
 			if jsonOut {
-				jsonPts = append(jsonPts, pts...)
 				continue
 			}
 			fmt.Printf("replication sweep, %s (3 buses):\n", kind)
@@ -364,8 +415,8 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 		if err != nil {
 			return err
 		}
+		jsonPts = append(jsonPts, pts...)
 		if jsonOut {
-			jsonPts = append(jsonPts, pts...)
 			break
 		}
 		fmt.Println("large-table sweep (1BUS/1FU, model-based: anchored cycles + measured probes + table SRAM):")
@@ -399,6 +450,15 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 		}
 	default:
 		return fmt.Errorf("unknown sweep %q", which)
+	}
+	ok := make([]core.Metrics, 0, len(jsonPts))
+	for _, p := range jsonPts {
+		if p.Err == "" {
+			ok = append(ok, p.Metrics)
+		}
+	}
+	if err := exp.emit("sweep-"+which, ok); err != nil {
+		return err
 	}
 	if jsonOut {
 		return dse.WriteJSON(os.Stdout, jsonPts)

@@ -38,16 +38,19 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "tree", "routing table: sequential | tree | cam")
-		config    = flag.String("config", "3bus1fu", "architecture: 1bus | 3bus1fu | 3bus3fu")
-		packets   = flag.Int("packets", 200, "datagrams to forward")
-		entries   = flag.Int("entries", 100, "routing-table entries")
-		ifaces    = flag.Int("ifaces", 4, "network interfaces")
-		seed      = flag.Uint64("seed", 2003, "workload seed")
-		verify    = flag.Bool("verify", true, "cross-check against the golden router")
-		prof      = flag.Bool("profile", false, "print per-region cycle attribution (bottleneck analysis)")
-		soak      = flag.Bool("soak", false, "run differential fault campaigns (golden vs TACO) instead of one batch")
-		campaigns = flag.Int("soak-campaigns", 8, "campaigns per -soak run")
+		table      = flag.String("table", "tree", "routing table: sequential | tree | cam")
+		config     = flag.String("config", "3bus1fu", "architecture: 1bus | 3bus1fu | 3bus3fu")
+		packets    = flag.Int("packets", 200, "datagrams to forward")
+		entries    = flag.Int("entries", 100, "routing-table entries")
+		ifaces     = flag.Int("ifaces", 4, "network interfaces")
+		seed       = flag.Uint64("seed", 2003, "workload seed")
+		verify     = flag.Bool("verify", true, "cross-check against the golden router")
+		prof       = flag.Bool("profile", false, "print per-region cycle attribution (bottleneck analysis)")
+		soak       = flag.Bool("soak", false, "run differential fault campaigns (golden vs TACO) instead of one batch")
+		campaigns  = flag.Int("soak-campaigns", 8, "campaigns per -soak run")
+		hist       = flag.Bool("hist", false, "print the per-packet latency histogram")
+		metricsOut = flag.String("metrics-out", "",
+			"write Prometheus text exposition to this file (also on stall)")
 	)
 	var pprofFlags cliutil.Profiling
 	pprofFlags.RegisterFlags(flag.CommandLine)
@@ -105,6 +108,12 @@ func main() {
 	if inj != nil {
 		tr.EnableDropAudit()
 	}
+	var ctrs *obs.Counters
+	if *metricsOut != "" {
+		// Counters are native on both step paths now, so the scrape
+		// costs almost nothing.
+		ctrs = tr.Machine.AttachCounters()
+	}
 	var prf *profile.Profile
 	if *prof {
 		prf = profile.New(tr.Sched.Program)
@@ -126,6 +135,13 @@ func main() {
 		if errors.As(err, &stall) {
 			fmt.Fprintln(os.Stderr, "tacoroute: forwarding stalled; machine state:")
 			fmt.Fprintln(os.Stderr, stall.Dump())
+		}
+		// A stalled run still gets its scrape: the stall-attribution
+		// counters are exactly what the operator wants to see.
+		if *metricsOut != "" {
+			if merr := writeMetrics(*metricsOut, tr, ctrs, kind, cfg); merr != nil {
+				fmt.Fprintln(os.Stderr, "tacoroute:", merr)
+			}
 		}
 		fatal(err)
 	}
@@ -197,6 +213,14 @@ func main() {
 		fmt.Printf("  latency (cycles, store->transmit): min %d, mean %.0f, p99 %d, max %d\n",
 			lat.MinCycles, lat.MeanCycles, lat.P99Cycles, lat.MaxCycles)
 	}
+	if *hist {
+		printHist(tr.LatencyHist())
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut, tr, ctrs, kind, cfg); err != nil {
+			fatal(err)
+		}
+	}
 
 	if *verify {
 		if err := crossCheck(kind, routes, pkts, outs, *ifaces); err != nil {
@@ -207,6 +231,54 @@ func main() {
 	if prf != nil {
 		fmt.Printf("\ncycle attribution (bottleneck analysis):\n%s", prf.String())
 	}
+}
+
+// printHist renders the latency histogram as an indented bucket table
+// with the extracted percentiles.
+func printHist(h *obs.LatencyHist) {
+	p := h.Percentiles()
+	fmt.Printf("  latency histogram: %d samples, p50 %d, p90 %d, p99 %d, p99.9 %d cycles\n",
+		h.Count(), p.P50, p.P90, p.P99, p.P999)
+	h.ForEachBucket(func(high, count int64) {
+		fmt.Printf("    <= %7d cycles  %d\n", high, count)
+	})
+}
+
+// writeMetrics renders the router's full observability state — counters,
+// drops, stall attribution, latency histogram — as Prometheus text
+// exposition.
+func writeMetrics(path string, tr *router.TACO, ctrs *obs.Counters, kind rtable.Kind, cfg fu.Config) error {
+	var drops obs.DropCounters
+	for _, qs := range tr.QueueStats() {
+		drops.Merge(qs.Drops)
+	}
+	units := tr.Machine.Units()
+	names := make([]string, len(units))
+	for u, unit := range units {
+		names[u] = unit.Name()
+	}
+	snap := obs.MetricSnapshot{
+		Labels:          map[string]string{"config": cfg.Name, "table": fmt.Sprint(kind)},
+		Cycles:          tr.Machine.Stats().Cycles,
+		Packets:         tr.Units.IPPU.Popped(),
+		CyclesPerPacket: tr.CyclesPerPacket(),
+		Counters:        ctrs,
+		UnitNames:       names,
+		SocketNames:     tr.Machine.SocketNames(),
+		Drops:           &drops,
+		SchedStalls:     tr.SchedStalls(),
+		Stalls:          tr.WatchdogStalls(),
+		Latency:         tr.LatencyHist(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteProm(f, snap); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return f.Close()
 }
 
 func crossCheck(kind rtable.Kind, routes []rtable.Route, pkts []workload.Packet,

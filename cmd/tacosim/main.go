@@ -8,7 +8,9 @@
 //	tacosim -f prog.s [-config 1bus] [-trace] [-max 100000] [-read gpr.r0,gpr.r1]
 //	tacosim -f prog.s -trace-out trace.json   # open in ui.perfetto.dev
 //	tacosim -f prog.s -json                   # machine-readable run metrics
-//	tacosim -f prog.s -compiled               # compiled fast path (no counters)
+//	tacosim -f prog.s -compiled               # compiled fast path (counters included)
+//	tacosim -f prog.s -metrics-out metrics.prom   # Prometheus text exposition
+//	tacosim -f prog.s -stat-every 10000       # periodic NDJSON stats on stderr
 package main
 
 import (
@@ -34,9 +36,11 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event JSON file (Perfetto)")
 		jsonOut  = flag.Bool("json", false, "emit run metrics as JSON instead of text")
 		compiled = flag.Bool("compiled", false,
-			"run through the compiled fast path (bit-identical; per-unit counters unavailable)")
-		maxCy = flag.Int64("max", 1_000_000, "cycle budget")
-		read  = flag.String("read", "", "comma-separated result/register sockets to print after the run")
+			"run through the compiled fast path (bit-identical, counters recorded natively)")
+		maxCy      = flag.Int64("max", 1_000_000, "cycle budget")
+		read       = flag.String("read", "", "comma-separated result/register sockets to print after the run")
+		metricsOut = flag.String("metrics-out", "", "write Prometheus text exposition to this file (also on stall)")
+		statEvery  = flag.Int64("stat-every", 0, "emit an NDJSON stat event on stderr every N cycles")
 	)
 	var prof cliutil.Profiling
 	prof.RegisterFlags(flag.CommandLine)
@@ -76,12 +80,9 @@ func main() {
 		fatal(err)
 	}
 
-	// The counters live in the interpreter; attaching them would make the
-	// compiled path delegate every cycle, so -compiled leaves them off.
-	var ctrs *obs.Counters
-	if !*compiled {
-		ctrs = m.AttachCounters()
-	}
+	// Counters are recorded natively by both step paths — the compiled
+	// fast path no longer delegates for them — so they are always on.
+	ctrs := m.AttachCounters()
 
 	// Compose the requested trace sinks: the human-readable stdout trace
 	// and/or the Chrome trace-event stream.
@@ -111,25 +112,48 @@ func main() {
 		}
 	}
 
-	var cycles int64
+	// step advances the machine by up to n cycles through the selected
+	// path; the budget/stat loop around it is shared.
+	var step func(n int64) (int64, error)
 	if *compiled {
 		cm, cerr := tta.Compile(m)
 		if cerr != nil {
 			fatal(cerr)
 		}
-		cycles, err = cm.Run(*maxCy)
+		step = func(n int64) (int64, error) { return cm.RunToPC(-1, n) }
 	} else {
-		cycles, err = m.Run(*maxCy)
+		step = func(n int64) (int64, error) {
+			var i int64
+			for ; i < n && !m.Halted(); i++ {
+				if err := m.Step(); err != nil {
+					return i, err
+				}
+			}
+			return i, nil
+		}
+	}
+	var ev *obs.EventWriter
+	if *statEvery > 0 {
+		ev = obs.NewEventWriter(os.Stderr)
+	}
+	cycles, err := runSliced(m, step, *maxCy, *statEvery, ev)
+
+	// Emit every requested artifact before judging the run: a stalled
+	// program still deserves a loadable trace and a metrics scrape.
+	if tw != nil {
+		if cerr := tw.Close(); cerr != nil {
+			fatal(fmt.Errorf("trace-out: %w", cerr))
+		}
+		fmt.Fprintf(os.Stderr, "tacosim: wrote %d trace events to %s\n", tw.Events(), *traceOut)
+	}
+	if *metricsOut != "" {
+		if merr := writeMetrics(*metricsOut, m, ctrs); merr != nil {
+			fatal(merr)
+		}
 	}
 	if err != nil {
 		dumpStall(m, cycles)
 		fatal(err)
-	}
-	if tw != nil {
-		if err := tw.Close(); err != nil {
-			fatal(fmt.Errorf("trace-out: %w", err))
-		}
-		fmt.Fprintf(os.Stderr, "tacosim: wrote %d trace events to %s\n", tw.Events(), *traceOut)
 	}
 
 	if *jsonOut {
@@ -162,6 +186,79 @@ func main() {
 			fmt.Printf("  %-12s = %d (0x%08x)\n", name, v, v)
 		}
 	}
+}
+
+// runSliced drives step to halt within maxCy cycles, in slices of
+// `every` cycles when stat events are requested. The budget check
+// matches Machine.Run / CompiledMachine.Run exactly (tested before each
+// slice), so the failure mode and message are identical to an unsliced
+// run.
+func runSliced(m *tta.Machine, step func(int64) (int64, error), maxCy, every int64, ev *obs.EventWriter) (int64, error) {
+	start := m.Stats().Cycles
+	for !m.Halted() {
+		done := m.Stats().Cycles - start
+		if maxCy >= 0 && done >= maxCy {
+			return done, fmt.Errorf("tta: exceeded %d cycles (pc=%d)", maxCy, m.PC())
+		}
+		slice := int64(1) << 62
+		if maxCy >= 0 {
+			slice = maxCy - done
+		}
+		if every > 0 && every < slice {
+			slice = every
+		}
+		if _, err := step(slice); err != nil {
+			return m.Stats().Cycles - start, err
+		}
+		if ev != nil && !m.Halted() {
+			emitStat(ev, m, start, "stat")
+		}
+	}
+	if ev != nil {
+		emitStat(ev, m, start, "done")
+		if err := ev.Flush(); err != nil {
+			return m.Stats().Cycles - start, fmt.Errorf("stat-every: %w", err)
+		}
+	}
+	return m.Stats().Cycles - start, nil
+}
+
+func emitStat(ev *obs.EventWriter, m *tta.Machine, start int64, event string) {
+	st := m.Stats()
+	ev.Emit(obs.StatEvent{
+		Event:          event,
+		Cycles:         st.Cycles - start,
+		PC:             m.PC(),
+		MovesExecuted:  st.MovesExecuted,
+		BusUtilization: st.BusUtilization(),
+	})
+}
+
+// writeMetrics renders the machine's observability state as Prometheus
+// text exposition. tacosim runs compute programs — there is no
+// per-packet latency — so the latency families expose an empty
+// histogram; tacoroute fills them with real data.
+func writeMetrics(path string, m *tta.Machine, ctrs *obs.Counters) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(m.Units()))
+	for u, unit := range m.Units() {
+		names[u] = unit.Name()
+	}
+	snap := obs.MetricSnapshot{
+		Labels:      map[string]string{"config": m.Name()},
+		Cycles:      m.Stats().Cycles,
+		Counters:    ctrs,
+		UnitNames:   names,
+		SocketNames: m.SocketNames(),
+	}
+	if err := obs.WriteProm(f, snap); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return f.Close()
 }
 
 // dumpStall prints the machine state at the moment a run died — the
@@ -228,7 +325,8 @@ func emitJSON(m *tta.Machine, ctrs *obs.Counters, read string) error {
 		MovesExecuted:  st.MovesExecuted,
 		BusUtilization: st.BusUtilization(),
 	}
-	// Counter-derived sections are omitted under -compiled (ctrs nil).
+	// Counters are attached on both step paths, so these sections are
+	// present under -compiled too.
 	if ctrs != nil {
 		for b := 0; b < m.Buses(); b++ {
 			out.BusOccupancy = append(out.BusOccupancy, ctrs.BusOccupancy(b))

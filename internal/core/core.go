@@ -104,6 +104,30 @@ type Metrics struct {
 	// something was actually discarded.
 	Drops map[string]int64 `json:",omitempty"`
 
+	// Per-packet store-to-transmit latency, in machine cycles, from the
+	// postprocessing unit's records folded into a log-bucketed histogram
+	// (obs.LatencyHist). Always populated — recording costs nothing the
+	// simulation wasn't already paying — so tail latency is visible in
+	// every export, not only under SimOptions.Observe.
+	LatencyCount int64 `json:",omitempty"`
+	LatencyP50   int64 `json:",omitempty"`
+	LatencyP90   int64 `json:",omitempty"`
+	LatencyP99   int64 `json:",omitempty"`
+	LatencyP999  int64 `json:",omitempty"`
+	// LatencyHist is the full histogram behind the percentile fields, for
+	// callers that merge across instances or export it (obs.WriteProm).
+	// Excluded from JSON so exported rows stay flat; the percentiles
+	// above are the serialized view.
+	LatencyHist *obs.LatencyHist `json:"-"`
+
+	// SchedStalls is the scheduler's static hazard attribution for the
+	// forwarding program: cycles moves waited beyond their block floor,
+	// by cause (obs.StallCause names). Deterministic per instance. The
+	// dynamic half of the taxonomy — watchdog charges — lives on the
+	// router (TACO.WatchdogStalls) and in StallError.Cause, since a
+	// stalled run never produces a Metrics row.
+	SchedStalls map[string]int64 `json:",omitempty"`
+
 	// Fine-grained observability. LineCards (per-card queue counters,
 	// index Config-ifaces is the host card) is always populated;
 	// FUUtilization and BusOccupancy require SimOptions.Observe, which
@@ -146,9 +170,9 @@ type SimOptions struct {
 	// Compiled runs the simulation through the compiled fast path
 	// (tta.Compile): the forwarding program is pre-lowered into a
 	// specialized step function that is bit-identical to the interpreter
-	// but several times faster. With Observe set the fast path defers to
-	// the interpreter (the counters live there), so Compiled+Observe
-	// costs interpreter speed. Off by default.
+	// but several times faster. Counters (Observe) are recorded natively
+	// by the fast path, so Compiled+Observe keeps the compiled speedup;
+	// only a trace sink forces interpreter speed. Off by default.
 	Compiled bool `json:",omitempty"`
 
 	// MaxCyclesPerPacket overrides the watchdog's cycle budget (budget =
@@ -242,6 +266,16 @@ func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) 
 	}
 	if drops.Total() > 0 {
 		m.Drops = drops.Map()
+	}
+	m.LatencyHist = tr.LatencyHist()
+	if m.LatencyHist.Count() > 0 {
+		p := m.LatencyHist.Percentiles()
+		m.LatencyCount = m.LatencyHist.Count()
+		m.LatencyP50, m.LatencyP90 = p.P50, p.P90
+		m.LatencyP99, m.LatencyP999 = p.P99, p.P999
+	}
+	if st := tr.SchedStalls(); st.Total() > 0 {
+		m.SchedStalls = st.Map()
 	}
 	if ctrs != nil {
 		units := tr.Machine.Units()

@@ -3,6 +3,7 @@ package dse
 import (
 	"bytes"
 	"encoding/csv"
+	"strconv"
 	"testing"
 
 	"taco/internal/core"
@@ -186,5 +187,26 @@ func TestWriteCSV(t *testing.T) {
 	}
 	if len(rows) != 10 {
 		t.Fatalf("%d metric rows", len(rows))
+	}
+	// The latency percentile columns ride along on every export, and a
+	// simulated run always records per-packet latencies, so p50..p99.9
+	// must be present, nondecreasing and nonzero.
+	cols := map[string]int{}
+	for i, name := range rows[0] {
+		cols[name] = i
+	}
+	for _, name := range []string{"latency_p50", "latency_p90", "latency_p99", "latency_p999"} {
+		if _, ok := cols[name]; !ok {
+			t.Fatalf("CSV header missing %q: %v", name, rows[0])
+		}
+	}
+	for _, row := range rows[1:] {
+		p50, _ := strconv.ParseInt(row[cols["latency_p50"]], 10, 64)
+		p99, _ := strconv.ParseInt(row[cols["latency_p99"]], 10, 64)
+		p999, _ := strconv.ParseInt(row[cols["latency_p999"]], 10, 64)
+		if p50 <= 0 || p99 < p50 || p999 < p99 {
+			t.Errorf("latency percentiles malformed in row %v: p50=%d p99=%d p99.9=%d",
+				row[:3], p50, p99, p999)
+		}
 	}
 }

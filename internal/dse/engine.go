@@ -10,6 +10,7 @@ import (
 
 	"taco/internal/core"
 	"taco/internal/fu"
+	"taco/internal/obs"
 	"taco/internal/rtable"
 )
 
@@ -90,12 +91,19 @@ func WithProgress(ctx context.Context, fn func(ProgressReport)) context.Context 
 
 // ProgressPrinter returns a progress callback rendering a live one-line
 // meter ("\r"-rewritten, newline-terminated on completion) to w —
-// typically os.Stderr, keeping stdout clean for data exports.
+// typically os.Stderr, keeping stdout clean for data exports. The p99
+// figure is the running 99th percentile of per-instance evaluation time,
+// folded through an obs.LatencyHist at microsecond resolution — the
+// callback is serialized by the engine, so the histogram needs no lock.
 func ProgressPrinter(w io.Writer) func(ProgressReport) {
+	var wallHist obs.LatencyHist
 	return func(r ProgressReport) {
-		fmt.Fprintf(w, "\r[%d/%d] %.1f inst/s, last %v (%s), ETA %v   ",
+		wallHist.Record(r.InstanceWall.Microseconds())
+		p99 := time.Duration(wallHist.Quantile(0.99)) * time.Microsecond
+		fmt.Fprintf(w, "\r[%d/%d] %.1f inst/s, last %v (%s), p99 %v, ETA %v   ",
 			r.Done, r.Total, r.Rate(),
 			r.InstanceWall.Round(time.Millisecond), r.Label,
+			p99.Round(time.Millisecond),
 			r.ETA().Round(time.Second))
 		if r.Done == r.Total {
 			fmt.Fprintln(w)

@@ -9,10 +9,14 @@ import (
 	"taco/internal/core"
 )
 
-// csvHeader is the column set shared by all sweep exports.
+// csvHeader is the column set shared by all sweep exports. The latency
+// columns carry the per-packet store-to-transmit percentiles in machine
+// cycles; model-based (scaled) instances have no per-packet records and
+// export zeros there.
 var csvHeader = []string{
 	"x", "kind", "config", "cycles_per_packet", "bus_utilization",
 	"required_clock_hz", "area_mm2", "power_w", "clock_feasible", "acceptable",
+	"latency_p50", "latency_p90", "latency_p99", "latency_p999",
 	"err",
 }
 
@@ -103,6 +107,10 @@ func metricsRow(x float64, m core.Metrics, errStr string) []string {
 		fmt.Sprintf("%.3f", m.Est.PowerW),
 		fmt.Sprintf("%t", m.ClockFeasible),
 		fmt.Sprintf("%t", m.Acceptable() && errStr == ""),
+		fmt.Sprintf("%d", m.LatencyP50),
+		fmt.Sprintf("%d", m.LatencyP90),
+		fmt.Sprintf("%d", m.LatencyP99),
+		fmt.Sprintf("%d", m.LatencyP999),
 		errStr,
 	}
 }

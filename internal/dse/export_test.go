@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"strings"
 	"testing"
 
 	"taco/internal/core"
@@ -75,10 +77,14 @@ func TestJSONExportShape(t *testing.T) {
 		t.Errorf("Kind = %v, want the kind's name %q", row["Kind"], m.Kind.String())
 	}
 	for _, key := range []string{"CyclesPerPacket", "BusUtilization", "RequiredClockHz",
-		"Acceptable", "FUUtilization", "BusOccupancy", "LineCards"} {
+		"Acceptable", "FUUtilization", "BusOccupancy", "LineCards",
+		"LatencyCount", "LatencyP50", "LatencyP99", "LatencyP999"} {
 		if _, ok := row[key]; !ok {
 			t.Errorf("export missing %q", key)
 		}
+	}
+	if p50, p99 := row["LatencyP50"].(float64), row["LatencyP99"].(float64); p50 <= 0 || p99 < p50 {
+		t.Errorf("latency percentiles malformed: p50=%v p99=%v", p50, p99)
 	}
 	fus, ok := row["FUUtilization"].([]any)
 	if !ok || len(fus) == 0 {
@@ -94,5 +100,41 @@ func TestJSONExportShape(t *testing.T) {
 	// X is a sweep-only field and must be omitted for plain metrics rows.
 	if _, ok := row["X"]; ok {
 		t.Error("metrics export carries a sweep X value")
+	}
+}
+
+// TestWritePromPoints: a sweep (including a latency histogram per
+// instance) folds into one valid Prometheus document, with failed
+// points contributing nothing.
+func TestWritePromPoints(t *testing.T) {
+	pts, err := SweepBuses(rtable.CAM, 2, core.PaperConstraints(), testSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts = append(pts, Point{Err: "synthetic failure"})
+	var buf bytes.Buffer
+	if err := WritePromPoints(&buf, map[string]string{"sweep": "buses-cam"}, pts); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{
+		`taco_packets_total{sweep="buses-cam"} 32`, // 2 instances x 16 packets
+		"taco_latency_cycles_count",
+		"taco_sched_stall_cycles_total",
+		`taco_latency_quantile_cycles{sweep="buses-cam",quantile="0.99"} `,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("sweep exposition missing %q in:\n%s", want, doc)
+		}
+	}
+	// The merged histogram must carry every instance's records.
+	var total int64
+	for _, p := range pts {
+		if p.Err == "" {
+			total += p.Metrics.LatencyCount
+		}
+	}
+	if total == 0 || !strings.Contains(doc, fmt.Sprintf("taco_latency_cycles_count{sweep=\"buses-cam\"} %d", total)) {
+		t.Errorf("merged latency count %d not exposed", total)
 	}
 }

@@ -1,0 +1,44 @@
+package dse
+
+import (
+	"io"
+
+	"taco/internal/core"
+	"taco/internal/obs"
+)
+
+// PromSnapshot folds evaluated instances into a single obs.MetricSnapshot
+// for Prometheus text exposition: packet and cycle totals are summed,
+// per-packet latency histograms merged, and scheduler stall attribution
+// accumulated by cause. Per-bus/per-unit counter families are omitted —
+// those are per-machine shapes that do not aggregate across a sweep of
+// heterogeneous instances; use tacosim -metrics-out for the single-
+// instance view.
+func PromSnapshot(labels map[string]string, ms []core.Metrics) obs.MetricSnapshot {
+	s := obs.MetricSnapshot{Labels: labels, Latency: &obs.LatencyHist{}}
+	for _, m := range ms {
+		s.Packets += int64(m.PacketsRun)
+		s.Cycles += int64(m.CyclesPerPacket*float64(m.PacketsRun) + 0.5)
+		s.Latency.Merge(m.LatencyHist)
+		for c := obs.StallCause(0); c < obs.NumStallCauses; c++ {
+			s.SchedStalls.AddN(c, m.SchedStalls[c.String()])
+		}
+	}
+	if s.Packets > 0 {
+		s.CyclesPerPacket = float64(s.Cycles) / float64(s.Packets)
+	}
+	return s
+}
+
+// WritePromPoints renders sweep points as Prometheus text exposition via
+// PromSnapshot. Failed points contribute nothing (their Metrics carry no
+// run results), so a degraded sweep still exports cleanly.
+func WritePromPoints(w io.Writer, labels map[string]string, points []Point) error {
+	ms := make([]core.Metrics, 0, len(points))
+	for _, p := range points {
+		if p.Err == "" {
+			ms = append(ms, p.Metrics)
+		}
+	}
+	return obs.WriteProm(w, PromSnapshot(labels, ms))
+}

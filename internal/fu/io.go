@@ -248,9 +248,13 @@ func (u *IPPU) Write(local int, v uint32) {
 	u.tpop.write(v)
 }
 
-// maxInflight bounds the descriptor queue so DMA cannot indefinitely
-// outrun the forwarding program.
-const maxInflight = 64
+// MaxInflight bounds the descriptor queue so DMA cannot indefinitely
+// outrun the forwarding program. Exported so the router's stall
+// classifier can recognize a full queue as backpressure.
+const MaxInflight = 64
+
+// maxInflight is the internal alias used by the queue logic.
+const maxInflight = MaxInflight
 
 func (u *IPPU) Clock() error {
 	u.now++
@@ -460,6 +464,9 @@ type OPPU struct {
 	sent      int64
 	now       int64
 	latencies []int64
+	// latIfaces parallels latencies with the output interface of each
+	// sent datagram, so per-card latency histograms can be rebuilt.
+	latIfaces []int32
 
 	// SeqLookup, when set, recovers the workload sequence number for a
 	// sent datagram (wired to IPPU.SeqAt by the machine builder).
@@ -534,6 +541,7 @@ func (u *OPPU) Clock() error {
 		if u.StoredCycleLookup != nil {
 			if at, ok := u.StoredCycleLookup(u.optr.cur); ok {
 				u.latencies = append(u.latencies, u.now-at)
+				u.latIfaces = append(u.latIfaces, int32(ifc))
 			}
 		}
 	}
@@ -548,6 +556,7 @@ func (u *OPPU) Reset() {
 	u.sent = 0
 	u.now = 0
 	u.latencies = u.latencies[:0] // keep capacity for the next batch
+	u.latIfaces = u.latIfaces[:0]
 }
 
 // HazardClass marks the postprocessing unit as a data-memory client: its
@@ -593,4 +602,13 @@ func (u *OPPU) Sent() int64 { return u.sent }
 // cycles, one per sent datagram, in transmit order.
 func (u *OPPU) Latencies() []int64 {
 	return append([]int64(nil), u.latencies...)
+}
+
+// LatencyRecords calls fn for every recorded latency with its output
+// interface, in transmit order, without copying — the feed for
+// per-interface latency histograms.
+func (u *OPPU) LatencyRecords(fn func(iface int, cycles int64)) {
+	for i, l := range u.latencies {
+		fn(int(u.latIfaces[i]), l)
+	}
 }

@@ -65,6 +65,11 @@ type Stats struct {
 	Drops obs.DropCounters
 }
 
+// Backlog returns the datagrams still waiting in the input queue — the
+// signal the router's watchdog reads to classify a stall as queue
+// backpressure.
+func (s Stats) Backlog() int64 { return s.Received - s.Consumed }
+
 // MaxQueue bounds each queue; a full input queue drops (as real cards
 // do under overload).
 const MaxQueue = 4096

@@ -1,15 +1,21 @@
 // Package obs is the simulator's observability layer: fine-grained
-// execution counters and a Chrome trace-event writer, both designed to
-// cost nothing when disabled. The paper's methodology co-analyses
-// simulation observables (cycles/datagram, bus utilization); this
-// package extends those aggregates to per-bus, per-unit and per-socket
-// resolution so a bottleneck can be *located*, not just measured.
+// execution counters, an HDR-style latency histogram (LatencyHist), a
+// stall/hazard attribution taxonomy (StallCounters), a Chrome
+// trace-event writer, and text exposition in Prometheus (WriteProm) and
+// NDJSON (EventWriter) formats — all designed to cost nothing when
+// disabled and almost nothing when on. The paper's methodology
+// co-analyses simulation observables (cycles/datagram, bus
+// utilization); this package extends those aggregates to per-bus,
+// per-unit, per-socket and per-percentile resolution so a bottleneck
+// can be *located*, not just measured.
 //
 // The package depends only on the standard library plus the shared
 // ipv6 drop taxonomy (DropCounters). The machine model
-// (internal/tta) holds an optional *Counters sink and feeds it from the
-// execution loop behind a single nil check; internal/tta also provides
-// the adapter that streams its trace records into a TraceWriter.
+// (internal/tta) holds an optional *Counters sink and feeds it from
+// both step paths — the interpreter and the compiled fast path each
+// record natively behind a single nil check, so attaching counters no
+// longer costs the compiled speedup; internal/tta also provides the
+// adapter that streams its trace records into a TraceWriter.
 package obs
 
 // Counters accumulates per-component activity for one machine. All

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"taco/internal/ipv6"
+)
+
+// MetricSnapshot is one machine's (or one merged sweep's) observability
+// state, bundled for text exposition. Every field is optional: nil
+// sections are skipped, except the latency histogram and the stall
+// families, which are always emitted (empty histograms and zero causes
+// included) so scrapers see a stable schema.
+type MetricSnapshot struct {
+	// Labels are attached to every exposed sample (e.g. config, kind).
+	Labels map[string]string
+
+	// Cycles is the executed cycle count (falls back to Counters.Cycles
+	// when zero and counters are present).
+	Cycles int64
+	// Packets and CyclesPerPacket describe the forwarding workload; both
+	// are omitted when zero (compute-only runs).
+	Packets         int64
+	CyclesPerPacket float64
+
+	// Counters plus the machine's unit/socket names for labeling. The
+	// name slices may be shorter than the counter slices; missing names
+	// fall back to the index.
+	Counters    *Counters
+	UnitNames   []string
+	SocketNames []string
+
+	Drops       *DropCounters
+	SchedStalls StallCounters // static (schedule-time) hazard charges
+	Stalls      StallCounters // dynamic (run-time/watchdog) charges
+	Latency     *LatencyHist
+}
+
+// promQuantiles is the fixed quantile set exposed per histogram.
+var promQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.9", 0.90},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promWriter renders one exposition document with deterministic
+// ordering: fixed family order, index-ordered series, sorted labels.
+type promWriter struct {
+	w    *bufio.Writer
+	base string // pre-rendered base labels ("k=\"v\",…" or "")
+}
+
+func newPromWriter(w io.Writer, labels map[string]string) *promWriter {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(labels[k]))
+	}
+	return &promWriter{w: bufio.NewWriter(w), base: b.String()}
+}
+
+// head writes the HELP/TYPE preamble for a family.
+func (p *promWriter) head(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// sample writes one sample line; extra is an optional pre-escaped
+// "key=\"value\"" pair appended to the base labels.
+func (p *promWriter) sample(name, extra string, value any) {
+	labels := p.base
+	if extra != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extra
+	}
+	if labels != "" {
+		name += "{" + labels + "}"
+	}
+	switch v := value.(type) {
+	case int64:
+		fmt.Fprintf(p.w, "%s %d\n", name, v)
+	case float64:
+		fmt.Fprintf(p.w, "%s %g\n", name, v)
+	default:
+		fmt.Fprintf(p.w, "%s %v\n", name, v)
+	}
+}
+
+func (p *promWriter) label(key, val string) string {
+	return fmt.Sprintf("%s=\"%s\"", key, escapeLabel(val))
+}
+
+// WriteProm renders the snapshot in Prometheus/OpenMetrics text
+// exposition format. The byte stream is deterministic for a given
+// snapshot, so differential tests may compare documents directly.
+func WriteProm(w io.Writer, s MetricSnapshot) error {
+	p := newPromWriter(w, s.Labels)
+
+	cycles := s.Cycles
+	if cycles == 0 && s.Counters != nil {
+		cycles = s.Counters.Cycles
+	}
+	p.head("taco_cycles_total", "Executed machine cycles.", "counter")
+	p.sample("taco_cycles_total", "", cycles)
+	if s.Packets > 0 {
+		p.head("taco_packets_total", "Datagrams processed.", "counter")
+		p.sample("taco_packets_total", "", s.Packets)
+	}
+	if s.CyclesPerPacket > 0 {
+		p.head("taco_cycles_per_packet", "Mean cycles per datagram.", "gauge")
+		p.sample("taco_cycles_per_packet", "", s.CyclesPerPacket)
+	}
+
+	if c := s.Counters; c != nil {
+		p.head("taco_bus_encoded_total", "Slots carrying an encoded move, per bus.", "counter")
+		for b, v := range c.BusEncoded {
+			p.sample("taco_bus_encoded_total", p.label("bus", fmt.Sprint(b)), v)
+		}
+		p.head("taco_bus_executed_total", "Moves whose guard held, per bus.", "counter")
+		for b, v := range c.BusExecuted {
+			p.sample("taco_bus_executed_total", p.label("bus", fmt.Sprint(b)), v)
+		}
+		p.head("taco_bus_occupancy", "Fraction of cycles the bus carried a move.", "gauge")
+		for b := range c.BusEncoded {
+			p.sample("taco_bus_occupancy", p.label("bus", fmt.Sprint(b)), c.BusOccupancy(b))
+		}
+		unitName := func(u int) string {
+			if u < len(s.UnitNames) {
+				return s.UnitNames[u]
+			}
+			return fmt.Sprint(u)
+		}
+		p.head("taco_fu_triggers_total", "Operations started, per functional unit.", "counter")
+		for u, v := range c.UnitTriggers {
+			p.sample("taco_fu_triggers_total", p.label("unit", unitName(u)), v)
+		}
+		p.head("taco_fu_results_total", "Result-socket reads, per functional unit.", "counter")
+		for u, v := range c.UnitResults {
+			p.sample("taco_fu_results_total", p.label("unit", unitName(u)), v)
+		}
+		p.head("taco_fu_utilization", "Fraction of cycles the unit was triggered.", "gauge")
+		for u := range c.UnitTriggers {
+			p.sample("taco_fu_utilization", p.label("unit", unitName(u)), c.UnitUtilization(u))
+		}
+		sockName := func(i int) string {
+			if i < len(s.SocketNames) {
+				return s.SocketNames[i]
+			}
+			return fmt.Sprint(i)
+		}
+		p.head("taco_socket_reads_total", "Executed moves by source socket (nonzero only).", "counter")
+		for i, v := range c.SocketReads {
+			if v != 0 {
+				p.sample("taco_socket_reads_total", p.label("socket", sockName(i)), v)
+			}
+		}
+		p.head("taco_socket_writes_total", "Executed moves by destination socket (nonzero only).", "counter")
+		for i, v := range c.SocketWrites {
+			if v != 0 {
+				p.sample("taco_socket_writes_total", p.label("socket", sockName(i)), v)
+			}
+		}
+	}
+
+	if d := s.Drops; d != nil {
+		p.head("taco_drops_total", "Discarded datagrams by reason (nonzero only).", "counter")
+		for r := ipv6.DropNone + 1; r < ipv6.NumDropReasons; r++ {
+			if d[r] != 0 {
+				p.sample("taco_drops_total", p.label("reason", r.String()), d[r])
+			}
+		}
+	}
+
+	// Stall families always carry every cause, zeros included, so the
+	// attribution schema is stable for scrapers and diffs.
+	p.head("taco_sched_stall_cycles_total",
+		"Cycles moves waited in the static schedule, by hazard cause.", "counter")
+	for r := StallCause(0); r < NumStallCauses; r++ {
+		p.sample("taco_sched_stall_cycles_total", p.label("cause", r.String()), s.SchedStalls[r])
+	}
+	p.head("taco_stall_cycles_total",
+		"Cycles charged by the run-time watchdog, by cause.", "counter")
+	for r := StallCause(0); r < NumStallCauses; r++ {
+		p.sample("taco_stall_cycles_total", p.label("cause", r.String()), s.Stalls[r])
+	}
+
+	// The latency histogram is always exposed, even when empty.
+	h := s.Latency
+	if h == nil {
+		h = &LatencyHist{}
+	}
+	p.head("taco_latency_cycles", "Per-packet latency, in machine cycles.", "histogram")
+	var cum int64
+	h.ForEachBucket(func(high, count int64) {
+		cum += count
+		p.sample("taco_latency_cycles_bucket", p.label("le", fmt.Sprint(high)), cum)
+	})
+	p.sample("taco_latency_cycles_bucket", p.label("le", "+Inf"), h.Count())
+	p.sample("taco_latency_cycles_sum", "", h.Sum())
+	p.sample("taco_latency_cycles_count", "", h.Count())
+	p.head("taco_latency_quantile_cycles", "Per-packet latency quantiles, in machine cycles.", "gauge")
+	for _, q := range promQuantiles {
+		p.sample("taco_latency_quantile_cycles", p.label("quantile", q.label), h.Quantile(q.q))
+	}
+
+	return p.w.Flush()
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestStallCauseNames(t *testing.T) {
+	want := map[StallCause]string{
+		StallBusConflict:       "bus-conflict",
+		StallSocketHazard:      "socket-hazard",
+		StallFUBusy:            "fu-busy",
+		StallQueueBackpressure: "queue-backpressure",
+		StallWatchdog:          "watchdog",
+	}
+	if len(want) != int(NumStallCauses) {
+		t.Fatalf("taxonomy drifted: %d causes, test covers %d", NumStallCauses, len(want))
+	}
+	seen := map[string]bool{}
+	for c, name := range want {
+		if got := c.String(); got != name {
+			t.Errorf("cause %d: name %q, want %q", c, got, name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate cause name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := NumStallCauses.String(); got != "unknown" {
+		t.Errorf("out-of-range cause name %q, want %q", got, "unknown")
+	}
+}
+
+func TestStallCountersAddMergeTotal(t *testing.T) {
+	var c StallCounters
+	c.Add(StallBusConflict)
+	c.Add(StallBusConflict)
+	c.AddN(StallQueueBackpressure, 7)
+	c.Add(NumStallCauses) // out of range: dropped, not a panic
+	c.AddN(NumStallCauses+3, 100)
+	if got := c.Total(); got != 9 {
+		t.Fatalf("Total = %d, want 9", got)
+	}
+	var o StallCounters
+	o.AddN(StallBusConflict, 3)
+	o.AddN(StallWatchdog, 1)
+	c.Merge(o)
+	if c[StallBusConflict] != 5 || c[StallQueueBackpressure] != 7 || c[StallWatchdog] != 1 {
+		t.Fatalf("merge produced %v", c)
+	}
+	if got := c.Total(); got != 13 {
+		t.Fatalf("Total after merge = %d, want 13", got)
+	}
+	wantMap := map[string]int64{"bus-conflict": 5, "queue-backpressure": 7, "watchdog": 1}
+	got := c.Map()
+	if len(got) != len(wantMap) {
+		t.Fatalf("Map = %v, want %v", got, wantMap)
+	}
+	for k, v := range wantMap {
+		if got[k] != v {
+			t.Fatalf("Map[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestStallCountersJSONRoundTrip: the wire form is the nonzero
+// cause-name map, deterministic bytes, unknown keys ignored on read.
+func TestStallCountersJSONRoundTrip(t *testing.T) {
+	var c StallCounters
+	c.AddN(StallSocketHazard, 42)
+	c.AddN(StallFUBusy, 1)
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"fu-busy":1,"socket-hazard":42}`; string(b) != want {
+		t.Fatalf("marshal = %s, want %s", b, want)
+	}
+	var back StallCounters
+	back.Add(StallWatchdog) // pre-dirty: Unmarshal must fully overwrite
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Fatalf("round trip: %v != %v", back, c)
+	}
+	if err := json.Unmarshal([]byte(`{"no-such-cause":9,"fu-busy":2}`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[StallFUBusy] != 2 || back.Total() != 2 {
+		t.Fatalf("unknown key handling: %v", back)
+	}
+	var empty StallCounters
+	b, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{}` {
+		t.Fatalf("empty counters marshal = %s, want {}", b)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"taco/internal/linecard"
+	"taco/internal/obs"
 	"taco/internal/tta"
 )
 
@@ -39,6 +40,25 @@ type StallError struct {
 	// Sockets is the visible machine state: every result and register
 	// socket's latched value.
 	Sockets []tta.SocketSnapshot
+	// Cause is the watchdog's classification of the stall, derived
+	// deterministically from the captured state (so the compiled and
+	// interpreted paths report the same cause): queue backpressure when
+	// descriptors or card input were still in flight, plain watchdog
+	// otherwise (e.g. a control-flow loop).
+	Cause obs.StallCause
+}
+
+// classifyStall derives the stall cause from the watchdog's snapshot.
+func classifyStall(queueLen int, cards []linecard.Stats) obs.StallCause {
+	if queueLen > 0 {
+		return obs.StallQueueBackpressure
+	}
+	for _, c := range cards {
+		if c.Backlog() > 0 {
+			return obs.StallQueueBackpressure
+		}
+	}
+	return obs.StallWatchdog
 }
 
 func (e *StallError) Error() string {
@@ -53,15 +73,15 @@ func (e *StallError) Is(target error) bool { return target == ErrStall }
 // multi-line report for CLI diagnostics.
 func (e *StallError) Dump() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "stall after %d cycles (budget %d): pc %d, popped %d of %d, %d descriptors queued\n",
-		e.Cycles, e.MaxCycles, e.PC, e.Popped, e.Expected, e.QueueLen)
+	fmt.Fprintf(&b, "stall after %d cycles (budget %d): pc %d, popped %d of %d, %d descriptors queued, cause %s\n",
+		e.Cycles, e.MaxCycles, e.PC, e.Popped, e.Expected, e.QueueLen, e.Cause)
 	for i, c := range e.Cards {
 		name := fmt.Sprintf("card %d", i)
 		if i == len(e.Cards)-1 {
 			name = "host card"
 		}
 		fmt.Fprintf(&b, "  %s: in-queue %d (rx %d, consumed %d), out written %d, drops in/out %d/%d\n",
-			name, c.Received-c.Consumed, c.Received, c.Consumed, c.Transmitted, c.DroppedIn, c.DroppedOut)
+			name, c.Backlog(), c.Received, c.Consumed, c.Transmitted, c.DroppedIn, c.DroppedOut)
 	}
 	for _, s := range e.Sockets {
 		fmt.Fprintf(&b, "  %-16s %-8s 0x%08x\n", s.Name, s.Kind, s.Value)

@@ -7,6 +7,7 @@ import (
 	"taco/internal/fu"
 	"taco/internal/ipv6"
 	"taco/internal/linecard"
+	"taco/internal/obs"
 	"taco/internal/program"
 	"taco/internal/rtable"
 	"taco/internal/sched"
@@ -41,6 +42,11 @@ type TACO struct {
 	// drops can be attributed to a DropReason after the run; nil (the
 	// default) costs one pointer check per Deliver.
 	audit *dropAudit
+
+	// stalls accumulates the watchdog's per-cause cycle charges: every
+	// budget-exhausted run charges its cycles to the classified cause.
+	// Reset clears it with the rest of the router state.
+	stalls obs.StallCounters
 }
 
 // NewTACO builds the processor for cfg over tbl, generates and loads the
@@ -68,9 +74,11 @@ func NewTACO(cfg fu.Config, tbl rtable.Table, ifaces int) (*TACO, error) {
 // UseCompiled switches Run to the compiled fast path: the loaded
 // forwarding program is pre-lowered once (tta.Compile) and every
 // subsequent cycle executes through the specialized step function.
-// Observable behavior — cycles, stalls, socket and queue state — is
-// bit-identical to the interpreter; with counters or tracing attached
-// the compiled step itself falls back to the interpreter.
+// Observable behavior — cycles, stalls, socket and queue state, and
+// attached obs counters — is bit-identical to the interpreter; counters
+// are recorded natively by the fast path, so observation no longer
+// costs the compiled speedup. Only a trace sink makes the compiled
+// step delegate to the interpreter.
 func (t *TACO) UseCompiled() error {
 	cm, err := tta.Compile(t.Machine)
 	if err != nil {
@@ -83,6 +91,17 @@ func (t *TACO) UseCompiled() error {
 // Compiled reports whether Run executes through the compiled fast path.
 func (t *TACO) Compiled() bool { return t.compiled != nil }
 
+// DelegatedCycles reports how many cycles the compiled fast path handed
+// back to the interpreter (0 when not compiled). Only a trace sink
+// forces delegation; counters are recorded natively, so a
+// counters-only run must report 0.
+func (t *TACO) DelegatedCycles() int64 {
+	if t.compiled == nil {
+		return 0
+	}
+	return t.compiled.DelegatedCycles()
+}
+
 // Reset returns the router to its power-on state — units, statistics,
 // line-card queues — with the forwarding program still loaded, so the
 // same instance can process batch after batch without rebuilding the
@@ -90,8 +109,9 @@ func (t *TACO) Compiled() bool { return t.compiled != nil }
 // capacity is retained, making the steady-state simulate loop
 // allocation-free apart from the datagram payloads themselves.
 func (t *TACO) Reset() {
-	t.Machine.Reset()
-	t.Bank.Reset()
+	t.Machine.Reset() // also zeroes attached obs counters
+	t.Bank.Reset()    // also zeroes card stats incl. high-water marks
+	t.stalls = obs.StallCounters{}
 	if t.audit != nil {
 		t.audit.entries = t.audit.entries[:0]
 		t.audit.unexplained = 0
@@ -133,7 +153,7 @@ func (t *TACO) Run(expected int64, maxCycles int64) error {
 	start := t.Machine.Stats().Cycles
 	for {
 		if cycles := t.Machine.Stats().Cycles - start; cycles > maxCycles {
-			return &StallError{
+			se := &StallError{
 				MaxCycles: maxCycles,
 				Cycles:    cycles,
 				PC:        t.Machine.PC(),
@@ -143,6 +163,9 @@ func (t *TACO) Run(expected int64, maxCycles int64) error {
 				Cards:     t.QueueStats(),
 				Sockets:   t.Machine.SnapshotSockets(),
 			}
+			se.Cause = classifyStall(se.QueueLen, se.Cards)
+			t.stalls.AddN(se.Cause, cycles)
+			return se
 		}
 		// Cheapest-first, most-selective-first: the machine is only back
 		// at its poll loop (pc == mainAddr) for a few cycles per packet,
@@ -218,6 +241,40 @@ func (t *TACO) Latency() LatencySummary {
 		P99Cycles:  p99,
 	}
 }
+
+// LatencyHist builds the per-packet latency histogram (store-to-
+// transmit, in machine cycles) from the postprocessing unit's records.
+// It equals the element-wise merge of IfaceLatencyHists.
+func (t *TACO) LatencyHist() *obs.LatencyHist {
+	h := &obs.LatencyHist{}
+	t.Units.OPPU.LatencyRecords(func(_ int, cycles int64) { h.Record(cycles) })
+	return h
+}
+
+// IfaceLatencyHists builds one latency histogram per line card, in
+// interface order (index Ifaces() is the host card) — the per-card view
+// that merges exactly into LatencyHist.
+func (t *TACO) IfaceLatencyHists() []*obs.LatencyHist {
+	hs := make([]*obs.LatencyHist, t.Bank.Len())
+	for i := range hs {
+		hs[i] = &obs.LatencyHist{}
+	}
+	t.Units.OPPU.LatencyRecords(func(iface int, cycles int64) {
+		if iface >= 0 && iface < len(hs) {
+			hs[iface].Record(cycles)
+		}
+	})
+	return hs
+}
+
+// WatchdogStalls returns the accumulated per-cause watchdog charges:
+// the cycles of every budget-exhausted run since the last Reset,
+// attributed to the classified stall cause.
+func (t *TACO) WatchdogStalls() obs.StallCounters { return t.stalls }
+
+// SchedStalls returns the scheduler's static hazard attribution for the
+// loaded forwarding program.
+func (t *TACO) SchedStalls() obs.StallCounters { return t.Sched.Stalls }
 
 // QueueStats returns every line card's queue counters in interface
 // order; index Ifaces() is the host card. The counters expose drops and

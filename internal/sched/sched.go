@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"taco/internal/isa"
+	"taco/internal/obs"
 	"taco/internal/tta"
 )
 
@@ -71,6 +72,11 @@ type Result struct {
 	MovesIn, MovesOut int
 	// Cycles is the scheduled instruction count (static cycles).
 	Cycles int
+	// Stalls attributes, per hazard cause, the cycles moves had to wait
+	// beyond their block floor before they could be placed — the static
+	// half of the stall taxonomy (the router's watchdog charges the
+	// dynamic half). Deterministic for a given (program, target).
+	Stalls obs.StallCounters
 }
 
 // Compile optimizes and schedules prog for t. The input program is
@@ -92,16 +98,15 @@ func Compile(prog *isa.Program, t Target, opt Options) (*Result, error) {
 			optimizeBlock(&blocks[i], t, opt)
 		}
 	}
-	out, err := schedule(blocks, t)
+	res := &Result{MovesIn: movesIn}
+	out, err := schedule(blocks, t, &res.Stalls)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
-		Program:  out,
-		MovesIn:  movesIn,
-		MovesOut: out.MoveCount(),
-		Cycles:   len(out.Ins),
-	}, nil
+	res.Program = out
+	res.MovesOut = out.MoveCount()
+	res.Cycles = len(out.Ins)
+	return res, nil
 }
 
 // block is a run of moves with no incoming control transfers except at

@@ -4,12 +4,16 @@ import (
 	"fmt"
 
 	"taco/internal/isa"
+	"taco/internal/obs"
 	"taco/internal/tta"
 )
 
 // schedule list-schedules each block's moves onto t's buses and splices
-// the blocks into a program, relocating labels and jump targets.
-func schedule(blocks []block, t Target) (*isa.Program, error) {
+// the blocks into a program, relocating labels and jump targets. stalls,
+// when non-nil, accumulates per-cause hazard attribution: the cycles
+// each move waited beyond its block floor, charged to the constraint
+// that bound it.
+func schedule(blocks []block, t Target, stalls *obs.StallCounters) (*isa.Program, error) {
 	buses := t.Buses()
 	out := isa.NewProgram()
 
@@ -20,6 +24,7 @@ func schedule(blocks []block, t Target) (*isa.Program, error) {
 	var patches []patch
 
 	scratch := newBlockScratch(t)
+	scratch.stalls = stalls
 	for _, blk := range blocks {
 		base := len(out.Ins)
 		for _, l := range blk.labels {
@@ -66,6 +71,8 @@ type blockScratch struct {
 	lastResultRead []int // unit -> last result-socket read cycle
 	lastGuardRead  []int // unit -> last guard (signal) read cycle
 	lastHazard     map[string]int
+	// stalls, when non-nil, receives per-cause hazard attribution.
+	stalls *obs.StallCounters
 }
 
 func newBlockScratch(t Target) *blockScratch {
@@ -145,65 +152,62 @@ func scheduleBlock(blk block, t Target, buses int, s *blockScratch) ([]isa.Instr
 	for _, fm := range blk.moves {
 		m := fm.m
 		e := floor
+		// cause remembers which constraint last raised e — the binding
+		// hazard the wait below floor+0 is charged to. Data availability
+		// through units (results, signals, trigger ordering, pipeline
+		// hazard classes) is fu-busy; register/operand/socket dependences
+		// are socket-hazard.
+		cause := obs.StallFUBusy
+		raise := func(to int, cz obs.StallCause) {
+			if to > e {
+				e = to
+				cause = cz
+			}
+		}
 
 		for _, g := range m.Guard.Terms {
 			if u, ok := t.SignalUnit(g.Signal); ok {
-				if c := get(s.lastTrigger, u); c >= 0 && c+1 > e {
-					e = c + 1
-				}
+				raise(get(s.lastTrigger, u)+1, obs.StallFUBusy)
 			}
 		}
 		if !m.Src.Imm {
 			switch kindOf(t, m.Src.Socket) {
 			case tta.Register:
-				if c := getS(s.lastWrite, m.Src.Socket); c >= 0 && c+1 > e {
-					e = c + 1
-				}
+				raise(getS(s.lastWrite, m.Src.Socket)+1, obs.StallSocketHazard)
 			case tta.Result:
 				if u, ok := t.SocketUnit(m.Src.Socket); ok {
-					if c := get(s.lastTrigger, u); c >= 0 && c+1 > e {
-						e = c + 1
-					}
+					raise(get(s.lastTrigger, u)+1, obs.StallFUBusy)
 				}
 			}
 		}
 		// Destination constraints.
-		if c := getS(s.lastWrite, m.Dst); c >= 0 && c+1 > e {
-			e = c + 1 // WAW: distinct cycles
-		}
+		raise(getS(s.lastWrite, m.Dst)+1, obs.StallSocketHazard) // WAW: distinct cycles
 		dstKind := kindOf(t, m.Dst)
 		dstUnit, _ := t.SocketUnit(m.Dst)
 		switch dstKind {
 		case tta.Register:
-			if c := getS(s.lastRegRead, m.Dst); c > e {
-				e = c // WAR: same cycle allowed
-			}
+			raise(getS(s.lastRegRead, m.Dst), obs.StallSocketHazard) // WAR: same cycle allowed
 		case tta.Trigger:
-			if c := get(s.lastTrigger, dstUnit); c >= 0 && c+1 > e {
-				e = c + 1
-			}
+			raise(get(s.lastTrigger, dstUnit)+1, obs.StallFUBusy)
 			if h := t.UnitHazardClass(dstUnit); h != "" {
-				if c, ok := s.lastHazard[h]; ok && c+1 > e {
-					e = c + 1
+				if c, ok := s.lastHazard[h]; ok {
+					raise(c+1, obs.StallFUBusy)
 				}
 			}
 			for _, o := range t.UnitOperandSockets(dstUnit) {
-				if c := getS(s.lastWrite, o); c > e {
-					e = c // operand write may share the trigger's cycle
-				}
+				// An operand write may share the trigger's cycle.
+				raise(getS(s.lastWrite, o), obs.StallSocketHazard)
 			}
-			if c := get(s.lastResultRead, dstUnit); c > e {
-				e = c
-			}
-			if c := get(s.lastGuardRead, dstUnit); c > e {
-				e = c
-			}
+			raise(get(s.lastResultRead, dstUnit), obs.StallFUBusy)
+			raise(get(s.lastGuardRead, dstUnit), obs.StallFUBusy)
 		case tta.Operand:
 			if dstUnit >= 0 {
-				if c := get(s.lastTrigger, dstUnit); c >= 0 && c+1 > e {
-					e = c + 1 // operand for the next trigger: after the last one
-				}
+				// Operand for the next trigger: after the last one.
+				raise(get(s.lastTrigger, dstUnit)+1, obs.StallFUBusy)
 			}
+		}
+		if st := s.stalls; st != nil && e > floor {
+			st.AddN(cause, int64(e-floor))
 		}
 		if fm.isJump || fm.isHalt {
 			if maxPlaced > e {
@@ -211,18 +215,34 @@ func scheduleBlock(blk block, t Target, buses int, s *blockScratch) ([]isa.Instr
 			}
 		}
 
-		// Find the first legal cycle ≥ e.
+		// Find the first legal cycle ≥ e. Each rejected probe is one more
+		// waited cycle: a full instruction word is a bus conflict, an
+		// occupied destination socket a socket hazard, a same-cycle
+		// trigger of the unit fu-busy.
 		c := e
 		for {
 			for len(cycles) <= c {
 				cycles = append(cycles, isa.Instruction{})
 			}
-			ok := slotCount(c) < buses && !writtenAt(c, m.Dst)
+			full := slotCount(c) >= buses
+			ok := !full && !writtenAt(c, m.Dst)
+			trigBusy := false
 			if ok && dstKind == tta.Trigger {
-				ok = !triggeredAt(c, dstUnit)
+				trigBusy = triggeredAt(c, dstUnit)
+				ok = !trigBusy
 			}
 			if ok {
 				break
+			}
+			if st := s.stalls; st != nil {
+				switch {
+				case full:
+					st.Add(obs.StallBusConflict)
+				case trigBusy:
+					st.Add(obs.StallFUBusy)
+				default:
+					st.Add(obs.StallSocketHazard)
+				}
 			}
 			c++
 		}

@@ -177,7 +177,8 @@ type cmove struct {
 	op      uint8
 	neg0    bool
 
-	// Fallback and error-path fields.
+	// Fallback and error-path fields. srcSock/srcResUnit are also read
+	// on the hot paths, but only when counters are attached.
 	guard    []cterm
 	srcUnit  Unit
 	dstUnit  Unit
@@ -185,6 +186,11 @@ type cmove struct {
 	srcLocal int32
 	dstLocal int32
 	sockIdx  int32 // destination SocketID-1 (conflict stamp index)
+	// Counter indices: srcSock is the source SocketID-1 (heatmap; valid
+	// when the source is a readable socket), srcResUnit the source unit
+	// when the source socket is a Result, else -1.
+	srcSock    int32
+	srcResUnit int32
 }
 
 // cins is one pre-lowered instruction: its moves are c.moves[start:end]
@@ -225,9 +231,14 @@ const (
 // identical values after every compiled cycle, and the two step paths
 // may be interleaved freely.
 //
-// When counters or a trace sink are attached to the machine, stepping
-// delegates to the interpreter, which carries the observability hooks;
-// the fast path stays zero-cost when observability is off.
+// Counters are native: when a *obs.Counters is attached the fast path
+// records per-bus occupancy, per-FU trigger/result counts and the
+// socket heatmap itself, at the same points and in the same order as
+// the interpreter, so compiled-with-counters is bit-identical to
+// interpreted-with-counters — and still compiled. Only a trace sink
+// forces delegation to the interpreter (trace records carry formatted
+// names the fast path never materializes); DelegatedCycles exposes how
+// many cycles took that path.
 type CompiledMachine struct {
 	m    *Machine
 	prog *isa.Program
@@ -270,6 +281,11 @@ type CompiledMachine struct {
 	lastCycles int64
 	resetGen   uint64
 	dirty      bool
+
+	// delegated counts cycles executed through the interpreter on our
+	// behalf (trace sink attached) — the no-fallback contract for
+	// counters asserts this stays zero.
+	delegated int64
 }
 
 // Compile lowers the machine's loaded program into a CompiledMachine.
@@ -342,7 +358,7 @@ func (c *CompiledMachine) lowerInstruction(pc int, in isa.Instruction) cins {
 	}
 	moves := make([]cmove, 0, len(in.Moves))
 	for bus, mv := range in.Moves {
-		cm := cmove{}
+		cm := cmove{srcResUnit: -1}
 		errs := &cmoveErrs{}
 		fail := false
 		if len(mv.Guard.Terms) > 0 {
@@ -396,6 +412,10 @@ func (c *CompiledMachine) lowerInstruction(pc int, in isa.Instruction) cins {
 					pc, bus, ref.name, ref.kind)
 			default:
 				cm.srcUnit, cm.srcLocal = m.units[ref.unit], int32(ref.local)
+				cm.srcSock = int32(mv.Src.Socket - 1)
+				if ref.kind == Result {
+					cm.srcResUnit = int32(ref.unit)
+				}
 				if sr, ok := cm.srcUnit.(SlotReader); ok {
 					cm.srcPtr = sr.ReadSlot(ref.local)
 				}
@@ -473,12 +493,39 @@ func (c *CompiledMachine) lowerInstruction(pc int, in isa.Instruction) cins {
 func (c *CompiledMachine) Machine() *Machine { return c.m }
 
 // Step executes one cycle through the pre-lowered schedule, mirroring
-// Machine.Step bit for bit. With counters or tracing attached it
-// delegates to the interpreter (the hooks live there); the next fast
-// cycle then rebuilds its idle-unit knowledge from scratch.
+// Machine.Step bit for bit — counters included. Only with a trace sink
+// attached does it delegate to the interpreter (the formatting hook
+// lives there); the next fast cycle then rebuilds its idle-unit
+// knowledge from scratch.
 func (c *CompiledMachine) Step() error {
 	_, err := c.RunToPC(-1, 1)
 	return err
+}
+
+// DelegatedCycles returns the number of cycles this compiled machine
+// executed through the interpreter instead of the fast path. Only a
+// trace sink forces delegation; with counters (or nothing) attached the
+// count stays zero — the differential tests pin that contract.
+func (c *CompiledMachine) DelegatedCycles() int64 { return c.delegated }
+
+// runInterpreted steps the interpreter on the compiled machine's
+// behalf — taken only when a trace sink is attached.
+func (c *CompiledMachine) runInterpreted(stopPC int, maxSteps int64) (int64, error) {
+	m := c.m
+	c.dirty = true
+	var executed int64
+	var err error
+	for executed < maxSteps && !m.halted {
+		if err = m.Step(); err != nil {
+			break
+		}
+		executed++
+		if stopPC >= 0 && m.pc == stopPC {
+			break
+		}
+	}
+	c.delegated += executed
+	return executed, err
 }
 
 // RunToPC executes up to maxSteps cycles, additionally stopping once
@@ -496,23 +543,11 @@ func (c *CompiledMachine) RunToPC(stopPC int, maxSteps int64) (int64, error) {
 	if m.prog != c.prog {
 		return 0, errors.New("tta: compiled machine is stale: program reloaded since Compile")
 	}
-	if m.Counters != nil || m.Trace != nil {
-		// Observability attached: the interpreter carries the hooks.
-		c.dirty = true
-		var executed int64
-		for executed < maxSteps {
-			if m.halted {
-				return executed, nil
-			}
-			if err := m.Step(); err != nil {
-				return executed, err
-			}
-			executed++
-			if stopPC >= 0 && m.pc == stopPC {
-				return executed, nil
-			}
-		}
-		return executed, nil
+	if m.Trace != nil {
+		// Tracing attached: the interpreter carries the formatting hook.
+		// Counters do NOT take this path — they are recorded natively by
+		// the loop below, at the interpreter's exact counting points.
+		return c.runInterpreted(stopPC, maxSteps)
 	}
 	if c.dirty || m.stats.Cycles != c.lastCycles || m.resetGen != c.resetGen {
 		// The machine was reset or stepped outside the fast path since
@@ -559,6 +594,13 @@ func (c *CompiledMachine) RunToPC(stopPC int, maxSteps int64) (int64, error) {
 	lags := c.lags
 	lastClock := c.lastClock
 	wakeSeen := c.wakeSeen
+	// Counters are recorded inline at the interpreter's exact counting
+	// points (see Machine.Step): encoded slots after guard evaluation,
+	// executed/read counts before destination validation, socket writes
+	// after the conflict check, triggers after the double-trigger check,
+	// cycles only for fully completed cycles. ctrs == nil is the common
+	// disabled case and costs one predictable branch per move.
+	ctrs := m.Counters
 
 loop:
 	for !halted && cycles < maxSteps {
@@ -586,6 +628,9 @@ loop:
 			fl := mv.flags
 			if fl&fGuarded != 0 && mv.flag0 != nil {
 				if *mv.flag0 == mv.neg0 {
+					if ctrs != nil {
+						ctrs.BusEncoded[mi-ci.start]++
+					}
 					continue // guard failed: move not executed
 				}
 				fl &^= fGuarded
@@ -596,6 +641,19 @@ loop:
 					val = *mv.srcPtr
 				} else {
 					val = mv.srcUnit.Read(int(mv.srcLocal))
+				}
+				if ctrs != nil {
+					bus := mi - ci.start
+					ctrs.BusEncoded[bus]++
+					ctrs.BusExecuted[bus]++
+					ctrs.SocketReads[mv.srcSock]++
+					if mv.srcResUnit >= 0 {
+						ctrs.UnitResults[mv.srcResUnit]++
+					}
+					ctrs.SocketWrites[mv.sockIdx]++
+					if mv.op == opTrigger {
+						ctrs.UnitTriggers[mv.unitIdx]++
+					}
 				}
 				if direct {
 					if mv.dstVal != nil {
@@ -612,6 +670,15 @@ loop:
 				continue
 			}
 			if fl == fImm {
+				if ctrs != nil {
+					bus := mi - ci.start
+					ctrs.BusEncoded[bus]++
+					ctrs.BusExecuted[bus]++
+					ctrs.SocketWrites[mv.sockIdx]++
+					if mv.op == opTrigger {
+						ctrs.UnitTriggers[mv.unitIdx]++
+					}
+				}
 				if direct {
 					if mv.dstVal != nil {
 						*mv.dstVal = mv.immVal
@@ -646,6 +713,9 @@ loop:
 					}
 				}
 				if !executed {
+					if ctrs != nil {
+						ctrs.BusEncoded[mi-ci.start]++
+					}
 					continue
 				}
 			}
@@ -661,6 +731,17 @@ loop:
 					val = mv.srcUnit.Read(int(mv.srcLocal))
 				}
 			}
+			if ctrs != nil {
+				bus := mi - ci.start
+				ctrs.BusEncoded[bus]++
+				ctrs.BusExecuted[bus]++
+				if mv.flags&fImm == 0 {
+					ctrs.SocketReads[mv.srcSock]++
+					if mv.srcResUnit >= 0 {
+						ctrs.UnitResults[mv.srcResUnit]++
+					}
+				}
+			}
 			if mv.op == opDstErr {
 				retErr = errors.New(mv.errs.dstErr)
 				break loop
@@ -672,6 +753,12 @@ loop:
 				}
 				m.wrStamp[mv.sockIdx] = stamp
 			}
+			if ctrs != nil {
+				// The interpreter counts the destination write after the
+				// conflict check but before the result-write / trigger
+				// errors, controller destinations included.
+				ctrs.SocketWrites[mv.sockIdx]++
+			}
 			switch mv.op {
 			case opWrite, opTrigger:
 				if mv.flags&fCheckTr != 0 {
@@ -680,6 +767,9 @@ loop:
 						break loop
 					}
 					m.trigStamp[mv.unitIdx] = stamp
+				}
+				if ctrs != nil && mv.op == opTrigger {
+					ctrs.UnitTriggers[mv.unitIdx]++
 				}
 				if direct {
 					if mv.dstVal != nil {
@@ -787,6 +877,11 @@ loop:
 	m.stats.SlotsTotal += cycles * int64(m.buses)
 	m.stats.SlotsEncoded += encoded
 	m.stats.MovesExecuted += moved
+	if ctrs != nil {
+		// Only fully completed cycles count, exactly as the interpreter
+		// increments Counters.Cycles after its units clock successfully.
+		ctrs.Cycles += cycles
+	}
 	c.active = active
 	c.lastCycles = m.stats.Cycles
 	if retErr != nil {

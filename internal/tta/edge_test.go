@@ -1,6 +1,7 @@
 package tta
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -8,7 +9,9 @@ import (
 )
 
 // stepBoth steps an interpreted machine and a compiled twin one cycle
-// and requires the same error text, halt flag, pc and statistics.
+// and requires the same error text, halt flag, pc, statistics and —
+// when both machines carry counters — identical counter state, every
+// cycle, including cycles that end in an error.
 func stepBoth(t *testing.T, mi, mc *Machine, cm *CompiledMachine, cyc int) (error, bool) {
 	t.Helper()
 	errI := mi.Step()
@@ -23,12 +26,24 @@ func stepBoth(t *testing.T, mi, mc *Machine, cm *CompiledMachine, cyc int) (erro
 		t.Fatalf("cycle %d: state differs: compiled halted=%t pc=%d %+v, interpreted halted=%t pc=%d %+v",
 			cyc, mc.Halted(), mc.PC(), mc.Stats(), mi.Halted(), mi.PC(), mi.Stats())
 	}
+	if mi.Counters != nil && mc.Counters != nil {
+		if !reflect.DeepEqual(mc.Counters, mi.Counters) {
+			t.Fatalf("cycle %d: counters differ:\ncompiled:    %+v\ninterpreted: %+v",
+				cyc, mc.Counters, mi.Counters)
+		}
+		if cm.DelegatedCycles() != 0 {
+			t.Fatalf("cycle %d: compiled machine delegated %d cycles to the interpreter with only counters attached",
+				cyc, cm.DelegatedCycles())
+		}
+	}
 	return errI, mi.Halted()
 }
 
 // runEdgeCase loads the program built by build on an interpreted and a
-// compiled test machine, runs both in lockstep until halt, error or the
-// cycle cap, and returns the interpreter's machine and final error.
+// compiled test machine, attaches counters to both (the compiled side
+// must record them natively, bit-identically), runs both in lockstep
+// until halt, error or the cycle cap, and returns the interpreter's
+// machine and final error.
 func runEdgeCase(t *testing.T, buses int, build func(m *Machine) *isa.Program) (*Machine, error) {
 	t.Helper()
 	mi, mc := newTestMachine(t, buses), newTestMachine(t, buses)
@@ -38,6 +53,8 @@ func runEdgeCase(t *testing.T, buses int, build func(m *Machine) *isa.Program) (
 	if err := mc.Load(build(mc)); err != nil {
 		t.Fatal(err)
 	}
+	mi.AttachCounters()
+	mc.AttachCounters()
 	cm, err := Compile(mc)
 	if err != nil {
 		t.Fatal(err)

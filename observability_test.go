@@ -1,0 +1,285 @@
+// Observability integration suite: the obs counters, latency
+// histograms and stall attribution seen through a whole router — on
+// both step paths, across resets, and on the failure paths (watchdog
+// stalls, truncated traces) where observability matters most.
+package taco_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/linecard"
+	"taco/internal/obs"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// TestCompiledCountersDifferential attaches obs counters to both step
+// paths on every Table 1 instance over the golden corpus (clean plus
+// fault-mutated traffic) and requires bit-identical counter state,
+// latency histograms and stall attribution — with the compiled side
+// never delegating a cycle to the interpreter.
+func TestCompiledCountersDifferential(t *testing.T) {
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 100, Ifaces: 4, Seed: 2003})
+	pkts := goldenCorpus(t, routes, 24)
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		for _, cfg := range fu.PaperConfigs(kind) {
+			kind, cfg := kind, cfg
+			t.Run(fmt.Sprintf("%s/%s", kind, cfg.Name), func(t *testing.T) {
+				trI := buildRouter(t, kind, cfg, routes)
+				trC := buildRouter(t, kind, cfg, routes)
+				cI := trI.Machine.AttachCounters()
+				cC := trC.Machine.AttachCounters()
+				if err := trC.UseCompiled(); err != nil {
+					t.Fatal(err)
+				}
+				for batch := 0; batch < 2; batch++ {
+					trI.Reset()
+					trC.Reset()
+					delivered := int64(0)
+					for j, p := range pkts {
+						if trI.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+							delivered++
+						}
+						trC.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq})
+					}
+					if err := trI.Run(delivered, 20_000_000); err != nil {
+						t.Fatalf("batch %d interpreted: %v", batch, err)
+					}
+					if err := trC.Run(delivered, 20_000_000); err != nil {
+						t.Fatalf("batch %d compiled: %v", batch, err)
+					}
+					if !reflect.DeepEqual(cC, cI) {
+						t.Fatalf("batch %d: counters differ:\ncompiled:    %+v\ninterpreted: %+v", batch, cC, cI)
+					}
+					if hI, hC := trI.LatencyHist(), trC.LatencyHist(); *hI != *hC {
+						t.Fatalf("batch %d: latency histograms differ", batch)
+					}
+					if got, want := trC.WatchdogStalls(), trI.WatchdogStalls(); got != want {
+						t.Fatalf("batch %d: watchdog stalls differ: compiled %v, interpreted %v", batch, got, want)
+					}
+					if got := trC.DelegatedCycles(); got != 0 {
+						t.Fatalf("batch %d: compiled path delegated %d cycles with only counters attached", batch, got)
+					}
+					if cC.Cycles == 0 || trC.LatencyHist().Count() == 0 {
+						t.Fatalf("batch %d: no activity recorded (cycles=%d, latencies=%d)",
+							batch, cC.Cycles, trC.LatencyHist().Count())
+					}
+				}
+			})
+		}
+	}
+}
+
+// obsRun pushes pkts through tr (counting only the deliveries the
+// cards accept — fault-mutated frames can be rejected at the door) and
+// returns the Run error.
+func obsRun(tr *router.TACO, pkts []workload.Packet, budget int64) error {
+	delivered := int64(0)
+	for j, p := range pkts {
+		if tr.Deliver(j%4, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+			delivered++
+		}
+	}
+	return tr.Run(delivered, budget)
+}
+
+// TestResetClearsObservability: after a successful batch followed by a
+// stalled one, Reset must return every observable to power-on state —
+// counters, watchdog stall charges, latency records and the line-card
+// high-water marks — and a fresh batch must then reproduce exactly the
+// numbers of a never-stalled router.
+func TestResetClearsObservability(t *testing.T) {
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 100, Ifaces: 4, Seed: 2003})
+	pkts := goldenCorpus(t, routes, 24)
+	kind, cfg := rtable.BalancedTree, fu.Config3Bus1FU(rtable.BalancedTree)
+
+	tr := buildRouter(t, kind, cfg, routes)
+	c := tr.Machine.AttachCounters()
+	if err := obsRun(tr, pkts, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	referenceCycles := c.Cycles
+	referenceHist := *tr.LatencyHist()
+
+	// Stall the second batch to dirty the watchdog counters and drive
+	// the queues (and their high-water marks) into a nonzero state.
+	tr.Reset()
+	if err := obsRun(tr, pkts, 500); !errors.Is(err, router.ErrStall) {
+		t.Fatalf("starved run returned %v, want a stall", err)
+	}
+	if tr.WatchdogStalls().Total() == 0 {
+		t.Fatalf("stalled run charged no watchdog cycles")
+	}
+
+	tr.Reset()
+	if c.Cycles != 0 || c.EncodedTotal() != 0 || c.TriggerTotal() != 0 {
+		t.Errorf("Reset left counters: cycles=%d encoded=%d triggers=%d",
+			c.Cycles, c.EncodedTotal(), c.TriggerTotal())
+	}
+	if got := tr.WatchdogStalls(); got != (obs.StallCounters{}) {
+		t.Errorf("Reset left watchdog stalls: %v", got)
+	}
+	if got := tr.LatencyHist().Count(); got != 0 {
+		t.Errorf("Reset left %d latency records", got)
+	}
+	for i, st := range tr.QueueStats() {
+		if st != (linecard.Stats{}) {
+			t.Errorf("Reset left card %d stats (incl. high-water marks): %+v", i, st)
+		}
+	}
+
+	// The observables after Reset are not merely zero — a repeat batch
+	// must be indistinguishable from the router's first.
+	if err := obsRun(tr, pkts, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != referenceCycles {
+		t.Errorf("post-reset batch ran %d cycles, first ran %d", c.Cycles, referenceCycles)
+	}
+	if got := *tr.LatencyHist(); got != referenceHist {
+		t.Errorf("post-reset latency histogram differs from the first batch's")
+	}
+}
+
+// TestStalledRunTraceLoadable: a run that dies in a watchdog stall must
+// still leave a loadable Chrome trace once the writer is closed — the
+// flush-on-failure contract the CLI error paths rely on.
+func TestStalledRunTraceLoadable(t *testing.T) {
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 100, Ifaces: 4, Seed: 2003})
+	pkts := goldenCorpus(t, routes, 24)
+	tr := buildRouter(t, rtable.Sequential, fu.Config1Bus1FU(rtable.Sequential), routes)
+
+	var buf bytes.Buffer
+	tw := obs.NewTraceWriter(&buf)
+	tr.Machine.Trace = tr.Machine.TraceHook(tw)
+
+	err := obsRun(tr, pkts, 900)
+	var se *router.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want a *StallError", err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   int64  `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace of a stalled run is not valid JSON: %v", err)
+	}
+	var slices int
+	var lastTS int64
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			slices++
+			lastTS = e.TS
+		}
+	}
+	if slices == 0 {
+		t.Fatalf("stalled-run trace has no slices")
+	}
+	// The trace must cover the run right up to the watchdog: its last
+	// slice sits within a pipeline depth of the stall cycle.
+	if lastTS < se.Cycles-64 {
+		t.Errorf("trace ends at cycle %d, stall fired at %d", lastTS, se.Cycles)
+	}
+}
+
+// TestStallCauseAttribution pins the watchdog's classification: a run
+// starved of budget with traffic still queued is queue backpressure; a
+// run waiting for traffic that never arrives (empty queues, polling
+// loop) is a plain watchdog stall. Each stall's cycles are charged to
+// its cause, and charges accumulate until Reset.
+func TestStallCauseAttribution(t *testing.T) {
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 100, Ifaces: 4, Seed: 2003})
+	pkts := goldenCorpus(t, routes, 24)
+	tr := buildRouter(t, rtable.Sequential, fu.Config1Bus1FU(rtable.Sequential), routes)
+
+	err := obsRun(tr, pkts, 900)
+	var se *router.StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want a *StallError", err)
+	}
+	if se.Cause != obs.StallQueueBackpressure {
+		t.Fatalf("starved-budget stall classified %v, want %v", se.Cause, obs.StallQueueBackpressure)
+	}
+	if got := tr.WatchdogStalls()[obs.StallQueueBackpressure]; got != se.Cycles {
+		t.Fatalf("backpressure charged %d cycles, stall ran %d", got, se.Cycles)
+	}
+	if !errors.Is(err, router.ErrStall) {
+		t.Fatalf("StallError does not match ErrStall")
+	}
+
+	// Same router, fresh batch: expecting a datagram that was never
+	// delivered parks the machine in its poll loop — queues empty, no
+	// backlog — so the cause degrades to the plain watchdog.
+	tr.Reset()
+	err = tr.Run(1, 2_000)
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want a *StallError", err)
+	}
+	if se.Cause != obs.StallWatchdog {
+		t.Fatalf("starved-input stall classified %v, want %v", se.Cause, obs.StallWatchdog)
+	}
+	st := tr.WatchdogStalls()
+	if st[obs.StallWatchdog] != se.Cycles || st[obs.StallQueueBackpressure] != 0 {
+		t.Fatalf("post-reset charges %v, want only %d watchdog cycles", st, se.Cycles)
+	}
+
+	// A second starved run accumulates onto the same cause.
+	prev := se.Cycles
+	err = tr.Run(1, 2_000)
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want a *StallError", err)
+	}
+	if got := tr.WatchdogStalls()[obs.StallWatchdog]; got != prev+se.Cycles {
+		t.Fatalf("watchdog charges = %d, want %d", got, prev+se.Cycles)
+	}
+	// The dump names the cause for CLI diagnostics.
+	if dump := se.Dump(); !bytes.Contains([]byte(dump), []byte("cause watchdog")) {
+		t.Errorf("stall dump does not name its cause:\n%s", dump)
+	}
+}
+
+// TestSchedStallAttribution: the scheduler's static hazard attribution
+// is deterministic across rebuilds, nonzero for every Table 1 instance
+// (the generated forwarding program always carries dependence chains),
+// and confined to the statically attributable causes.
+func TestSchedStallAttribution(t *testing.T) {
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 16, Ifaces: 4, Seed: 2003})
+	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
+		for _, cfg := range fu.PaperConfigs(kind) {
+			a := buildRouter(t, kind, cfg, routes).SchedStalls()
+			b := buildRouter(t, kind, cfg, routes).SchedStalls()
+			if a != b {
+				t.Errorf("%s/%s: attribution not deterministic: %v vs %v", kind, cfg.Name, a, b)
+			}
+			if a.Total() == 0 {
+				t.Errorf("%s/%s: scheduler charged no stall cycles", kind, cfg.Name)
+			}
+			if a[obs.StallQueueBackpressure] != 0 || a[obs.StallWatchdog] != 0 {
+				t.Errorf("%s/%s: static schedule charged dynamic causes: %v", kind, cfg.Name, a)
+			}
+		}
+	}
+	// The narrower the machine, the more the schedule waits: the 1-bus
+	// instance must charge at least as many bus conflicts as the 3-bus
+	// instance of the same kind.
+	one := buildRouter(t, rtable.Sequential, fu.Config1Bus1FU(rtable.Sequential), routes).SchedStalls()
+	three := buildRouter(t, rtable.Sequential, fu.Config3Bus1FU(rtable.Sequential), routes).SchedStalls()
+	if one[obs.StallBusConflict] < three[obs.StallBusConflict] {
+		t.Errorf("1-bus schedule charged fewer bus conflicts (%d) than 3-bus (%d)",
+			one[obs.StallBusConflict], three[obs.StallBusConflict])
+	}
+}
