@@ -60,17 +60,18 @@ fuzz-compiled:
 bench:
 	$(GO) test -bench . -benchmem
 
-# Regenerate BENCH_0007.json: the Table 1 speedup and counter-overhead
-# record — interpreted vs compiled vs compiled-with-counters, with
-# cycle- and latency-identity asserted per cell and the per-cell
-# latency percentiles included.
+# Regenerate BENCH_0008.json: the Table 1 speedup and observation
+# overhead record — interpreted vs compiled vs compiled-with-counters
+# vs compiled-with-recorder, with cycle- and latency-identity asserted
+# per cell and the per-cell latency percentiles included.
 bench-json:
-	$(GO) run ./cmd/tacobench -runs 5 -o BENCH_0007.json
+	$(GO) run ./cmd/tacobench -runs 5 -o BENCH_0008.json
 
 # The CI overhead guard: compiled-with-counters must stay within 1.3x
-# of compiled-bare across the Table 1 sweep.
+# and compiled-with-recorder within 1.6x of compiled-bare across the
+# Table 1 sweep.
 bench-guard:
-	$(GO) run ./cmd/tacobench -runs 3 -guard-overhead 1.3 -o -
+	$(GO) run ./cmd/tacobench -runs 3 -guard-overhead 1.3 -guard-recorder 1.6 -o -
 
 # Regenerate the reference snapshot the regression guard checks against.
 # Only commit the result when cycle counts are intentionally unchanged —

@@ -1,21 +1,23 @@
 // Command tacobench measures the compiled fast path against the
 // interpreter on the nine Table 1 cells and writes the committed
-// benchmark record (BENCH_0007.json): per-cell ns/op and allocs/op on
-// three paths — interpreted, compiled bare, and compiled with obs
-// counters attached — the speedup ratio, the counter-overhead ratio,
-// the cycles/packet each side observed (which must be identical, or the
-// run fails), and the per-packet latency percentiles of the measured
-// batch. Medians over -runs repetitions tame scheduler noise;
-// `make bench-json` regenerates the file.
+// benchmark record (BENCH_0008.json): per-cell ns/op and allocs/op on
+// four paths — interpreted, compiled bare, compiled with obs counters
+// attached, and compiled with the flight recorder armed — the speedup
+// ratio, the counter- and recorder-overhead ratios, the cycles/packet
+// each side observed (which must be identical, or the run fails), and
+// the per-packet latency percentiles of the measured batch. Medians
+// over -runs repetitions tame scheduler noise; `make bench-json`
+// regenerates the file.
 //
-// -guard-overhead turns the record into a gate: the run fails when the
-// aggregate compiled-with-counters time exceeds the given multiple of
-// compiled-bare (the CI overhead guard uses 1.3).
+// -guard-overhead and -guard-recorder turn the record into a gate: the
+// run fails when the aggregate compiled-with-counters (respectively
+// compiled-with-recorder) time exceeds the given multiple of
+// compiled-bare (the CI overhead guard uses 1.3 / 1.6).
 //
 // Usage:
 //
-//	tacobench [-runs 5] [-packets 32] [-entries 100] [-o BENCH_0007.json]
-//	tacobench -guard-overhead 1.3 -o -
+//	tacobench [-runs 5] [-packets 32] [-entries 100] [-o BENCH_0008.json]
+//	tacobench -guard-overhead 1.3 -guard-recorder 1.6 -o -
 package main
 
 import (
@@ -51,15 +53,20 @@ type cellRecord struct {
 	InterpretedNsOp     int64
 	CompiledNsOp        int64
 	CompiledObsNsOp     int64 // compiled with obs.Counters attached
+	CompiledRecNsOp     int64 // compiled with the flight recorder armed
 	InterpretedAllocsOp int64
 	CompiledAllocsOp    int64
 	CompiledObsAllocsOp int64
+	CompiledRecAllocsOp int64
 
 	// Speedup is interpreted ns/op over compiled-bare ns/op.
 	Speedup float64
 	// CounterOverhead is compiled-with-counters ns/op over compiled-bare
 	// ns/op — the price of leaving observation on.
 	CounterOverhead float64
+	// RecorderOverhead is compiled-with-recorder ns/op over compiled-bare
+	// ns/op — the price of flying with the black box armed.
+	RecorderOverhead float64
 }
 
 // benchReport is the BENCH_0007.json schema.
@@ -80,6 +87,9 @@ type benchReport struct {
 	// AggregateCounterOverhead is summed compiled-with-counters ns/op
 	// over summed compiled-bare ns/op across the sweep.
 	AggregateCounterOverhead float64
+	// AggregateRecorderOverhead is summed compiled-with-recorder ns/op
+	// over summed compiled-bare ns/op across the sweep.
+	AggregateRecorderOverhead float64
 }
 
 func main() {
@@ -87,38 +97,42 @@ func main() {
 		runs    = flag.Int("runs", 5, "repetitions per cell; the median ns/op is recorded")
 		packets = flag.Int("packets", 32, "datagrams per simulated batch")
 		entries = flag.Int("entries", 100, "routing-table entries")
-		out     = flag.String("o", "BENCH_0007.json", "output file (- for stdout)")
+		out     = flag.String("o", "BENCH_0008.json", "output file (- for stdout)")
 		guard   = flag.Float64("guard-overhead", 0,
 			"fail when aggregate compiled-with-counters time exceeds this multiple of compiled-bare (0 disables)")
+		guardRec = flag.Float64("guard-recorder", 0,
+			"fail when aggregate compiled-with-recorder time exceeds this multiple of compiled-bare (0 disables)")
 	)
 	flag.Parse()
 
-	rep := benchReport{Benchmark: "table1-compiled-vs-interpreted-obs", Runs: *runs}
+	rep := benchReport{Benchmark: "table1-compiled-vs-interpreted-obs-recorder", Runs: *runs}
 	rep.Workload.Packets = *packets
 	rep.Workload.Entries = *entries
 	rep.Workload.Ifaces = 4
 	rep.Workload.Seed = 2003
 
-	var sumInterp, sumCompiled, sumObs int64
+	var sumInterp, sumCompiled, sumObs, sumRec int64
 	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM} {
 		for _, cfg := range fu.PaperConfigs(kind) {
 			rec, err := measureCell(kind, cfg, *entries, *packets, *runs)
 			if err != nil {
 				fatal(fmt.Errorf("%v/%s: %w", kind, cfg.Name, err))
 			}
-			fmt.Fprintf(os.Stderr, "tacobench: %-13v %-16s %9d ns/op interpreted, %9d ns/op compiled, %9d ns/op compiled+obs, %.2fx, obs %.2fx\n",
+			fmt.Fprintf(os.Stderr, "tacobench: %-13v %-16s %9d ns/op interpreted, %9d ns/op compiled, %9d ns/op compiled+obs, %9d ns/op compiled+rec, %.2fx, obs %.2fx, rec %.2fx\n",
 				kind, cfg.Name, rec.InterpretedNsOp, rec.CompiledNsOp, rec.CompiledObsNsOp,
-				rec.Speedup, rec.CounterOverhead)
+				rec.CompiledRecNsOp, rec.Speedup, rec.CounterOverhead, rec.RecorderOverhead)
 			sumInterp += rec.InterpretedNsOp
 			sumCompiled += rec.CompiledNsOp
 			sumObs += rec.CompiledObsNsOp
+			sumRec += rec.CompiledRecNsOp
 			rep.Cells = append(rep.Cells, rec)
 		}
 	}
 	rep.AggregateSpeedup = round2(float64(sumInterp) / float64(sumCompiled))
 	rep.AggregateCounterOverhead = round2(float64(sumObs) / float64(sumCompiled))
-	fmt.Fprintf(os.Stderr, "tacobench: aggregate Table 1 speedup %.2fx, counter overhead %.2fx\n",
-		rep.AggregateSpeedup, rep.AggregateCounterOverhead)
+	rep.AggregateRecorderOverhead = round2(float64(sumRec) / float64(sumCompiled))
+	fmt.Fprintf(os.Stderr, "tacobench: aggregate Table 1 speedup %.2fx, counter overhead %.2fx, recorder overhead %.2fx\n",
+		rep.AggregateSpeedup, rep.AggregateCounterOverhead, rep.AggregateRecorderOverhead)
 
 	w := os.Stdout
 	if *out != "-" {
@@ -138,21 +152,26 @@ func main() {
 		fatal(fmt.Errorf("counter overhead %.2fx exceeds the %.2fx guard",
 			rep.AggregateCounterOverhead, *guard))
 	}
+	if *guardRec > 0 && rep.AggregateRecorderOverhead > *guardRec {
+		fatal(fmt.Errorf("recorder overhead %.2fx exceeds the %.2fx guard",
+			rep.AggregateRecorderOverhead, *guardRec))
+	}
 }
 
-// measureCell benchmarks one cell on all three paths and checks the
+// measureCell benchmarks one cell on all four paths and checks the
 // cycle- and latency-identity invariants across them.
 func measureCell(kind rtable.Kind, cfg fu.Config, entries, packets, runs int) (cellRecord, error) {
 	rec := cellRecord{Kind: kind.String(), Config: cfg.Name}
-	var cycles [3]float64
-	var p99s [3]int64
-	for mode := 0; mode < 3; mode++ {
+	var cycles [4]float64
+	var p99s [4]int64
+	for mode := 0; mode < 4; mode++ {
 		compiled := mode >= 1
 		observe := mode == 2
+		record := mode == 3
 		ns := make([]int64, 0, runs)
 		var allocs int64
 		for r := 0; r < runs; r++ {
-			res, cyc, lat, err := benchOnce(kind, cfg, entries, packets, compiled, observe)
+			res, cyc, lat, err := benchOnce(kind, cfg, entries, packets, compiled, observe, record)
 			if err != nil {
 				return rec, err
 			}
@@ -174,25 +193,30 @@ func measureCell(kind rtable.Kind, cfg fu.Config, entries, packets, runs int) (c
 			rec.CompiledNsOp, rec.CompiledAllocsOp = med, allocs
 		case 2:
 			rec.CompiledObsNsOp, rec.CompiledObsAllocsOp = med, allocs
+		case 3:
+			rec.CompiledRecNsOp, rec.CompiledRecAllocsOp = med, allocs
 		}
 	}
-	if cycles[0] != cycles[1] || cycles[0] != cycles[2] {
-		return rec, fmt.Errorf("cycles/packet diverged: interpreted %v, compiled %v, compiled+obs %v",
-			cycles[0], cycles[1], cycles[2])
-	}
-	if p99s[0] != p99s[1] || p99s[0] != p99s[2] {
-		return rec, fmt.Errorf("latency p99 diverged: interpreted %d, compiled %d, compiled+obs %d",
-			p99s[0], p99s[1], p99s[2])
+	for mode := 1; mode < 4; mode++ {
+		if cycles[0] != cycles[mode] {
+			return rec, fmt.Errorf("cycles/packet diverged: interpreted %v, mode %d %v",
+				cycles[0], mode, cycles[mode])
+		}
+		if p99s[0] != p99s[mode] {
+			return rec, fmt.Errorf("latency p99 diverged: interpreted %d, mode %d %d",
+				p99s[0], mode, p99s[mode])
+		}
 	}
 	rec.CyclesPerPacket = cycles[0]
 	rec.Speedup = round2(float64(rec.InterpretedNsOp) / float64(rec.CompiledNsOp))
 	rec.CounterOverhead = round2(float64(rec.CompiledObsNsOp) / float64(rec.CompiledNsOp))
+	rec.RecorderOverhead = round2(float64(rec.CompiledRecNsOp) / float64(rec.CompiledNsOp))
 	return rec, nil
 }
 
 // benchOnce runs the exact BenchmarkTable1 batch (reset-reuse, one
 // batch per iteration) under testing.Benchmark.
-func benchOnce(kind rtable.Kind, cfg fu.Config, entries, packets int, compiled, observe bool) (testing.BenchmarkResult, float64, obs.LatencyPercentiles, error) {
+func benchOnce(kind rtable.Kind, cfg fu.Config, entries, packets int, compiled, observe, record bool) (testing.BenchmarkResult, float64, obs.LatencyPercentiles, error) {
 	routes := workload.GenerateRoutes(workload.TableSpec{Entries: entries, Ifaces: 4, Seed: 2003})
 	tbl := rtable.New(kind)
 	if err := rtable.InsertAll(tbl, routes); err != nil {
@@ -210,6 +234,9 @@ func benchOnce(kind rtable.Kind, cfg fu.Config, entries, packets int, compiled, 
 	}
 	if observe {
 		tr.Machine.AttachCounters()
+	}
+	if record {
+		tr.ArmRecorder(0)
 	}
 	if compiled {
 		if err := tr.UseCompiled(); err != nil {

@@ -68,6 +68,10 @@ func main() {
 			"largetable sweep: comma-separated entry counts")
 		churn = flag.Int("churn", 0,
 			"largetable sweep: update-churn operations applied before measurement")
+		forensicsOut = flag.String("forensics-out", "",
+			"write a forensic bundle (replayable with tacoreplay) for every failed instance into this directory")
+		timing = flag.Bool("timing", false,
+			"stamp per-instance wall times (wall_ns) onto exported points; makes exports nondeterministic")
 	)
 	var prof cliutil.Profiling
 	prof.RegisterFlags(flag.CommandLine)
@@ -89,10 +93,16 @@ func main() {
 	// -compiled composes with everything: counters are recorded natively
 	// by the fast path, so -compiled -json keeps the compiled speedup.
 	sim.Compiled = *compiled
+	// -forensics-out arms the flight recorder on every instance and turns
+	// each failure into a self-contained repro bundle.
+	sim.ForensicsDir = *forensicsOut
 
 	ctx := context.Background()
 	if *progress {
 		ctx = dse.WithProgress(ctx, dse.ProgressPrinter(os.Stderr))
+	}
+	if *timing {
+		ctx = dse.WithTiming(ctx)
 	}
 
 	if !*table1 && !*campower && !*auto && *sweep == "" {
@@ -173,7 +183,11 @@ func failedPoint(p dse.Point) bool {
 	if p.Err == "" {
 		return false
 	}
-	fmt.Printf("  %g: FAILED — %s\n", p.X, p.Err)
+	if p.Bundle != "" {
+		fmt.Printf("  %g: FAILED — %s (bundle: %s)\n", p.X, p.Err, p.Bundle)
+	} else {
+		fmt.Printf("  %g: FAILED — %s\n", p.X, p.Err)
+	}
 	return true
 }
 

@@ -27,6 +27,7 @@ import (
 	"taco/internal/core"
 	"taco/internal/estimate"
 	"taco/internal/fault"
+	"taco/internal/forensics"
 	"taco/internal/fu"
 	"taco/internal/linecard"
 	"taco/internal/obs"
@@ -51,6 +52,10 @@ func main() {
 		hist       = flag.Bool("hist", false, "print the per-packet latency histogram")
 		metricsOut = flag.String("metrics-out", "",
 			"write Prometheus text exposition to this file (also on stall)")
+		forensicsOut = flag.String("forensics-out", "",
+			"arm the flight recorder and write forensic bundles (replayable with tacoreplay) into this directory on failure")
+		soakMaxCycles = flag.Int64("soak-max-cycles", 0,
+			"per-campaign watchdog budget for -soak (0 = generous default; low values provoke stalls)")
 	)
 	var pprofFlags cliutil.Profiling
 	pprofFlags.RegisterFlags(flag.CommandLine)
@@ -73,7 +78,8 @@ func main() {
 	}
 
 	if *soak {
-		runSoak(cfg, *campaigns, *packets, *entries, *ifaces, *seed, faultFlags.Spec)
+		runSoak(cfg, *campaigns, *packets, *entries, *ifaces, *seed, faultFlags.Spec,
+			*soakMaxCycles, *forensicsOut)
 		return
 	}
 	inj, err := faultFlags.Injector()
@@ -114,6 +120,9 @@ func main() {
 		// costs almost nothing.
 		ctrs = tr.Machine.AttachCounters()
 	}
+	if *forensicsOut != "" {
+		tr.ArmRecorder(0)
+	}
 	var prf *profile.Profile
 	if *prof {
 		prf = profile.New(tr.Sched.Program)
@@ -135,6 +144,21 @@ func main() {
 		if errors.As(err, &stall) {
 			fmt.Fprintln(os.Stderr, "tacoroute: forwarding stalled; machine state:")
 			fmt.Fprintln(os.Stderr, stall.Dump())
+			if *forensicsOut != "" {
+				b := forensics.NewRouterBundle(forensics.KindStall,
+					fmt.Sprintf("%s/%s", kind, cfg.Name), cfg, *ifaces, routes,
+					bundleDatagrams(pkts, *ifaces), delivered, budget, false)
+				b.Seed = *seed
+				b.FaultSpec = faultFlags.Spec
+				b.RecorderCap = obs.DefaultRecorderCap
+				b.AttachStall(stall)
+				if path, berr := b.Save(*forensicsOut); berr != nil {
+					fmt.Fprintln(os.Stderr, "tacoroute: forensics capture failed:", berr)
+				} else {
+					fmt.Fprintf(os.Stderr, "tacoroute: forensic bundle written: %s\n", path)
+					fmt.Fprintf(os.Stderr, "tacoroute: replay with: tacoreplay -bundle %s\n", path)
+				}
+			}
 		}
 		// A stalled run still gets its scrape: the stall-attribution
 		// counters are exactly what the operator wants to see.
@@ -316,19 +340,36 @@ func crossCheck(kind rtable.Kind, routes []rtable.Route, pkts []workload.Packet,
 
 // runSoak executes the differential fault campaigns and exits non-zero
 // on any divergence, so `make soak` and the CI smoke job gate on it.
-func runSoak(cfg fu.Config, campaigns, packets, entries, ifaces int, seed uint64, spec string) {
+// With forensicsDir set, every failing campaign leaves a tacoreplay
+// bundle behind.
+func runSoak(cfg fu.Config, campaigns, packets, entries, ifaces int, seed uint64, spec string,
+	maxCycles int64, forensicsDir string) {
 	rep, err := fault.RunSoak(fault.SoakOptions{
 		Campaigns: campaigns, Packets: packets, Entries: entries,
 		Ifaces: ifaces, Seed: seed, Spec: spec, Config: cfg,
+		MaxCycles: maxCycles, ForensicsDir: forensicsDir,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println(rep.String())
+	for _, b := range rep.Bundles {
+		fmt.Printf("  forensic bundle: %s (replay with: tacoreplay -bundle %s)\n", b, b)
+	}
 	if !rep.Clean() {
 		fatal(fmt.Errorf("soak diverged: %d stalls, %d mismatches, %d unexplained drops",
 			rep.Stalls, rep.Mismatches, rep.Unexplained))
 	}
+}
+
+// bundleDatagrams converts the (possibly fault-mutated) workload into
+// the bundle's delivery-order datagram list.
+func bundleDatagrams(pkts []workload.Packet, ifaces int) []forensics.Datagram {
+	dgs := make([]forensics.Datagram, len(pkts))
+	for i, p := range pkts {
+		dgs[i] = forensics.Datagram{Iface: i % ifaces, Seq: p.Seq, Data: p.Data}
+	}
+	return dgs
 }
 
 func fatal(err error) {

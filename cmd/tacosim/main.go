@@ -22,6 +22,7 @@ import (
 
 	"taco/internal/asm"
 	"taco/internal/cliutil"
+	"taco/internal/forensics"
 	"taco/internal/fu"
 	"taco/internal/obs"
 	"taco/internal/tta"
@@ -37,10 +38,12 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit run metrics as JSON instead of text")
 		compiled = flag.Bool("compiled", false,
 			"run through the compiled fast path (bit-identical, counters recorded natively)")
-		maxCy      = flag.Int64("max", 1_000_000, "cycle budget")
-		read       = flag.String("read", "", "comma-separated result/register sockets to print after the run")
-		metricsOut = flag.String("metrics-out", "", "write Prometheus text exposition to this file (also on stall)")
-		statEvery  = flag.Int64("stat-every", 0, "emit an NDJSON stat event on stderr every N cycles")
+		maxCy        = flag.Int64("max", 1_000_000, "cycle budget")
+		read         = flag.String("read", "", "comma-separated result/register sockets to print after the run")
+		metricsOut   = flag.String("metrics-out", "", "write Prometheus text exposition to this file (also on stall)")
+		statEvery    = flag.Int64("stat-every", 0, "emit an NDJSON stat event on stderr every N cycles")
+		forensicsOut = flag.String("forensics-out", "",
+			"arm the flight recorder and write a machine-stall forensic bundle (replayable with tacoreplay) on failure")
 	)
 	var prof cliutil.Profiling
 	prof.RegisterFlags(flag.CommandLine)
@@ -83,6 +86,9 @@ func main() {
 	// Counters are recorded natively by both step paths — the compiled
 	// fast path no longer delegates for them — so they are always on.
 	ctrs := m.AttachCounters()
+	if *forensicsOut != "" {
+		m.AttachRecorder(0)
+	}
 
 	// Compose the requested trace sinks: the human-readable stdout trace
 	// and/or the Chrome trace-event stream.
@@ -153,6 +159,16 @@ func main() {
 	}
 	if err != nil {
 		dumpStall(m, cycles)
+		if *forensicsOut != "" {
+			b := forensics.NewMachineBundle(*config, cfg, string(src), *maxCy, *compiled)
+			b.AttachMachineState(m, err)
+			if path, berr := b.Save(*forensicsOut); berr != nil {
+				fmt.Fprintln(os.Stderr, "tacosim: forensics capture failed:", berr)
+			} else {
+				fmt.Fprintf(os.Stderr, "tacosim: forensic bundle written: %s\n", path)
+				fmt.Fprintf(os.Stderr, "tacosim: replay with: tacoreplay -bundle %s\n", path)
+			}
+		}
 		fatal(err)
 	}
 
@@ -264,10 +280,23 @@ func writeMetrics(path string, m *tta.Machine, ctrs *obs.Counters) error {
 // dumpStall prints the machine state at the moment a run died — the
 // program counter, how far it got, and every visible socket — so a
 // stalled program can be diagnosed without re-running under -trace.
+// With a flight recorder armed (-forensics-out) it appends the
+// recorder's retained event tail.
 func dumpStall(m *tta.Machine, cycles int64) {
 	fmt.Fprintf(os.Stderr, "tacosim: machine state after %d cycles (pc %d):\n", cycles, m.PC())
 	for _, s := range m.SnapshotSockets() {
 		fmt.Fprintf(os.Stderr, "  %-16s %-8s 0x%08x\n", s.Name, s.Kind, s.Value)
+	}
+	if rec := m.Recorder; rec != nil && rec.Len() > 0 {
+		fmt.Fprintf(os.Stderr, "tacosim: flight recorder, last %d events", rec.Len())
+		if n := rec.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, " (%d older events overwritten)", n)
+		}
+		fmt.Fprintln(os.Stderr)
+		names := m.SocketNames()
+		for _, e := range rec.Tail() {
+			fmt.Fprintf(os.Stderr, "  %s\n", e.Format(names))
+		}
 	}
 }
 

@@ -1,0 +1,43 @@
+// The committed repro corpus: every bundle under testdata/forensics/
+// must keep reproducing its recorded failure — same stall cause, cycle,
+// pc and recorder tail — on BOTH step paths, forever. A failure here
+// means a behavioural change broke replay compatibility with shipped
+// forensic bundles; either fix the regression or consciously regenerate
+// the corpus (see testdata/forensics/README.md).
+package taco_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"taco/internal/forensics"
+)
+
+func TestForensicsCorpusReproduces(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "forensics", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("committed forensics corpus is empty")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			b, err := forensics.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, compiled := range []bool{false, true} {
+				c := compiled
+				res, err := forensics.Replay(b, forensics.ReplayOptions{Path: &c})
+				if err != nil {
+					t.Fatalf("compiled=%v: %v", compiled, err)
+				}
+				if err := forensics.CheckReproduction(b, res); err != nil {
+					t.Errorf("compiled=%v: not reproduced: %v", compiled, err)
+				}
+			}
+		})
+	}
+}

@@ -181,6 +181,15 @@ type SimOptions struct {
 	// fault-injection knob for provoking a router.StallError on an
 	// otherwise healthy instance.
 	MaxCyclesPerPacket int `json:",omitempty"`
+
+	// ForensicsDir, when non-empty, arms the machine's flight recorder
+	// and — should the run stall — writes a self-contained forensic
+	// bundle (config, routes, datagrams, recorder tail, terminal
+	// snapshot) into this directory. The returned error then wraps the
+	// StallError in a *forensics.CapturedError carrying the bundle path.
+	// Excluded from serialized options: it names a local directory, not
+	// an experiment parameter.
+	ForensicsDir string `json:"-"`
 }
 
 // DefaultSimOptions returns the evaluation workload used throughout the
@@ -189,17 +198,43 @@ func DefaultSimOptions() SimOptions {
 	return SimOptions{Packets: 64, Seed: 2003, MissRatio: 0.05, Ifaces: 4}
 }
 
+// simInputs derives an instance's complete simulation workload — the
+// routing table entries, the traffic and the watchdog budget — from its
+// (constraints, options) pair. Both Evaluate and the forensic-bundle
+// builders go through this one derivation, so a bundle's recorded
+// inputs are exactly what the evaluation ran.
+func simInputs(cons Constraints, sim SimOptions) ([]rtable.Route, []workload.Packet, int64, error) {
+	routes := workload.GenerateRoutes(workload.TableSpec{
+		Entries: cons.TableEntries,
+		Ifaces:  sim.Ifaces,
+		Seed:    sim.Seed,
+	})
+	pkts, err := workload.GenerateTraffic(routes, workload.TrafficSpec{
+		Packets:   sim.Packets,
+		SizeBytes: cons.PacketBytes,
+		MissRatio: sim.MissRatio,
+		Seed:      sim.Seed,
+	})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	// Generous budget: the sequential scan costs O(entries) per packet.
+	budget := int64(sim.Packets) * int64(cons.TableEntries+64) * 64
+	if sim.MaxCyclesPerPacket > 0 {
+		budget = int64(sim.Packets) * int64(sim.MaxCyclesPerPacket)
+	}
+	return routes, pkts, budget, nil
+}
+
 // Evaluate runs the full methodology for one architecture instance.
 func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) {
 	if sim.Packets <= 0 {
 		sim = DefaultSimOptions()
 	}
-	tblSpec := workload.TableSpec{
-		Entries: cons.TableEntries,
-		Ifaces:  sim.Ifaces,
-		Seed:    sim.Seed,
+	routes, pkts, budget, err := simInputs(cons, sim)
+	if err != nil {
+		return Metrics{}, err
 	}
-	routes := workload.GenerateRoutes(tblSpec)
 	tbl := rtable.New(cfg.Table)
 	if err := rtable.InsertAll(tbl, routes); err != nil {
 		return Metrics{}, fmt.Errorf("core: %w", err)
@@ -212,32 +247,23 @@ func Evaluate(cfg fu.Config, cons Constraints, sim SimOptions) (Metrics, error) 
 	if sim.Observe {
 		ctrs = tr.Machine.AttachCounters()
 	}
+	if sim.ForensicsDir != "" {
+		tr.ArmRecorder(0)
+	}
 	if sim.Compiled {
 		if err := tr.UseCompiled(); err != nil {
 			return Metrics{}, err
 		}
-	}
-	spec := workload.TrafficSpec{
-		Packets:   sim.Packets,
-		SizeBytes: cons.PacketBytes,
-		MissRatio: sim.MissRatio,
-		Seed:      sim.Seed,
-	}
-	pkts, err := workload.GenerateTraffic(routes, spec)
-	if err != nil {
-		return Metrics{}, err
 	}
 	for i, p := range pkts {
 		if !tr.Deliver(i%sim.Ifaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
 			return Metrics{}, fmt.Errorf("core: line card overflow at packet %d", i)
 		}
 	}
-	// Generous budget: the sequential scan costs O(entries) per packet.
-	budget := int64(sim.Packets) * int64(cons.TableEntries+64) * 64
-	if sim.MaxCyclesPerPacket > 0 {
-		budget = int64(sim.Packets) * int64(sim.MaxCyclesPerPacket)
-	}
 	if err := tr.Run(int64(len(pkts)), budget); err != nil {
+		if sim.ForensicsDir != "" {
+			err = captureBundle(sim.ForensicsDir, cfg, sim, routes, pkts, int64(len(pkts)), budget, err)
+		}
 		return Metrics{}, err
 	}
 

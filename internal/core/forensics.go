@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"taco/internal/forensics"
+	"taco/internal/fu"
+	"taco/internal/obs"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// captureBundle serializes the failed evaluation into a forensic bundle
+// and wraps the original error with the bundle path. A save failure is
+// reported alongside the original error rather than eclipsing it.
+func captureBundle(dir string, cfg fu.Config, sim SimOptions,
+	routes []rtable.Route, pkts []workload.Packet, expected, budget int64, runErr error) error {
+	se, ok := forensics.AsStall(runErr)
+	if !ok {
+		return runErr
+	}
+	dgs := make([]forensics.Datagram, len(pkts))
+	for i, p := range pkts {
+		dgs[i] = forensics.Datagram{Iface: i % sim.Ifaces, Seq: p.Seq, Data: p.Data}
+	}
+	label := fmt.Sprintf("%s/%s", cfg.Table, cfg.Name)
+	b := forensics.NewRouterBundle(forensics.KindStall, label, cfg, sim.Ifaces,
+		routes, dgs, expected, budget, sim.Compiled)
+	b.Seed = sim.Seed
+	b.RecorderCap = obs.DefaultRecorderCap
+	b.AttachStall(se)
+	path, saveErr := b.Save(dir)
+	if saveErr != nil {
+		return fmt.Errorf("%w (forensics capture failed: %v)", runErr, saveErr)
+	}
+	return &forensics.CapturedError{Err: runErr, Bundle: path}
+}
+
+// DivergenceBundle builds a compiled-vs-interpreted divergence bundle
+// for an evaluation instance, regenerating the exact workload Evaluate
+// ran (same derivation, see simInputs). The note should describe the
+// observed divergence (the diffMetrics text); tacoreplay -diff then
+// re-executes both paths over the identical inputs and reports the
+// first diverging recorded event.
+func DivergenceBundle(cfg fu.Config, cons Constraints, sim SimOptions, note string) (*forensics.Bundle, error) {
+	if sim.Packets <= 0 {
+		sim = DefaultSimOptions()
+	}
+	routes, pkts, budget, err := simInputs(cons, sim)
+	if err != nil {
+		return nil, err
+	}
+	dgs := make([]forensics.Datagram, len(pkts))
+	for i, p := range pkts {
+		dgs[i] = forensics.Datagram{Iface: i % sim.Ifaces, Seq: p.Seq, Data: p.Data}
+	}
+	label := fmt.Sprintf("%s/%s", cfg.Table, cfg.Name)
+	b := forensics.NewRouterBundle(forensics.KindCompiledDivergence, label, cfg, sim.Ifaces,
+		routes, dgs, int64(len(pkts)), budget, true)
+	b.Seed = sim.Seed
+	b.RecorderCap = obs.DefaultRecorderCap
+	b.Note = note
+	return b, nil
+}

@@ -6,6 +6,7 @@ import (
 	"reflect"
 
 	"taco/internal/core"
+	"taco/internal/forensics"
 )
 
 // This file is the design-space-exploration side of the compiled fast
@@ -40,7 +41,7 @@ func ReplayInterpreted(ctx context.Context, insts []Instance, got []core.Metrics
 		idx = append(idx, i)
 		replays = append(replays, r)
 	}
-	results, errs, err := evaluateInstances(ctx, replays, workers)
+	results, errs, _, err := evaluateInstances(ctx, replays, workers)
 	if err != nil {
 		return err
 	}
@@ -49,10 +50,29 @@ func ReplayInterpreted(ctx context.Context, insts []Instance, got []core.Metrics
 			return fmt.Errorf("dse: interpreter replay of %s: %w", insts[i].Label, errs[k])
 		}
 		if err := diffMetrics(insts[i].Label, results[k], got[i]); err != nil {
-			return err
+			return captureDivergence(insts[i], err)
 		}
 	}
 	return nil
+}
+
+// captureDivergence writes a compiled-divergence forensic bundle for a
+// failed oracle comparison (SimOptions.ForensicsDir only) and wraps the
+// divergence error with the bundle path. Scaled (model-based) instances
+// have no cycle-level replay, so they pass through unchanged.
+func captureDivergence(inst Instance, divergence error) error {
+	if inst.Sim.ForensicsDir == "" || inst.Scale != nil {
+		return divergence
+	}
+	b, err := core.DivergenceBundle(inst.Cfg, inst.Cons, inst.Sim, divergence.Error())
+	if err != nil {
+		return divergence
+	}
+	path, err := b.Save(inst.Sim.ForensicsDir)
+	if err != nil {
+		return fmt.Errorf("%w (forensics capture failed: %v)", divergence, err)
+	}
+	return &forensics.CapturedError{Err: divergence, Bundle: path}
 }
 
 // diffMetrics compares an interpreter-evaluated Metrics against the
@@ -92,5 +112,8 @@ func verifyBestInterpreted(cons core.Constraints, sim core.SimOptions, best core
 	if err != nil {
 		return fmt.Errorf("dse: interpreter replay of best %v/%s: %w", best.Kind, best.Config.Name, err)
 	}
-	return diffMetrics(fmt.Sprintf("best %v/%s", best.Kind, best.Config.Name), m, best)
+	if err := diffMetrics(fmt.Sprintf("best %v/%s", best.Kind, best.Config.Name), m, best); err != nil {
+		return captureDivergence(Instance{Cfg: best.Config, Cons: cons, Sim: sim}, err)
+	}
+	return nil
 }

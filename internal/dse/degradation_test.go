@@ -82,8 +82,11 @@ func TestExportCarriesErr(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
-	if !strings.HasSuffix(lines[0], ",err") {
+	if !strings.Contains(lines[0], ",err,") {
 		t.Errorf("header missing err column: %s", lines[0])
+	}
+	if !strings.HasSuffix(lines[0], ",bundle") {
+		t.Errorf("header missing bundle column: %s", lines[0])
 	}
 	if !strings.Contains(lines[2], "stall: exceeded 12 cycles") {
 		t.Errorf("failed row lost its error: %s", lines[2])

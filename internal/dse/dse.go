@@ -25,6 +25,14 @@ type Point struct {
 	// metrics are zero; sweeps degrade gracefully rather than abort, so
 	// one pathological instance cannot take down a whole exploration.
 	Err string `json:",omitempty"`
+	// Bundle is the forensic bundle captured for this point's failure
+	// (SimOptions.ForensicsDir only) — the cmd/tacoreplay repro artifact.
+	Bundle string `json:",omitempty"`
+	// WallNS is the instance's wall-clock evaluation time in
+	// nanoseconds. Populated only under WithTiming: wall times are
+	// nondeterministic, so default exports stay byte-identical across
+	// worker counts.
+	WallNS int64 `json:",omitempty"`
 }
 
 // SweepTableSize evaluates cfg over growing routing tables — the

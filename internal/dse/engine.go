@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"taco/internal/core"
+	"taco/internal/forensics"
 	"taco/internal/fu"
 	"taco/internal/obs"
 	"taco/internal/rtable"
@@ -81,6 +82,20 @@ func (r ProgressReport) ETA() time.Duration {
 // changing its signature.
 type progressKey struct{}
 
+// timingKey marks a context as wanting per-instance wall times surfaced
+// on the resulting Points (Point.WallNS).
+type timingKey struct{}
+
+// WithTiming returns a context under which Sweep stamps every Point
+// with its instance's wall-clock evaluation time (Point.WallNS), and
+// exports grow a wall_ns column. Off by default: wall times vary run to
+// run, and the engine's exports are otherwise byte-identical for a
+// given input regardless of worker count — a property the repository's
+// determinism tests and CI pin.
+func WithTiming(ctx context.Context) context.Context {
+	return context.WithValue(ctx, timingKey{}, true)
+}
+
 // WithProgress returns a context that makes the evaluation engine call
 // fn after every completed instance. fn is called with a lock held —
 // reports never interleave — but from worker goroutines, so it must not
@@ -97,8 +112,10 @@ func WithProgress(ctx context.Context, fn func(ProgressReport)) context.Context 
 // callback is serialized by the engine, so the histogram needs no lock.
 func ProgressPrinter(w io.Writer) func(ProgressReport) {
 	var wallHist obs.LatencyHist
+	var totalWall time.Duration
 	return func(r ProgressReport) {
 		wallHist.Record(r.InstanceWall.Microseconds())
+		totalWall += r.InstanceWall
 		p99 := time.Duration(wallHist.Quantile(0.99)) * time.Microsecond
 		fmt.Fprintf(w, "\r[%d/%d] %.1f inst/s, last %v (%s), p99 %v, ETA %v   ",
 			r.Done, r.Total, r.Rate(),
@@ -106,7 +123,13 @@ func ProgressPrinter(w io.Writer) func(ProgressReport) {
 			p99.Round(time.Millisecond),
 			r.ETA().Round(time.Second))
 		if r.Done == r.Total {
-			fmt.Fprintln(w)
+			// Completion summary: aggregate wall time across instances
+			// (CPU-seconds of evaluation) vs elapsed (wall-clock with
+			// parallelism), plus the per-instance latency spread.
+			p50 := time.Duration(wallHist.Quantile(0.5)) * time.Microsecond
+			fmt.Fprintf(w, "\nsweep: %d instances in %v (%v of evaluation, per-instance p50 %v p99 %v)\n",
+				r.Total, r.Elapsed.Round(time.Millisecond), totalWall.Round(time.Millisecond),
+				p50.Round(time.Millisecond), p99.Round(time.Millisecond))
 		}
 	}
 }
@@ -120,7 +143,7 @@ func ProgressPrinter(w io.Writer) func(ProgressReport) {
 // context's. Per-instance simulation errors do not abort the pool (the
 // caller decides which of them matter — Explore ignores errors on
 // instances its heuristic would have pruned).
-func evaluateInstances(ctx context.Context, insts []Instance, workers int) ([]core.Metrics, []error, error) {
+func evaluateInstances(ctx context.Context, insts []Instance, workers int) ([]core.Metrics, []error, []time.Duration, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -130,9 +153,15 @@ func evaluateInstances(ctx context.Context, insts []Instance, workers int) ([]co
 	results := make([]core.Metrics, len(insts))
 	errs := make([]error, len(insts))
 
-	// Progress reporting is opt-in via WithProgress; when absent the
-	// workers take no clock readings at all.
+	// Progress reporting is opt-in via WithProgress and per-instance
+	// timing via WithTiming; when both are absent the workers take no
+	// clock readings at all.
 	report, _ := ctx.Value(progressKey{}).(func(ProgressReport))
+	timing, _ := ctx.Value(timingKey{}).(bool)
+	var walls []time.Duration
+	if timing {
+		walls = make([]time.Duration, len(insts))
+	}
 	var (
 		start time.Time
 		mu    sync.Mutex
@@ -149,13 +178,19 @@ func evaluateInstances(ctx context.Context, insts []Instance, workers int) ([]co
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if report == nil {
+				if report == nil && !timing {
 					results[i], errs[i] = evalOne(insts[i])
 					continue
 				}
 				t0 := time.Now()
 				results[i], errs[i] = evalOne(insts[i])
 				wall := time.Since(t0)
+				if timing {
+					walls[i] = wall
+				}
+				if report == nil {
+					continue
+				}
 				mu.Lock()
 				done++
 				report(ProgressReport{
@@ -178,9 +213,9 @@ feed:
 	close(jobs)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return results, errs, nil
+	return results, errs, walls, nil
 }
 
 // firstError returns the lowest-index instance error wrapped with its
@@ -205,15 +240,19 @@ func firstError(insts []Instance, errs []error) error {
 // every other point is exactly what a fault-free sweep would have
 // produced. Only context cancellation aborts the whole call.
 func Sweep(ctx context.Context, insts []Instance, workers int) ([]Point, error) {
-	results, errs, err := evaluateInstances(ctx, insts, workers)
+	results, errs, walls, err := evaluateInstances(ctx, insts, workers)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Point, len(insts))
 	for i, m := range results {
 		out[i] = Point{X: insts[i].X, Metrics: m}
+		if walls != nil {
+			out[i].WallNS = walls[i].Nanoseconds()
+		}
 		if errs[i] != nil {
 			out[i].Err = errs[i].Error()
+			out[i].Bundle = forensics.BundlePath(errs[i])
 			// Keep the instance's identity on the failed point so exports
 			// can attribute the failure without cross-referencing inputs.
 			out[i].Metrics.Kind = insts[i].Cfg.Table
@@ -241,7 +280,7 @@ func Table1Instances(cons core.Constraints, sim core.SimOptions) []Instance {
 // producing the same rows in the same order as core.EvaluateAll.
 func Table1(ctx context.Context, cons core.Constraints, sim core.SimOptions, workers int) ([]core.Metrics, error) {
 	insts := Table1Instances(cons, sim)
-	results, errs, err := evaluateInstances(ctx, insts, workers)
+	results, errs, _, err := evaluateInstances(ctx, insts, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +416,7 @@ func ExploreCtx(ctx context.Context, cons core.Constraints, sim core.SimOptions,
 			}
 		}
 	}
-	results, errs, err := evaluateInstances(ctx, insts, workers)
+	results, errs, _, err := evaluateInstances(ctx, insts, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -17,23 +17,44 @@ var csvHeader = []string{
 	"x", "kind", "config", "cycles_per_packet", "bus_utilization",
 	"required_clock_hz", "area_mm2", "power_w", "clock_feasible", "acceptable",
 	"latency_p50", "latency_p90", "latency_p99", "latency_p999",
-	"err",
+	"err", "bundle",
 }
 
 // WriteCSV exports sweep points as CSV for external plotting (the
 // figures a longer paper would draw from Table 1's underlying sweeps).
+// A wall_ns column is appended only when the sweep ran under
+// WithTiming, keeping default exports byte-identical run to run.
 func WriteCSV(w io.Writer, points []Point) error {
+	timed := anyTimed(points)
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	header := csvHeader
+	if timed {
+		header = append(append([]string(nil), csvHeader...), "wall_ns")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, p := range points {
-		if err := cw.Write(metricsRow(p.X, p.Metrics, p.Err)); err != nil {
+		row := metricsRow(p.X, p.Metrics, p.Err, p.Bundle)
+		if timed {
+			row = append(row, fmt.Sprintf("%d", p.WallNS))
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// anyTimed reports whether any point carries a wall time (WithTiming).
+func anyTimed(points []Point) bool {
+	for _, p := range points {
+		if p.WallNS > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // WriteMetricsCSV exports evaluation rows (e.g. the Table 1 set), using
@@ -44,7 +65,7 @@ func WriteMetricsCSV(w io.Writer, ms []core.Metrics) error {
 		return err
 	}
 	for i, m := range ms {
-		if err := cw.Write(metricsRow(float64(i), m, "")); err != nil {
+		if err := cw.Write(metricsRow(float64(i), m, "", "")); err != nil {
 			return err
 		}
 	}
@@ -62,8 +83,12 @@ type instanceJSON struct {
 	// Kind shadows the embedded numeric enum with its name.
 	Kind       string
 	Acceptable bool
-	// Err marks a failed instance (graceful sweep degradation).
-	Err string `json:",omitempty"`
+	// Err marks a failed instance (graceful sweep degradation); Bundle
+	// is its forensic-bundle path when one was captured.
+	Err    string `json:",omitempty"`
+	Bundle string `json:",omitempty"`
+	// WallNS is the instance's evaluation wall time (WithTiming only).
+	WallNS int64 `json:",omitempty"`
 }
 
 func jsonPoints(points []instanceJSON, w io.Writer) error {
@@ -80,7 +105,7 @@ func WriteJSON(w io.Writer, points []Point) error {
 		x := p.X
 		out[i] = instanceJSON{X: &x, Metrics: p.Metrics,
 			Kind: p.Metrics.Kind.String(), Acceptable: p.Metrics.Acceptable() && p.Err == "",
-			Err: p.Err}
+			Err: p.Err, Bundle: p.Bundle, WallNS: p.WallNS}
 	}
 	return jsonPoints(out, w)
 }
@@ -95,7 +120,7 @@ func WriteMetricsJSON(w io.Writer, ms []core.Metrics) error {
 	return jsonPoints(out, w)
 }
 
-func metricsRow(x float64, m core.Metrics, errStr string) []string {
+func metricsRow(x float64, m core.Metrics, errStr, bundle string) []string {
 	return []string{
 		fmt.Sprintf("%g", x),
 		m.Kind.String(),
@@ -112,5 +137,6 @@ func metricsRow(x float64, m core.Metrics, errStr string) []string {
 		fmt.Sprintf("%d", m.LatencyP99),
 		fmt.Sprintf("%d", m.LatencyP999),
 		errStr,
+		bundle,
 	}
 }

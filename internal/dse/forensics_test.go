@@ -1,0 +1,108 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taco/internal/core"
+	"taco/internal/forensics"
+	"taco/internal/rtable"
+)
+
+// TestSweepForensicsDeterministicAcrossWorkers: a sweep with a rigged
+// stalling instance and ForensicsDir set must, for ANY worker count,
+// produce the same failed point carrying the same bundle path, the
+// same content-hashed bundle file set on disk, and byte-identical
+// CSV/JSON exports — parallelism must not perturb forensics.
+func TestSweepForensicsDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	cons := core.PaperConstraints()
+	cons.TableEntries = 24
+	sim := core.SimOptions{Packets: 12, Seed: 7, MissRatio: 0.1, Ifaces: 4, ForensicsDir: dir}
+	insts := BusInstances(rtable.BalancedTree, 4, cons, sim)
+	const stallIdx = 2
+	insts[stallIdx].Sim.MaxCyclesPerPacket = 1 // watchdog fires immediately
+
+	type capture struct {
+		csv, json []byte
+		bundle    string
+		files     map[string][]byte
+	}
+	var runs []capture
+	for _, workers := range []int{1, 8} {
+		pts, err := Sweep(context.Background(), insts, workers)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		bad := pts[stallIdx]
+		if bad.Err == "" {
+			t.Fatalf("workers %d: rigged instance came back clean", workers)
+		}
+		if bad.Bundle == "" {
+			t.Fatalf("workers %d: failed point carries no bundle path", workers)
+		}
+		var c capture
+		c.bundle = bad.Bundle
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, pts); err != nil {
+			t.Fatal(err)
+		}
+		c.csv = append([]byte(nil), buf.Bytes()...)
+		buf.Reset()
+		if err := WriteJSON(&buf, pts); err != nil {
+			t.Fatal(err)
+		}
+		c.json = append([]byte(nil), buf.Bytes()...)
+		c.files = map[string][]byte{}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.files[e.Name()] = data
+		}
+		runs = append(runs, c)
+	}
+
+	a, b := runs[0], runs[1]
+	if a.bundle != b.bundle {
+		t.Errorf("bundle paths differ across workers: %q vs %q", a.bundle, b.bundle)
+	}
+	if !bytes.Equal(a.csv, b.csv) {
+		t.Error("CSV exports differ across worker counts")
+	}
+	if !bytes.Equal(a.json, b.json) {
+		t.Error("JSON exports differ across worker counts")
+	}
+	if len(a.files) != len(b.files) {
+		t.Fatalf("bundle file sets differ: %d vs %d files", len(a.files), len(b.files))
+	}
+	for name, data := range a.files {
+		if !bytes.Equal(data, b.files[name]) {
+			t.Errorf("bundle %s bytes differ across worker counts", name)
+		}
+	}
+
+	// The bundle itself must replay to the recorded stall on both paths.
+	bun, err := forensics.Load(a.bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, compiled := range []bool{false, true} {
+		c := compiled
+		res, err := forensics.Replay(bun, forensics.ReplayOptions{Path: &c})
+		if err != nil {
+			t.Fatalf("compiled=%v: %v", compiled, err)
+		}
+		if err := forensics.CheckReproduction(bun, res); err != nil {
+			t.Errorf("compiled=%v: not reproduced: %v", compiled, err)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"taco/internal/forensics"
 	"taco/internal/fu"
 	"taco/internal/linecard"
 	"taco/internal/obs"
@@ -39,6 +40,16 @@ type SoakOptions struct {
 	// default scaled to the workload (a stall is then a real bug, not a
 	// tight budget).
 	MaxCycles int64
+	// Compiled runs each campaign's TACO router through the compiled
+	// fast path (bit-identical to the interpreter by contract — the
+	// soak is one of the contract's enforcers).
+	Compiled bool
+	// ForensicsDir, when non-empty, arms each campaign's flight
+	// recorder and serializes a forensic bundle for every failure the
+	// soak observes — a stall, a golden-vs-TACO fate divergence, or a
+	// drop-audit mismatch. Bundle paths are collected in
+	// SoakReport.Bundles, and each bundle replays with cmd/tacoreplay.
+	ForensicsDir string
 }
 
 func (o *SoakOptions) defaults() {
@@ -86,6 +97,9 @@ type SoakReport struct {
 	Mismatches int
 	// Unexplained counts machine drops the audit could not attribute.
 	Unexplained int64
+	// Bundles lists the forensic bundles written for this run's
+	// failures (SoakOptions.ForensicsDir only), in campaign order.
+	Bundles []string `json:",omitempty"`
 }
 
 // Clean reports whether the run surfaced no divergence at all.
@@ -194,6 +208,19 @@ func RunSoak(o SoakOptions) (SoakReport, error) {
 			return rep, fmt.Errorf("fault: campaign %d: %w", c, err)
 		}
 		tr.EnableDropAudit()
+		if o.ForensicsDir != "" {
+			tr.ArmRecorder(0)
+		}
+		if o.Compiled {
+			if err := tr.UseCompiled(); err != nil {
+				return rep, fmt.Errorf("fault: campaign %d: %w", c, err)
+			}
+		}
+
+		budget := o.MaxCycles
+		if budget <= 0 {
+			budget = int64(o.Packets) * int64(o.Entries+64) * 64
+		}
 
 		want := make(map[int64]fate, len(pkts))
 		wantDrops := make([]obs.DropCounters, o.Ifaces)
@@ -215,19 +242,46 @@ func RunSoak(o SoakOptions) (SoakReport, error) {
 		rep.Packets += int64(len(pkts))
 		rep.Delivered += delivered
 
-		budget := o.MaxCycles
-		if budget <= 0 {
-			budget = int64(o.Packets) * int64(o.Entries+64) * 64
+		// newBundle builds the replay-input half of a forensic bundle for
+		// this campaign; save appends the written path to the report.
+		newBundle := func(kind string) *forensics.Bundle {
+			dgs := make([]forensics.Datagram, len(pkts))
+			for i, p := range pkts {
+				dgs[i] = forensics.Datagram{Iface: i % o.Ifaces, Seq: p.Seq, Data: p.Data}
+			}
+			b := forensics.NewRouterBundle(kind, fmt.Sprintf("campaign-%d", c),
+				o.Config, o.Ifaces, routes, dgs, delivered, budget, o.Compiled)
+			b.Seed = seed
+			b.FaultSpec = o.Spec
+			b.RecorderCap = obs.DefaultRecorderCap
+			return b
 		}
+		save := func(b *forensics.Bundle) error {
+			path, err := b.Save(o.ForensicsDir)
+			if err != nil {
+				return fmt.Errorf("fault: campaign %d: forensics capture: %w", c, err)
+			}
+			rep.Bundles = append(rep.Bundles, path)
+			return nil
+		}
+
 		if err := tr.Run(delivered, budget); err != nil {
 			if errors.Is(err, router.ErrStall) {
 				rep.Stalls++
+				if se, ok := forensics.AsStall(err); ok && o.ForensicsDir != "" {
+					b := newBundle(forensics.KindStall)
+					b.AttachStall(se)
+					if err := save(b); err != nil {
+						return rep, err
+					}
+				}
 				continue // campaign lost; the soak itself goes on
 			}
 			return rep, fmt.Errorf("fault: campaign %d: %w", c, err)
 		}
 		tr.FinalizeDropAudit()
-		rep.Unexplained += tr.UnexplainedDrops()
+		unexplained := tr.UnexplainedDrops()
+		rep.Unexplained += unexplained
 
 		got := make(map[int64]fate, len(pkts))
 		for i := 0; i < o.Ifaces; i++ {
@@ -240,6 +294,7 @@ func RunSoak(o SoakOptions) (SoakReport, error) {
 			got[d.Seq] = fate{action: router.Local, iface: -1}
 			rep.Local++
 		}
+		fateMismatches := 0
 		for _, p := range pkts {
 			w := want[p.Seq]
 			gf, ok := got[p.Seq]
@@ -248,13 +303,47 @@ func RunSoak(o SoakOptions) (SoakReport, error) {
 				rep.Dropped++
 			}
 			if w != gf {
-				rep.Mismatches++
+				fateMismatches++
 			}
 		}
-		for i, st := range tr.QueueStats() {
+		dropMismatches := 0
+		stats := tr.QueueStats()
+		for i, st := range stats {
 			rep.Drops.Merge(st.Drops)
 			if i < o.Ifaces && st.Drops != wantDrops[i] {
-				rep.Mismatches++
+				dropMismatches++
+			}
+		}
+		rep.Mismatches += fateMismatches + dropMismatches
+		if o.ForensicsDir != "" && (fateMismatches > 0 || dropMismatches > 0 || unexplained > 0) {
+			attachTail := func(b *forensics.Bundle) {
+				if rec := tr.Recorder(); rec != nil {
+					b.Tail = rec.Tail()
+					b.TailDropped = rec.Dropped()
+					b.SocketNames = tr.Machine.SocketNames()
+				}
+			}
+			if fateMismatches > 0 {
+				b := newBundle(forensics.KindFateDivergence)
+				b.WantFates, b.GotFates = fateSlices(pkts, o.Ifaces, want, got)
+				attachTail(b)
+				if err := save(b); err != nil {
+					return rep, err
+				}
+			}
+			if dropMismatches > 0 || unexplained > 0 {
+				b := newBundle(forensics.KindDropAudit)
+				b.Unexplained = unexplained
+				b.WantDrops = make([]map[string]int64, o.Ifaces)
+				b.GotDrops = make([]map[string]int64, o.Ifaces)
+				for i := 0; i < o.Ifaces; i++ {
+					b.WantDrops[i] = wantDrops[i].Map()
+					b.GotDrops[i] = stats[i].Drops.Map()
+				}
+				attachTail(b)
+				if err := save(b); err != nil {
+					return rep, err
+				}
 			}
 		}
 		for name, n := range inj.Counts() {
@@ -262,4 +351,21 @@ func RunSoak(o SoakOptions) (SoakReport, error) {
 		}
 	}
 	return rep, nil
+}
+
+// fateSlices converts the soak's fate maps into the bundle's serialized
+// form, in delivery order (missing got entries are drops).
+func fateSlices(pkts []workload.Packet, ifaces int, want, got map[int64]fate) (w, g []forensics.Fate) {
+	conv := func(f fate, seq int64) forensics.Fate {
+		return forensics.Fate{Seq: seq, Action: f.action.String(), Iface: f.iface}
+	}
+	for _, p := range pkts {
+		w = append(w, conv(want[p.Seq], p.Seq))
+		gf, ok := got[p.Seq]
+		if !ok {
+			gf = fate{action: router.Drop, iface: -1}
+		}
+		g = append(g, conv(gf, p.Seq))
+	}
+	return w, g
 }

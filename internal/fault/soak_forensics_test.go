@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taco/internal/forensics"
+)
+
+// soakStallOptions is a soak configuration known (by seed) to stall at
+// least one campaign under its tight watchdog budget — the canonical
+// way to mint router forensic bundles in tests.
+func soakStallOptions(dir string) SoakOptions {
+	return SoakOptions{
+		Campaigns:    2,
+		Packets:      48,
+		Seed:         42,
+		MaxCycles:    600,
+		ForensicsDir: dir,
+	}
+}
+
+// TestSoakForensicsBundleRoundTrip: a stalling soak campaign with
+// ForensicsDir set must emit a bundle, list it in the report, and the
+// bundle must replay to the identical stall (cause, cycle, pc and
+// recorder tail) on both step paths.
+func TestSoakForensicsBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := RunSoak(soakStallOptions(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stalls == 0 {
+		t.Fatal("soak scenario no longer stalls; pick a new seed/budget")
+	}
+	if len(rep.Bundles) == 0 {
+		t.Fatal("stalling soak emitted no forensic bundles")
+	}
+	for _, path := range rep.Bundles {
+		b, err := forensics.Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if b.Kind != forensics.KindStall {
+			t.Fatalf("%s: kind %q, want %q", path, b.Kind, forensics.KindStall)
+		}
+		for _, compiled := range []bool{false, true} {
+			c := compiled
+			res, err := forensics.Replay(b, forensics.ReplayOptions{Path: &c})
+			if err != nil {
+				t.Fatalf("%s (compiled=%v): %v", path, compiled, err)
+			}
+			if err := forensics.CheckReproduction(b, res); err != nil {
+				t.Errorf("%s (compiled=%v): not reproduced: %v", path, compiled, err)
+			}
+		}
+	}
+}
+
+// TestSoakForensicsDeterministic: two identical soak runs must produce
+// identical bundle file sets — same content-hashed names, same bytes —
+// so parallel or repeated captures converge on one corpus.
+func TestSoakForensicsDeterministic(t *testing.T) {
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	var lists [2][]string
+	for i, dir := range dirs {
+		rep, err := RunSoak(soakStallOptions(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range rep.Bundles {
+			lists[i] = append(lists[i], filepath.Base(p))
+		}
+	}
+	if len(lists[0]) == 0 {
+		t.Fatal("no bundles emitted")
+	}
+	if len(lists[0]) != len(lists[1]) {
+		t.Fatalf("bundle counts differ: %v vs %v", lists[0], lists[1])
+	}
+	for i := range lists[0] {
+		if lists[0][i] != lists[1][i] {
+			t.Fatalf("bundle names differ at %d: %s vs %s", i, lists[0][i], lists[1][i])
+		}
+		a, err := os.ReadFile(filepath.Join(dirs[0], lists[0][i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirs[1], lists[1][i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Errorf("bundle %s bytes differ between runs", lists[0][i])
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package forensics
+
+import (
+	"errors"
+	"fmt"
+
+	"taco/internal/asm"
+	"taco/internal/fu"
+	"taco/internal/linecard"
+	"taco/internal/obs"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/tta"
+)
+
+// ReplayOptions tunes a bundle re-execution.
+type ReplayOptions struct {
+	// Path overrides the bundle's recorded step path: nil replays as
+	// recorded, otherwise true forces the compiled fast path and false
+	// the interpreter. Both must reproduce the same failure — that is
+	// the bit-identity contract tacoreplay -diff asserts.
+	Path *bool
+	// RecorderCap overrides the flight-recorder ring capacity; 0 uses
+	// the bundle's recorded capacity (falling back to the default).
+	// Reproducing the bundle's exact tail requires the capture
+	// capacity; -diff uses a large ring to compare whole runs.
+	RecorderCap int
+	// Trace, when non-nil, streams every replayed cycle into a Chrome
+	// trace-event writer (Perfetto / chrome://tracing). A trace sink
+	// makes compiled replays delegate each cycle to the interpreter;
+	// observable behavior is unchanged.
+	Trace *obs.TraceWriter
+}
+
+func (o ReplayOptions) compiled(b *Bundle) bool {
+	if o.Path != nil {
+		return *o.Path
+	}
+	return b.Compiled
+}
+
+func (o ReplayOptions) recorderCap(b *Bundle) int {
+	if o.RecorderCap > 0 {
+		return o.RecorderCap
+	}
+	return b.RecorderCap
+}
+
+// ReplayResult is the observable outcome of re-executing a bundle.
+type ReplayResult struct {
+	// Cycles is the total machine cycles the replay executed.
+	Cycles int64
+	// Stall is non-nil when the replay hit the watchdog (router kinds).
+	Stall *router.StallError
+	// Err is a non-stall machine error's text ("" on clean completion;
+	// machine-stall kinds put the budget-exhaustion text here).
+	Err string
+	// PC is the final program counter.
+	PC int
+	// Fates and Drops are the router outcome (clean completions only):
+	// per-datagram fates in delivery order and per-network-card drop
+	// counters keyed by reason.
+	Fates       []Fate
+	Drops       []map[string]int64
+	Unexplained int64
+	// Tail is the flight recorder's retained history at run end,
+	// TailDropped the overwritten-event count.
+	Tail        []obs.RecEvent
+	TailDropped uint64
+	SocketNames []string
+	Sockets     []tta.SocketSnapshot
+}
+
+// Replay re-executes a bundle to completion (or failure) and returns
+// what the replay observed. The replay is deterministic: same bundle,
+// same options — same result, on either step path.
+func Replay(b *Bundle, opts ReplayOptions) (*ReplayResult, error) {
+	if b.Kind == KindMachineStall {
+		return replayMachine(b, opts, -1, nil)
+	}
+	return replayRouter(b, opts, -1, nil)
+}
+
+// ReplayStep re-executes a bundle one cycle at a time, invoking onCycle
+// after every executed cycle with the events that cycle recorded. A
+// non-negative until stops once the machine has executed past that
+// cycle number, leaving the result's snapshot at the inspection point.
+func ReplayStep(b *Bundle, opts ReplayOptions, until int64, onCycle func(cycle int64, events []obs.RecEvent)) (*ReplayResult, error) {
+	if b.Kind == KindMachineStall {
+		return replayMachine(b, opts, until, onCycle)
+	}
+	return replayRouter(b, opts, until, onCycle)
+}
+
+// buildRouter reconstructs the bundle's router instance: table from the
+// recorded routes, drop audit on, flight recorder armed.
+func (b *Bundle) buildRouter(compiled bool, recorderCap int) (*router.TACO, error) {
+	if b.Config == nil {
+		return nil, errors.New("forensics: bundle carries no architecture config")
+	}
+	tbl := rtable.New(b.Config.Table)
+	if err := rtable.InsertAll(tbl, b.Routes); err != nil {
+		return nil, fmt.Errorf("forensics: rebuild table: %w", err)
+	}
+	tr, err := router.NewTACO(*b.Config, tbl, b.Ifaces)
+	if err != nil {
+		return nil, fmt.Errorf("forensics: rebuild router: %w", err)
+	}
+	tr.EnableDropAudit()
+	tr.ArmRecorder(recorderCap)
+	if compiled {
+		if err := tr.UseCompiled(); err != nil {
+			return nil, fmt.Errorf("forensics: %w", err)
+		}
+	}
+	return tr, nil
+}
+
+func replayRouter(b *Bundle, opts ReplayOptions, until int64, onCycle func(int64, []obs.RecEvent)) (*ReplayResult, error) {
+	tr, err := b.buildRouter(opts.compiled(b), opts.recorderCap(b))
+	if err != nil {
+		return nil, err
+	}
+	if opts.Trace != nil {
+		tr.Machine.Trace = tr.Machine.TraceHook(opts.Trace)
+	}
+	var delivered int64
+	for _, d := range b.Datagrams {
+		if tr.Deliver(d.Iface, linecard.Datagram{Data: d.Data, Seq: d.Seq}) {
+			delivered++
+		}
+	}
+	res := &ReplayResult{SocketNames: tr.Machine.SocketNames()}
+	rec := tr.Recorder()
+
+	var runErr error
+	if onCycle == nil && until < 0 {
+		runErr = tr.Run(delivered, b.Budget)
+	} else {
+		// Cycle-stepped variant of TACO.Run's loop for -step/-until-cycle:
+		// same stop condition, same budget check, but the caller sees every
+		// cycle's events as they happen. The budget overshoot is reported
+		// as plain text — the faithful StallError reproduction is Replay's
+		// (and the watchdog's) job.
+		for {
+			cycles := tr.Machine.Stats().Cycles
+			if cycles > b.Budget {
+				runErr = fmt.Errorf("replay: cycle budget %d exhausted (pc %d)", b.Budget, tr.Machine.PC())
+				break
+			}
+			if tr.Done(delivered) {
+				break
+			}
+			if until >= 0 && cycles > until {
+				res.Err = fmt.Sprintf("replay: paused after cycle %d (pc %d)", until, tr.Machine.PC())
+				finishSnapshot(res, tr, rec)
+				return res, nil
+			}
+			before := rec.Total()
+			if runErr = tr.StepCycle(); runErr != nil {
+				break
+			}
+			if onCycle != nil {
+				onCycle(cycles, lastEvents(rec, before))
+			}
+			if tr.Machine.Halted() {
+				runErr = fmt.Errorf("router: machine halted unexpectedly at pc %d", tr.Machine.PC())
+				break
+			}
+		}
+	}
+
+	var se *router.StallError
+	switch {
+	case errors.As(runErr, &se):
+		res.Stall = se
+		res.Err = se.Error()
+		res.Tail, res.TailDropped = se.Tail, se.TailDropped
+		if se.SocketNames != nil {
+			res.SocketNames = se.SocketNames
+		}
+		res.Sockets = se.Sockets
+		res.PC = se.PC
+		res.Cycles = tr.Machine.Stats().Cycles
+		return res, nil
+	case runErr != nil:
+		res.Err = runErr.Error()
+		finishSnapshot(res, tr, rec)
+		return res, nil
+	}
+
+	tr.FinalizeDropAudit()
+	res.Unexplained = tr.UnexplainedDrops()
+	res.Fates, res.Drops = collectFates(tr, b.Datagrams)
+	finishSnapshot(res, tr, rec)
+	return res, nil
+}
+
+func finishSnapshot(res *ReplayResult, tr *router.TACO, rec *obs.FlightRecorder) {
+	res.Cycles = tr.Machine.Stats().Cycles
+	res.PC = tr.Machine.PC()
+	res.Sockets = tr.Machine.SnapshotSockets()
+	if rec != nil {
+		res.Tail = rec.Tail()
+		res.TailDropped = rec.Dropped()
+	}
+}
+
+// lastEvents returns the events recorded since the given Total() mark
+// (clamped to what the ring still retains).
+func lastEvents(rec *obs.FlightRecorder, before uint64) []obs.RecEvent {
+	n := int(rec.Total() - before)
+	tail := rec.Tail()
+	if n > len(tail) {
+		n = len(tail)
+	}
+	return tail[len(tail)-n:]
+}
+
+// collectFates mirrors the soak's outcome accounting: every bundle
+// datagram gets a fate (forward with its output interface, local, or
+// drop when it never reappeared), plus the per-network-card drop
+// counters.
+func collectFates(tr *router.TACO, dgs []Datagram) ([]Fate, []map[string]int64) {
+	got := make(map[int64]Fate, len(dgs))
+	for i := 0; i < tr.Ifaces(); i++ {
+		for _, d := range tr.Outputs(i) {
+			got[d.Seq] = Fate{Seq: d.Seq, Action: router.Forward.String(), Iface: i}
+		}
+	}
+	for _, d := range tr.LocalQueue() {
+		got[d.Seq] = Fate{Seq: d.Seq, Action: router.Local.String(), Iface: -1}
+	}
+	fates := make([]Fate, 0, len(dgs))
+	for _, d := range dgs {
+		f, ok := got[d.Seq]
+		if !ok {
+			f = Fate{Seq: d.Seq, Action: router.Drop.String(), Iface: -1}
+		}
+		fates = append(fates, f)
+	}
+	stats := tr.QueueStats()
+	drops := make([]map[string]int64, tr.Ifaces())
+	for i := range drops {
+		drops[i] = stats[i].Drops.Map()
+	}
+	return fates, drops
+}
+
+// GoldenFates runs the golden reference router over the bundle's
+// datagrams and returns the expected fates (delivery order) and the
+// expected per-network-card drop counters — the "want" side of the
+// differential comparison, recomputed from first principles.
+func GoldenFates(b *Bundle) ([]Fate, []map[string]int64, error) {
+	if b.Config == nil {
+		return nil, nil, errors.New("forensics: bundle carries no architecture config")
+	}
+	tbl := rtable.New(b.Config.Table)
+	if err := rtable.InsertAll(tbl, b.Routes); err != nil {
+		return nil, nil, fmt.Errorf("forensics: rebuild table: %w", err)
+	}
+	g := router.NewGolden(tbl, b.Ifaces)
+	fates := make([]Fate, 0, len(b.Datagrams))
+	wantDrops := make([]obs.DropCounters, b.Ifaces)
+	for _, d := range b.Datagrams {
+		dec, _ := g.Process(d.Data)
+		f := Fate{Seq: d.Seq, Action: dec.Action.String(), Iface: -1}
+		if dec.Action == router.Forward {
+			f.Iface = dec.OutIface
+		} else if dec.Action == router.Drop && d.Iface >= 0 && d.Iface < b.Ifaces {
+			wantDrops[d.Iface].Add(dec.Reason)
+		}
+		fates = append(fates, f)
+	}
+	drops := make([]map[string]int64, b.Ifaces)
+	for i := range drops {
+		drops[i] = wantDrops[i].Map()
+	}
+	return fates, drops, nil
+}
+
+// NewMachineBundle assembles a KindMachineStall bundle: a compute
+// program (assembly source) that faulted or exhausted its budget on
+// cfg's machine.
+func NewMachineBundle(label string, cfg fu.Config, asmSrc string, budget int64, compiled bool) *Bundle {
+	return &Bundle{
+		Version: Version, Kind: KindMachineStall, Label: label,
+		Config: &cfg, Asm: asmSrc, Budget: budget, Compiled: compiled,
+	}
+}
+
+// AttachMachineState copies a compute machine's terminal state (and
+// armed recorder tail) into the bundle after a failed run.
+func (b *Bundle) AttachMachineState(m *tta.Machine, runErr error) {
+	if runErr != nil {
+		b.Err = runErr.Error()
+	}
+	b.StallCycle = m.Stats().Cycles
+	b.PC = m.PC()
+	b.Sockets = m.SnapshotSockets()
+	b.SocketNames = m.SocketNames()
+	if rec := m.Recorder; rec != nil {
+		b.Tail = rec.Tail()
+		b.TailDropped = rec.Dropped()
+	}
+}
+
+// buildMachine reconstructs the bundle's compute machine with the
+// program re-assembled from the recorded source.
+func (b *Bundle) buildMachine(recorderCap int) (*tta.Machine, error) {
+	if b.Config == nil {
+		return nil, errors.New("forensics: bundle carries no architecture config")
+	}
+	m, err := fu.NewComputeMachine(*b.Config)
+	if err != nil {
+		return nil, fmt.Errorf("forensics: rebuild machine: %w", err)
+	}
+	prog, err := asm.Assemble(b.Asm, m)
+	if err != nil {
+		return nil, fmt.Errorf("forensics: reassemble: %w", err)
+	}
+	if err := m.Load(prog); err != nil {
+		return nil, fmt.Errorf("forensics: %w", err)
+	}
+	m.AttachRecorder(recorderCap)
+	return m, nil
+}
+
+func replayMachine(b *Bundle, opts ReplayOptions, until int64, onCycle func(int64, []obs.RecEvent)) (*ReplayResult, error) {
+	m, err := b.buildMachine(opts.recorderCap(b))
+	if err != nil {
+		return nil, err
+	}
+	if opts.Trace != nil {
+		m.Trace = m.TraceHook(opts.Trace)
+	}
+	var cm *tta.CompiledMachine
+	if opts.compiled(b) {
+		if cm, err = tta.Compile(m); err != nil {
+			return nil, err
+		}
+	}
+	rec := m.Recorder
+	res := &ReplayResult{SocketNames: m.SocketNames()}
+	var runErr error
+	if onCycle == nil && until < 0 {
+		if cm != nil {
+			_, runErr = cm.Run(b.Budget)
+		} else {
+			_, runErr = m.Run(b.Budget)
+		}
+	} else {
+		// Cycle-stepped mirror of Machine.Run's loop (same budget check
+		// and error text).
+		for !m.Halted() {
+			cycles := m.Stats().Cycles
+			if b.Budget >= 0 && cycles >= b.Budget {
+				runErr = fmt.Errorf("tta: exceeded %d cycles (pc=%d)", b.Budget, m.PC())
+				break
+			}
+			if until >= 0 && cycles > until {
+				res.Err = fmt.Sprintf("replay: paused after cycle %d (pc %d)", until, m.PC())
+				break
+			}
+			before := rec.Total()
+			if cm != nil {
+				_, runErr = cm.RunToPC(-1, 1)
+			} else {
+				runErr = m.Step()
+			}
+			if runErr != nil {
+				break
+			}
+			if onCycle != nil {
+				onCycle(cycles, lastEvents(rec, before))
+			}
+		}
+	}
+	if runErr != nil {
+		res.Err = runErr.Error()
+	}
+	res.Cycles = m.Stats().Cycles
+	res.PC = m.PC()
+	res.Sockets = m.SnapshotSockets()
+	res.Tail = rec.Tail()
+	res.TailDropped = rec.Dropped()
+	return res, nil
+}

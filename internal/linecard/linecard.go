@@ -141,6 +141,10 @@ func (c *Card) ReadInput() (Datagram, bool) {
 		c.bank.pending--
 	}
 	c.stats.Consumed++
+	if c.bank != nil && c.bank.rec != nil {
+		c.bank.rec.Record(obs.RecEvent{Kind: obs.EvPop, PC: -1,
+			Src: int32(c.index), Value: uint32(d.Seq)})
+	}
 	return d, true
 }
 
@@ -158,6 +162,10 @@ func (c *Card) PushOut(d Datagram) bool {
 	c.stats.Transmitted++
 	if depth := len(c.out); depth > c.stats.MaxOutDepth {
 		c.stats.MaxOutDepth = depth
+	}
+	if c.bank != nil && c.bank.rec != nil {
+		c.bank.rec.Record(obs.RecEvent{Kind: obs.EvPush, PC: -1,
+			Src: int32(c.index), Value: uint32(d.Seq)})
 	}
 	return true
 }
@@ -223,7 +231,18 @@ type Bank struct {
 	// that was empty — the external-wake events a sleeping DMA consumer
 	// (the preprocessing unit's compiled fast path) must observe.
 	deliverGen uint64
+	// rec, when non-nil, receives push/pop flight-recorder events from
+	// every card (stamped with the recorder's current machine cycle).
+	// Sharing the machine's recorder puts DMA activity on the same
+	// timeline as the moves that caused it.
+	rec *obs.FlightRecorder
 }
+
+// SetRecorder attaches (or, with nil, detaches) a flight recorder that
+// every card's ReadInput/PushOut feeds. The recorder is typically the
+// machine's own, so line-card events interleave with move events in
+// cycle order.
+func (b *Bank) SetRecorder(r *obs.FlightRecorder) { b.rec = r }
 
 // NewBank creates n cards with interface indices 0..n-1.
 func NewBank(n int) *Bank {

@@ -46,6 +46,15 @@ type StallError struct {
 	// descriptors or card input were still in flight, plain watchdog
 	// otherwise (e.g. a control-flow loop).
 	Cause obs.StallCause
+
+	// Tail is the flight recorder's retained event history at the moment
+	// the watchdog fired (oldest first), when a recorder was armed; nil
+	// otherwise. TailDropped counts events the ring had already
+	// overwritten, and SocketNames carries the machine's socket-name
+	// table (index = SocketID-1) so the tail renders without the machine.
+	Tail        []obs.RecEvent
+	TailDropped uint64
+	SocketNames []string
 }
 
 // classifyStall derives the stall cause from the watchdog's snapshot.
@@ -85,6 +94,16 @@ func (e *StallError) Dump() string {
 	}
 	for _, s := range e.Sockets {
 		fmt.Fprintf(&b, "  %-16s %-8s 0x%08x\n", s.Name, s.Kind, s.Value)
+	}
+	if len(e.Tail) > 0 {
+		fmt.Fprintf(&b, "  flight recorder: last %d events", len(e.Tail))
+		if e.TailDropped > 0 {
+			fmt.Fprintf(&b, " (%d older events overwritten)", e.TailDropped)
+		}
+		b.WriteString("\n")
+		for _, ev := range e.Tail {
+			fmt.Fprintf(&b, "    %s\n", ev.Format(e.SocketNames))
+		}
 	}
 	return b.String()
 }

@@ -91,6 +91,21 @@ func (t *TACO) UseCompiled() error {
 // Compiled reports whether Run executes through the compiled fast path.
 func (t *TACO) Compiled() bool { return t.compiled != nil }
 
+// ArmRecorder attaches a flight recorder (capacity <= 0 means
+// obs.DefaultRecorderCap) to the machine and shares it with the line
+// cards, so moves, guard outcomes, triggers and DMA push/pop land on
+// one cycle-ordered timeline. A watchdog stall then carries the
+// recorder tail in its StallError. Reset clears the recorder with the
+// rest of the router state.
+func (t *TACO) ArmRecorder(capacity int) *obs.FlightRecorder {
+	r := t.Machine.AttachRecorder(capacity)
+	t.Bank.SetRecorder(r)
+	return r
+}
+
+// Recorder returns the armed flight recorder, or nil.
+func (t *TACO) Recorder() *obs.FlightRecorder { return t.Machine.Recorder }
+
 // DelegatedCycles reports how many cycles the compiled fast path handed
 // back to the interpreter (0 when not compiled). Only a trace sink
 // forces delegation; counters are recorded natively, so a
@@ -165,6 +180,13 @@ func (t *TACO) Run(expected int64, maxCycles int64) error {
 			}
 			se.Cause = classifyStall(se.QueueLen, se.Cards)
 			t.stalls.AddN(se.Cause, cycles)
+			if rec := t.Machine.Recorder; rec != nil {
+				rec.Record(obs.RecEvent{Kind: obs.EvStall, PC: int32(se.PC),
+					Value: uint32(se.Cause)})
+				se.Tail = rec.Tail()
+				se.TailDropped = rec.Dropped()
+				se.SocketNames = t.Machine.SocketNames()
+			}
 			return se
 		}
 		// Cheapest-first, most-selective-first: the machine is only back
@@ -198,6 +220,28 @@ func (t *TACO) Run(expected int64, maxCycles int64) error {
 func (t *TACO) mainAddr() int {
 	prog := t.Sched.Program
 	return prog.Labels["main"]
+}
+
+// Done reports Run's stop condition: the machine is back at its poll
+// loop with all expected datagrams popped and fully processed. Exposed
+// for cycle-stepping replay drivers (tacoreplay) that reproduce Run's
+// loop one cycle at a time.
+func (t *TACO) Done(expected int64) bool {
+	return t.Machine.PC() == t.mainAddr() &&
+		t.Units.IPPU.Popped() >= expected &&
+		t.Units.IPPU.QueueLen() == 0 &&
+		t.Bank.AnyPending() < 0
+}
+
+// StepCycle executes exactly one machine cycle on whichever path the
+// router is configured for (interpreter or compiled fast path) — the
+// replay debugger's single-step primitive.
+func (t *TACO) StepCycle() error {
+	if t.compiled != nil {
+		_, err := t.compiled.RunToPC(-1, 1)
+		return err
+	}
+	return t.Machine.Step()
 }
 
 // Outputs drains the transmitted datagrams of a network interface.

@@ -76,6 +76,29 @@ func (k Kind) MarshalJSON() ([]byte, error) {
 	return []byte(fmt.Sprintf("%q", k.String())), nil
 }
 
+// UnmarshalJSON accepts the MarshalJSON form (a kind name) or a bare
+// integer, so serialized configs — forensic bundles in particular —
+// round-trip.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	s := string(data)
+	if len(s) >= 2 && s[0] == '"' {
+		name := s[1 : len(s)-1]
+		for _, cand := range Kinds {
+			if cand.String() == name {
+				*k = cand
+				return nil
+			}
+		}
+		return fmt.Errorf("rtable: unknown table kind %q", name)
+	}
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		return fmt.Errorf("rtable: bad table kind %s", s)
+	}
+	*k = Kind(n)
+	return nil
+}
+
 // Stats counts the table's primitive accesses; the evaluation layer uses
 // them to cross-check simulated cycle counts.
 type Stats struct {

@@ -6,6 +6,7 @@ import (
 	mathbits "math/bits"
 
 	"taco/internal/isa"
+	"taco/internal/obs"
 )
 
 // This file implements the compiled fast path: for a fixed machine
@@ -191,6 +192,12 @@ type cmove struct {
 	// when the source socket is a Result, else -1.
 	srcSock    int32
 	srcResUnit int32
+	// Flight-recorder codes, valid for every move (including ones whose
+	// source or destination is invalid): recSrc is -1 for immediates
+	// else the raw source SocketID, recDst the raw destination SocketID
+	// — exactly what the interpreter records.
+	recSrc int32
+	recDst int32
 }
 
 // cins is one pre-lowered instruction: its moves are c.moves[start:end]
@@ -358,7 +365,7 @@ func (c *CompiledMachine) lowerInstruction(pc int, in isa.Instruction) cins {
 	}
 	moves := make([]cmove, 0, len(in.Moves))
 	for bus, mv := range in.Moves {
-		cm := cmove{srcResUnit: -1}
+		cm := cmove{srcResUnit: -1, recSrc: recSrcCode(mv.Src), recDst: int32(mv.Dst)}
 		errs := &cmoveErrs{}
 		fail := false
 		if len(mv.Guard.Terms) > 0 {
@@ -601,6 +608,11 @@ func (c *CompiledMachine) RunToPC(stopPC int, maxSteps int64) (int64, error) {
 	// cycles only for fully completed cycles. ctrs == nil is the common
 	// disabled case and costs one predictable branch per move.
 	ctrs := m.Counters
+	// The flight recorder is native here too, recording at the
+	// interpreter's exact event points so an armed recorder sees a
+	// bit-identical stream on either path. rec == nil is the common
+	// disabled case and costs one predictable branch per move.
+	rec := m.Recorder
 
 loop:
 	for !halted && cycles < maxSteps {
@@ -613,6 +625,9 @@ loop:
 			clear(m.trigStamp)
 			clear(m.wrStamp)
 			stamp = 1
+		}
+		if rec != nil {
+			rec.SetCycle(statsBase + cycles)
 		}
 		nextPC := pc + 1
 		jumped = false
@@ -630,6 +645,10 @@ loop:
 				if *mv.flag0 == mv.neg0 {
 					if ctrs != nil {
 						ctrs.BusEncoded[mi-ci.start]++
+					}
+					if rec != nil {
+						rec.Record(obs.RecEvent{Kind: obs.EvGuardFalse, PC: int32(pc),
+							Bus: int16(mi - ci.start), Src: mv.recSrc, Dst: mv.recDst})
 					}
 					continue // guard failed: move not executed
 				}
@@ -655,6 +674,14 @@ loop:
 						ctrs.UnitTriggers[mv.unitIdx]++
 					}
 				}
+				if rec != nil {
+					k := obs.EvMove
+					if mv.op == opTrigger {
+						k = obs.EvTrigger
+					}
+					rec.Record(obs.RecEvent{Kind: k, PC: int32(pc), Bus: int16(mi - ci.start),
+						Src: mv.recSrc, Dst: mv.recDst, Value: val})
+				}
 				if direct {
 					if mv.dstVal != nil {
 						*mv.dstVal = val
@@ -678,6 +705,14 @@ loop:
 					if mv.op == opTrigger {
 						ctrs.UnitTriggers[mv.unitIdx]++
 					}
+				}
+				if rec != nil {
+					k := obs.EvMove
+					if mv.op == opTrigger {
+						k = obs.EvTrigger
+					}
+					rec.Record(obs.RecEvent{Kind: k, PC: int32(pc), Bus: int16(mi - ci.start),
+						Src: -1, Dst: mv.recDst, Value: mv.immVal})
 				}
 				if direct {
 					if mv.dstVal != nil {
@@ -715,6 +750,10 @@ loop:
 				if !executed {
 					if ctrs != nil {
 						ctrs.BusEncoded[mi-ci.start]++
+					}
+					if rec != nil {
+						rec.Record(obs.RecEvent{Kind: obs.EvGuardFalse, PC: int32(pc),
+							Bus: int16(mi - ci.start), Src: mv.recSrc, Dst: mv.recDst})
 					}
 					continue
 				}
@@ -771,6 +810,14 @@ loop:
 				if ctrs != nil && mv.op == opTrigger {
 					ctrs.UnitTriggers[mv.unitIdx]++
 				}
+				if rec != nil {
+					k := obs.EvMove
+					if mv.op == opTrigger {
+						k = obs.EvTrigger
+					}
+					rec.Record(obs.RecEvent{Kind: k, PC: int32(pc), Bus: int16(mi - ci.start),
+						Src: mv.recSrc, Dst: mv.recDst, Value: val})
+				}
 				if direct {
 					if mv.dstVal != nil {
 						*mv.dstVal = val
@@ -785,8 +832,16 @@ loop:
 			case opJump:
 				nextPC = int(val)
 				jumped = true
+				if rec != nil {
+					rec.Record(obs.RecEvent{Kind: obs.EvJump, PC: int32(pc), Bus: int16(mi - ci.start),
+						Src: mv.recSrc, Dst: mv.recDst, Value: val})
+				}
 			case opHalt:
 				haltReq = true
+				if rec != nil {
+					rec.Record(obs.RecEvent{Kind: obs.EvHalt, PC: int32(pc), Bus: int16(mi - ci.start),
+						Src: mv.recSrc, Dst: mv.recDst, Value: val})
+				}
 			case opResultErr:
 				retErr = errors.New(mv.errs.dstErr)
 				break loop

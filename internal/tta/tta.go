@@ -140,6 +140,14 @@ type Machine struct {
 	// per cycle; see AttachCounters.
 	Counters *obs.Counters
 
+	// Recorder, when non-nil, receives one flight-recorder event per
+	// encoded move (and control-flow event) — the machine's black box.
+	// Both step paths record natively at the same points, so the event
+	// stream is bit-identical between the interpreter and the compiled
+	// fast path. A nil recorder costs one pointer check per move; see
+	// AttachRecorder.
+	Recorder *obs.FlightRecorder
+
 	// Scratch reused across cycles so that the steady-state Step loop
 	// performs no heap allocation: pending writes, plus stamp arrays
 	// replacing the per-cycle "written this cycle" / "triggered this
@@ -418,6 +426,9 @@ func (m *Machine) Reset() {
 	if m.Counters != nil {
 		m.Counters.Reset()
 	}
+	if m.Recorder != nil {
+		m.Recorder.Reset()
+	}
 }
 
 // AttachCounters installs (and returns) a counters sink sized for this
@@ -426,6 +437,14 @@ func (m *Machine) Reset() {
 func (m *Machine) AttachCounters() *obs.Counters {
 	m.Counters = obs.NewCounters(m.buses, len(m.units), len(m.sockets))
 	return m.Counters
+}
+
+// AttachRecorder installs (and returns) a flight recorder retaining the
+// last capacity events (obs.DefaultRecorderCap when capacity <= 0).
+// Both step paths feed it natively; detach by setting Recorder to nil.
+func (m *Machine) AttachRecorder(capacity int) *obs.FlightRecorder {
+	m.Recorder = obs.NewFlightRecorder(capacity)
+	return m.Recorder
 }
 
 // PC returns the current program counter.
@@ -519,6 +538,11 @@ func (m *Machine) Step() error {
 		m.stamp = 1
 	}
 
+	rec := m.Recorder
+	if rec != nil {
+		rec.SetCycle(m.stats.Cycles)
+	}
+
 	for bus, mv := range in.Moves {
 		executed, err := m.guardHolds(mv.Guard)
 		if err != nil {
@@ -550,6 +574,10 @@ func (m *Machine) Step() error {
 			})
 		}
 		if !executed {
+			if rec != nil {
+				rec.Record(obs.RecEvent{Kind: obs.EvGuardFalse, PC: int32(m.pc),
+					Bus: int16(bus), Src: recSrcCode(mv.Src), Dst: int32(mv.Dst)})
+			}
 			continue
 		}
 		if mv.Dst == isa.InvalidSocket || int(mv.Dst) > len(m.sockets) {
@@ -569,8 +597,16 @@ func (m *Machine) Step() error {
 			case ctlJump:
 				m.nextPC = int(val)
 				m.jumped = true
+				if rec != nil {
+					rec.Record(obs.RecEvent{Kind: obs.EvJump, PC: int32(m.pc), Bus: int16(bus),
+						Src: recSrcCode(mv.Src), Dst: int32(mv.Dst), Value: val})
+				}
 			case ctlHalt:
 				haltReq = true
+				if rec != nil {
+					rec.Record(obs.RecEvent{Kind: obs.EvHalt, PC: int32(m.pc), Bus: int16(bus),
+						Src: recSrcCode(mv.Src), Dst: int32(mv.Dst), Value: val})
+				}
 			}
 		default:
 			if ref.kind == Result {
@@ -585,6 +621,13 @@ func (m *Machine) Step() error {
 				if c := m.Counters; c != nil {
 					c.UnitTriggers[ref.unit]++
 				}
+				if rec != nil {
+					rec.Record(obs.RecEvent{Kind: obs.EvTrigger, PC: int32(m.pc), Bus: int16(bus),
+						Src: recSrcCode(mv.Src), Dst: int32(mv.Dst), Value: val})
+				}
+			} else if rec != nil {
+				rec.Record(obs.RecEvent{Kind: obs.EvMove, PC: int32(m.pc), Bus: int16(bus),
+					Src: recSrcCode(mv.Src), Dst: int32(mv.Dst), Value: val})
 			}
 			m.writes = append(m.writes, pendingWrite{ref: ref, val: val, bus: bus})
 		}
@@ -620,6 +663,16 @@ func (m *Machine) Step() error {
 		m.halted = true
 	}
 	return nil
+}
+
+// recSrcCode encodes a move source for flight-recorder events: -1 for
+// an immediate, else the raw SocketID (even an out-of-range one — the
+// event then reports the offending reference).
+func recSrcCode(src isa.Source) int32 {
+	if src.Imm {
+		return -1
+	}
+	return int32(src.Socket)
 }
 
 func (m *Machine) readSource(src isa.Source) (uint32, error) {

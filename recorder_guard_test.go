@@ -1,0 +1,168 @@
+// Flight-recorder regression guards. The recorder must be free when it
+// is off — a detached recorder is one nil check per move, so a run with
+// no recorder is bit-identical (cycles, output bytes) and allocation-
+// free in steady state — and faithful when it is on: the interpreter
+// and the compiled fast path must record byte-for-byte identical event
+// streams, or a tacoreplay -diff would report divergences the machines
+// never had.
+package taco_test
+
+import (
+	"testing"
+
+	"taco/internal/fu"
+	"taco/internal/linecard"
+	"taco/internal/obs"
+	"taco/internal/router"
+	"taco/internal/rtable"
+	"taco/internal/workload"
+)
+
+// recorderBatch forwards a fixed workload through a fresh router and
+// returns (cycles, outputs, recorder tail).
+func recorderBatch(t *testing.T, compiled bool, recorderCap int) (int64, [][]byte, []obs.RecEvent) {
+	t.Helper()
+	const packets, ifaces = 48, 4
+	kind := rtable.BalancedTree
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 64, Ifaces: ifaces, Seed: 11})
+	tbl := rtable.New(kind)
+	if err := rtable.InsertAll(tbl, routes); err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.PaperTrafficSpec(packets)
+	spec.Seed = 11
+	spec.MissRatio = 0.1
+	pkts, err := workload.GenerateTraffic(routes, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := router.NewTACO(fu.Config3Bus1FU(kind), tbl, ifaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *obs.FlightRecorder
+	if recorderCap != 0 {
+		rec = tr.ArmRecorder(recorderCap)
+	}
+	if compiled {
+		if err := tr.UseCompiled(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range pkts {
+		if !tr.Deliver(i%ifaces, linecard.Datagram{Data: p.Data, Seq: p.Seq}) {
+			t.Fatalf("deliver %d failed", i)
+		}
+	}
+	if err := tr.Run(packets, 20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	outs := make([][]byte, ifaces)
+	for i := 0; i < ifaces; i++ {
+		for _, d := range tr.Outputs(i) {
+			outs[i] = append(outs[i], d.Data...)
+		}
+	}
+	var tail []obs.RecEvent
+	if rec != nil {
+		tail = rec.Tail()
+	}
+	return tr.Machine.Stats().Cycles, outs, tail
+}
+
+// TestRecorderOffBitIdentical: arming the flight recorder must not
+// perturb the simulation — same cycle count, same bytes on every
+// interface, on both step paths. If recording ever leaks into the
+// cycle domain, the Table 1 ground truth moves, and this fails first.
+func TestRecorderOffBitIdentical(t *testing.T) {
+	for _, compiled := range []bool{false, true} {
+		name := "interpreted"
+		if compiled {
+			name = "compiled"
+		}
+		t.Run(name, func(t *testing.T) {
+			offCycles, offOuts, _ := recorderBatch(t, compiled, 0)
+			onCycles, onOuts, tail := recorderBatch(t, compiled, 1<<16)
+			if offCycles != onCycles {
+				t.Errorf("recorder changed the cycle count: %d off vs %d on", offCycles, onCycles)
+			}
+			for i := range offOuts {
+				if string(offOuts[i]) != string(onOuts[i]) {
+					t.Errorf("iface %d: output bytes differ with recorder armed", i)
+				}
+			}
+			if len(tail) == 0 {
+				t.Fatal("armed recorder captured no events")
+			}
+		})
+	}
+}
+
+// TestRecorderPathsIdentical: with a recorder large enough to retain
+// the whole run, the interpreter and the compiled fast path must
+// record the exact same event stream — every move, guard outcome,
+// trigger, jump and line-card push/pop at the same cycle with the same
+// value. This is the contract tacoreplay -diff leans on.
+func TestRecorderPathsIdentical(t *testing.T) {
+	_, _, interp := recorderBatch(t, false, 1<<21)
+	_, _, compiled := recorderBatch(t, true, 1<<21)
+	if len(interp) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if len(interp) != len(compiled) {
+		t.Fatalf("event counts differ: interpreted %d, compiled %d", len(interp), len(compiled))
+	}
+	for i := range interp {
+		if interp[i] != compiled[i] {
+			t.Fatalf("event %d diverged:\n  interpreted: %s\n  compiled:    %s",
+				i, interp[i].Format(nil), compiled[i].Format(nil))
+		}
+	}
+}
+
+// TestRecorderOffAllocFree: the recorder-off steady state (the default)
+// must stay allocation-free per reset-reuse batch beyond the datagram
+// payload copies themselves — the recorder's absence is one nil check,
+// not an allocation site. Mirrors TestSteadyStateAllocs with the
+// recorder explicitly in the picture (armed once, then detached).
+func TestRecorderOffAllocFree(t *testing.T) {
+	const packets, ifaces = 16, 4
+	kind := rtable.BalancedTree
+	routes := workload.GenerateRoutes(workload.TableSpec{Entries: 64, Ifaces: ifaces, Seed: 11})
+	tbl := rtable.New(kind)
+	if err := rtable.InsertAll(tbl, routes); err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := workload.GenerateTraffic(routes, workload.PaperTrafficSpec(packets))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := router.NewTACO(fu.Config3Bus1FU(kind), tbl, ifaces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arm and then detach: a previously armed machine must pay nothing
+	// once the recorder is gone.
+	tr.ArmRecorder(64)
+	tr.Machine.Recorder = nil
+	tr.Bank.SetRecorder(nil)
+	run := func() {
+		tr.Reset()
+		for i, p := range pkts {
+			tr.Deliver(i%ifaces, linecard.Datagram{Data: p.Data, Seq: p.Seq})
+		}
+		if err := tr.Run(packets, 20_000_000); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i <= ifaces; i++ {
+			tr.Outputs(i)
+		}
+	}
+	run() // warm scratch capacity
+	avg := testing.AllocsPerRun(10, run)
+	// Same budget as TestSteadyStateAllocs: the per-batch DrainOutput
+	// slices (and nothing else) may allocate.
+	if budget := float64(4 * packets); avg > budget {
+		t.Errorf("recorder-off batch allocates %.1f times (budget %.0f)", avg, budget)
+	}
+}
