@@ -42,7 +42,9 @@ fuzz: fuzz-router fuzz-lpm fuzz-faults fuzz-compiled
 fuzz-router:
 	$(GO) test ./internal/router -run xxx -fuzz FuzzGoldenVsTACO -fuzztime $(FUZZTIME)
 
-# All five routing-table backends in lockstep on decoded op streams.
+# All seven routing-table backends in lockstep on decoded op streams —
+# including a minimum-block tiled TCAM instance so the fuzzer reaches
+# the tile split/merge machinery.
 fuzz-lpm:
 	$(GO) test ./internal/rtable -run xxx -fuzz FuzzLPMBackends -fuzztime $(FUZZTIME)
 

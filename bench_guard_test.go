@@ -16,8 +16,10 @@ import (
 	"taco/internal/core"
 	"taco/internal/fu"
 	"taco/internal/linecard"
+	"taco/internal/program"
 	"taco/internal/router"
 	"taco/internal/rtable"
+	"taco/internal/workload"
 )
 
 // snapshotMetrics is the recorded (cycles/packet, busUtil%) pair of one
@@ -181,6 +183,119 @@ func TestScaledAnchorsMatchTable1(t *testing.T) {
 				t.Errorf("%v: anchor %d entries: scaled model saw %v probes/packet, hardware counters %v",
 					kind, n, got, wantProbes)
 			}
+		}
+	}
+}
+
+// TestScaledAnchorsModelledKinds extends the anchor guard to the kinds
+// without a hardware RTU — tiled-TCAM and compressed (and the earlier
+// multibit/trie) borrow the balanced tree's cycle-accurate anchors and
+// rescale the slope by the documented kernel factor. The anchors must
+// still be bit-identical to a direct Evaluate of the donor instance,
+// and the rescaled slope must be exactly factor × the tree slope.
+func TestScaledAnchorsModelledKinds(t *testing.T) {
+	cons := core.PaperConstraints()
+	sim := core.DefaultSimOptions()
+	for _, kind := range []rtable.Kind{rtable.TiledTCAM, rtable.Compressed, rtable.Multibit, rtable.Trie} {
+		cfg := fu.Config1Bus1FU(kind)
+		spec := core.ScaleSpec{Kind: kind, Entries: 2000}
+		sm, err := core.EvaluateScaled(cfg, spec, cons, sim)
+		if err != nil {
+			t.Fatalf("%v: EvaluateScaled: %v", kind, err)
+		}
+		model := sm.ScaleModel
+		if model == nil {
+			t.Fatalf("%v: no ScaleModel recorded", kind)
+		}
+		if !model.Modelled || model.DonorKind != rtable.BalancedTree {
+			t.Fatalf("%v: expected modelled balanced-tree anchors, got donor %v modelled %v",
+				kind, model.DonorKind, model.Modelled)
+		}
+		donorCfg := cfg
+		donorCfg.Table = rtable.BalancedTree
+		for i, n := range model.AnchorEntries {
+			aCons := cons
+			aCons.TableEntries = n
+			dm, err := core.Evaluate(donorCfg, aCons, sim)
+			if err != nil {
+				t.Fatalf("%v: donor Evaluate at %d entries: %v", kind, n, err)
+			}
+			if got, want := model.AnchorCycles[i], dm.CyclesPerPacket; got != want {
+				t.Errorf("%v: anchor %d entries: scaled model saw %v cycles/packet, direct donor %v",
+					kind, n, got, want)
+			}
+		}
+		treeSlope := (model.AnchorCycles[1] - model.AnchorCycles[0]) /
+			(model.AnchorProbes[1] - model.AnchorProbes[0])
+		want, ok := program.ModelPerProbe(kind, treeSlope)
+		if !ok {
+			t.Fatalf("%v: program.ModelPerProbe has no factor", kind)
+		}
+		if model.PerProbeCycles != want {
+			t.Errorf("%v: PerProbeCycles = %v, want factor-rescaled tree slope %v",
+				kind, model.PerProbeCycles, want)
+		}
+	}
+}
+
+// TestScaledProbesMatchHistogram re-derives the probes(n) the scaled
+// cycle model charged from the backends' own probe histograms: an
+// identical table built under the identical seeded workload must
+// reproduce Metrics.AvgProbesPerPacket exactly from its histogram sum
+// — and for the tiled TCAM, the index/tile probe split must account
+// for every charged probe with exactly one block activation per
+// lookup. A drift here means the model is billing cycles for probes
+// the organisation does not perform.
+func TestScaledProbesMatchHistogram(t *testing.T) {
+	cons := core.PaperConstraints()
+	sim := core.DefaultSimOptions()
+	const entries = 5000
+	routes := workload.GenerateLargeRoutes(workload.LargeTableSpec{
+		Entries: entries, Ifaces: sim.Ifaces, Seed: sim.Seed,
+	})
+	dests := workload.SampleDests(routes, core.DefaultSampleLookups, sim.MissRatio, sim.Seed)
+
+	for _, kind := range []rtable.Kind{rtable.TiledTCAM, rtable.Compressed} {
+		m, err := core.EvaluateScaled(fu.Config1Bus1FU(kind),
+			core.ScaleSpec{Kind: kind, Entries: entries}, cons, sim)
+		if err != nil {
+			t.Fatalf("%v: EvaluateScaled: %v", kind, err)
+		}
+		tbl := rtable.New(kind)
+		if err := rtable.InsertAll(tbl, routes); err != nil {
+			t.Fatalf("%v: build: %v", kind, err)
+		}
+		tbl.ResetStats()
+		for _, dst := range dests {
+			tbl.Lookup(dst)
+		}
+		st := tbl.Stats()
+
+		var histSum int64
+		switch tt := tbl.(type) {
+		case *rtable.TiledTCAMTable:
+			for _, c := range tt.DepthProbes() {
+				histSum += c
+			}
+			if tt.TileProbes() != st.Lookups {
+				t.Errorf("tiled-tcam: %d block activations for %d lookups, want exactly one each",
+					tt.TileProbes(), st.Lookups)
+			}
+			if tt.IndexProbes()+tt.TileProbes() != st.Probes {
+				t.Errorf("tiled-tcam: index %d + tile %d probes != charged %d",
+					tt.IndexProbes(), tt.TileProbes(), st.Probes)
+			}
+		case *rtable.CompressedTable:
+			for _, c := range tt.LevelProbes() {
+				histSum += c
+			}
+		}
+		if histSum != st.Probes {
+			t.Errorf("%v: histogram sums to %d, Stats.Probes %d", kind, histSum, st.Probes)
+		}
+		if got := float64(histSum) / float64(st.Lookups); got != m.AvgProbesPerPacket {
+			t.Errorf("%v: histogram-derived probes %v, cycle model charged %v",
+				kind, got, m.AvgProbesPerPacket)
 		}
 	}
 }

@@ -14,8 +14,9 @@
 //	                                    (model-based; see EXPERIMENTS.md)
 //
 // The large-table sweep takes -table-kind (comma-separated:
-// seq,tree,cam,multibit,trie) and -table-size (comma-separated entry
-// counts), plus -churn to play an update stream into each table first.
+// seq,tree,cam,multibit,tiled-tcam,compressed,trie) and -table-size
+// (comma-separated entry counts), plus -churn to play an update stream
+// into each table first.
 //
 // Common flags: -packets, -entries, -seed, -workers, -json (structured
 // metrics with per-FU counters on stdout), -compiled (simulate through
@@ -62,7 +63,7 @@ func main() {
 		hist       = flag.Bool("hist", false, "print the merged per-packet latency histogram summary on stderr")
 		metricsOut = flag.String("metrics-out", "",
 			"write the run's aggregated Prometheus text exposition to this file")
-		tableKind = flag.String("table-kind", "seq,tree,cam,multibit",
+		tableKind = flag.String("table-kind", "seq,tree,cam,multibit,tiled-tcam,compressed",
 			"largetable sweep: comma-separated table kinds")
 		tableSize = flag.String("table-size", "10000,100000,1000000",
 			"largetable sweep: comma-separated entry counts")
@@ -434,8 +435,8 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 			break
 		}
 		fmt.Println("large-table sweep (1BUS/1FU, model-based: anchored cycles + measured probes + table SRAM):")
-		fmt.Printf("%-13s %9s %12s %9s %12s %10s %9s %11s  %s\n",
-			"kind", "entries", "cycles/pkt", "probes", "req clock", "area mm²", "power W", "table mem", "verdict")
+		fmt.Printf("%-13s %9s %12s %9s %12s %10s %9s %9s %14s  %s\n",
+			"kind", "entries", "cycles/pkt", "probes", "req clock", "area mm²", "power W", "cam W", "table mem", "verdict")
 		for _, p := range pts {
 			if failedPoint(p) {
 				continue
@@ -454,13 +455,19 @@ func runSweep(ctx context.Context, which string, cons core.Constraints, sim core
 			if m.TableMem != nil {
 				mem = estimate.FormatBits(m.TableMem.Bits)
 				if m.TableMem.CAMChips > 0 {
-					mem = fmt.Sprintf("%d CAM chip(s)", m.TableMem.CAMChips)
+					// Ternary kinds: external chips carry the cells; the
+					// on-chip bits (next-hop/index SRAM) ride along.
+					mem = fmt.Sprintf("%d chip(s)+%s", m.TableMem.CAMChips, mem)
 				}
 			}
-			fmt.Printf("%-13s %9d %12.1f %9.1f %12s %10.1f %9.2f %11s  %s\n",
+			camW := "-"
+			if m.CAMChipPowerW > 0 {
+				camW = fmt.Sprintf("%.2f", m.CAMChipPowerW)
+			}
+			fmt.Printf("%-13s %9d %12.1f %9.1f %12s %10.1f %9.2f %9s %14s  %s\n",
 				m.Kind, m.TableEntries, m.CyclesPerPacket, m.AvgProbesPerPacket,
 				estimate.FormatHz(m.RequiredClockHz), m.Est.AreaMM2, m.Est.PowerW,
-				mem, verdict)
+				camW, mem, verdict)
 		}
 	default:
 		return fmt.Errorf("unknown sweep %q", which)

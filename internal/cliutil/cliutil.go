@@ -11,21 +11,23 @@ import (
 	"taco/internal/rtable"
 )
 
-// KindByName parses a routing-table implementation name.
+// KindByName parses a routing-table implementation name: the canonical
+// rtable names plus the CLI conveniences below. Unknown names get the
+// same sorted valid-name list rtable's strict parsers quote.
 func KindByName(name string) (rtable.Kind, error) {
 	switch strings.ToLower(name) {
-	case "sequential", "seq":
+	case "seq":
 		return rtable.Sequential, nil
-	case "tree", "balanced-tree", "balancedtree":
+	case "tree", "balancedtree":
 		return rtable.BalancedTree, nil
-	case "cam":
-		return rtable.CAM, nil
-	case "trie":
-		return rtable.Trie, nil
-	case "multibit", "lctrie", "lc-trie":
+	case "lctrie", "lc-trie":
 		return rtable.Multibit, nil
+	case "tiledtcam", "tcam":
+		return rtable.TiledTCAM, nil
+	case "cram":
+		return rtable.Compressed, nil
 	}
-	return 0, fmt.Errorf("unknown table %q (sequential | tree | cam | trie | multibit)", name)
+	return rtable.KindByName(strings.ToLower(name))
 }
 
 // KindsByNames parses a comma-separated list of table implementation

@@ -1,6 +1,7 @@
 package cliutil
 
 import (
+	"strings"
 	"testing"
 
 	"taco/internal/rtable"
@@ -14,6 +15,13 @@ func TestKindByName(t *testing.T) {
 		"TREE":       rtable.BalancedTree,
 		"cam":        rtable.CAM,
 		"trie":       rtable.Trie,
+		"multibit":   rtable.Multibit,
+		"lc-trie":    rtable.Multibit,
+		"tiled-tcam": rtable.TiledTCAM,
+		"tiledtcam":  rtable.TiledTCAM,
+		"tcam":       rtable.TiledTCAM,
+		"compressed": rtable.Compressed,
+		"cram":       rtable.Compressed,
 	}
 	for in, want := range cases {
 		got, err := KindByName(in)
@@ -21,8 +29,24 @@ func TestKindByName(t *testing.T) {
 			t.Errorf("KindByName(%q) = %v, %v", in, got, err)
 		}
 	}
-	if _, err := KindByName("hash"); err == nil {
-		t.Error("unknown kind accepted")
+	// Every canonical kind name parses, so the CLI vocabulary can never
+	// fall behind rtable.Kinds.
+	for _, k := range rtable.Kinds {
+		got, err := KindByName(k.String())
+		if err != nil || got != k {
+			t.Errorf("KindByName(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	err := func() error { _, err := KindByName("hash"); return err }()
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// The rejection message carries the sorted valid-name list (shared
+	// with rtable's strict JSON parser).
+	for _, name := range rtable.KindNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q missing valid kind %q", err, name)
+		}
 	}
 }
 

@@ -97,7 +97,7 @@ func EvaluateScaled(cfg fu.Config, spec ScaleSpec, cons Constraints, sim SimOpti
 	donor := spec.Kind
 	modelled := false
 	switch spec.Kind {
-	case rtable.Multibit, rtable.Trie:
+	case rtable.Multibit, rtable.Trie, rtable.TiledTCAM, rtable.Compressed:
 		donor = rtable.BalancedTree
 		modelled = true
 	}

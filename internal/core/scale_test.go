@@ -24,7 +24,7 @@ func scaledOnce(t *testing.T, kind rtable.Kind, entries, churn int) Metrics {
 
 func TestEvaluateScaledAllKinds(t *testing.T) {
 	const entries = 20000
-	for _, kind := range []rtable.Kind{rtable.Sequential, rtable.BalancedTree, rtable.CAM, rtable.Multibit, rtable.Trie} {
+	for _, kind := range rtable.Kinds {
 		kind := kind
 		t.Run(kind.String(), func(t *testing.T) {
 			m := scaledOnce(t, kind, entries, 0)
@@ -54,7 +54,8 @@ func TestEvaluateScaledAllKinds(t *testing.T) {
 			}
 			wantDonor := kind
 			wantModelled := false
-			if kind == rtable.Multibit || kind == rtable.Trie {
+			switch kind {
+			case rtable.Multibit, rtable.Trie, rtable.TiledTCAM, rtable.Compressed:
 				wantDonor, wantModelled = rtable.BalancedTree, true
 			}
 			if sm.DonorKind != wantDonor || sm.Modelled != wantModelled {

@@ -339,6 +339,7 @@ func PacketSizeInstances(cfg fu.Config, sizes []int, cons core.Constraints, sim 
 // from both sides (it is available explicitly via -table-kind trie).
 var LargeTableKinds = []rtable.Kind{
 	rtable.Sequential, rtable.BalancedTree, rtable.CAM, rtable.Multibit,
+	rtable.TiledTCAM, rtable.Compressed,
 }
 
 // LargeTableInstances builds the kind × size grid of the large-database

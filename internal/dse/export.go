@@ -15,7 +15,8 @@ import (
 // export zeros there.
 var csvHeader = []string{
 	"x", "kind", "config", "cycles_per_packet", "bus_utilization",
-	"required_clock_hz", "area_mm2", "power_w", "clock_feasible", "acceptable",
+	"required_clock_hz", "area_mm2", "power_w", "cam_power_w",
+	"clock_feasible", "acceptable",
 	"latency_p50", "latency_p90", "latency_p99", "latency_p999",
 	"err", "bundle",
 }
@@ -130,6 +131,7 @@ func metricsRow(x float64, m core.Metrics, errStr, bundle string) []string {
 		fmt.Sprintf("%.0f", m.RequiredClockHz),
 		fmt.Sprintf("%.2f", m.Est.AreaMM2),
 		fmt.Sprintf("%.3f", m.Est.PowerW),
+		fmt.Sprintf("%.3f", m.CAMChipPowerW),
 		fmt.Sprintf("%t", m.ClockFeasible),
 		fmt.Sprintf("%t", m.Acceptable() && errStr == ""),
 		fmt.Sprintf("%d", m.LatencyP50),

@@ -34,7 +34,24 @@ const (
 	// camAssocBits: the on-chip SRAM word associated with each external
 	// CAM entry (the CAM cells themselves are off-chip).
 	camAssocBits = 32
+	// indexNodeBits: one tiled-TCAM index-stage node — two block/node
+	// pointers plus a leaf flag, a binary-trie-shaped SRAM record.
+	indexNodeBits = 72
+	// compressedNodeBits: the fixed part of a compressed-trie node —
+	// level tag, child-array base pointer, span-route list head.
+	compressedNodeBits = 96
+	// compressedKidBits: one occupied compact child record — a 40-bit
+	// pointer plus type tag, same payload as a multibit slot.
+	compressedKidBits = 48
 )
+
+// tcamStandbyFrac is the standby power an inactive (not-searched)
+// tiled-TCAM block draws relative to an active one: match lines are
+// not precharged, only the cell array leaks. The MashUp-style win is
+// that per search one block pays full search power and the rest pay
+// only this fraction, where the monolithic CAM pays full power on
+// every chip for every search.
+const tcamStandbyFrac = 0.08
 
 // memKWordBits is the capacity of the "memKWord" cost unit (1 K words
 // of 32-bit SRAM), tying table storage to the same cost basis as the
@@ -80,6 +97,31 @@ func TableSRAM(kind rtable.Kind, dims rtable.MemDims, clockHz float64, tech Tech
 		cam := rtable.DefaultCAMConfig()
 		m.CAMChips = (dims.Entries + cam.Capacity - 1) / cam.Capacity
 		m.CAMPowerW = float64(m.CAMChips) * cam.ChipPowerW
+	case rtable.TiledTCAM:
+		// Ternary cells are external silicon on the same chip basis as
+		// the monolithic CAM; the index stage and per-entry next-hop
+		// words are on-chip SRAM. Allocated capacity is whole blocks.
+		bits = int64(dims.IndexNodes)*indexNodeBits + int64(dims.TCAMEntries)*camAssocBits
+		cam := rtable.DefaultCAMConfig()
+		block := rtable.DefaultTiledTCAMConfig().BlockSize
+		cells := dims.TCAMBlocks * block
+		m.CAMChips = (cells + cam.Capacity - 1) / cam.Capacity
+		// Power: one search activates a single block — full search power
+		// over BlockSize of one chip's Capacity — while every other
+		// allocated cell sits in standby. The monolithic CAM instead
+		// searches every chip flat-out; this difference is the headline
+		// fraction-of-power claim.
+		active := cam.ChipPowerW * float64(block) / float64(cam.Capacity)
+		standby := tcamStandbyFrac * cam.ChipPowerW * float64(m.CAMChips)
+		m.CAMPowerW = active + standby
+	case rtable.Compressed:
+		// Bitmap bits replace the multibit table's expanded slots; only
+		// occupied children pay pointer-width records.
+		bits = int64(dims.CompressedSlots) + // 1 bit per expanded slot
+			int64(dims.CompressedNodes)*compressedNodeBits +
+			int64(dims.CompressedKids)*compressedKidBits +
+			int64(dims.CompressedLeaves)*trieLeafBits +
+			int64(dims.Entries)*resultBits
 	}
 	m.Bits = bits
 

@@ -62,6 +62,16 @@ const (
 	// BinaryTrieStepFactor: a binary trie step is a single-bit test and
 	// child-pointer load, the cheapest possible probe.
 	BinaryTrieStepFactor = 0.30
+	// TiledTCAMStepFactor: an index-stage probe is a one-bit test plus a
+	// node load (binary-trie cost); the final probe is the ternary block
+	// search, a CAM-latency operation amortised over the few index steps.
+	// Averaged over a lookup's probe mix the per-probe cost sits between
+	// the binary trie and the multibit node.
+	TiledTCAMStepFactor = 0.40
+	// CompressedStepFactor: a compressed node visit is the multibit slot
+	// load plus the bitmap word fetch and popcount-rank — slightly more
+	// datapath work per probe than the expanded-array multibit node.
+	CompressedStepFactor = 0.55
 )
 
 // ModelPerProbe converts a calibrated balanced-tree per-probe cycle
@@ -74,6 +84,10 @@ func ModelPerProbe(kind rtable.Kind, treePerProbe float64) (perProbe float64, ok
 		return treePerProbe * MultibitStepFactor, true
 	case rtable.Trie:
 		return treePerProbe * BinaryTrieStepFactor, true
+	case rtable.TiledTCAM:
+		return treePerProbe * TiledTCAMStepFactor, true
+	case rtable.Compressed:
+		return treePerProbe * CompressedStepFactor, true
 	}
 	return 0, false
 }

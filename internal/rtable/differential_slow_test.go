@@ -5,7 +5,11 @@
 // seeds and steps: several hundred thousand cross-backend comparisons.
 package rtable_test
 
-import "testing"
+import (
+	"testing"
+
+	"taco/internal/rtable"
+)
 
 func TestDifferentialChurnLong(t *testing.T) {
 	if testing.Short() {
@@ -16,6 +20,51 @@ func TestDifferentialChurnLong(t *testing.T) {
 		t.Run(workloadSeedName(seed), func(t *testing.T) {
 			t.Parallel()
 			runDifferentialChurn(t, seed, 2500, 24)
+		})
+	}
+}
+
+// TestDifferentialChurnLongTiledStress reruns the long campaign with
+// the tiled TCAM pinned at its minimum legal block size and an
+// aggressive merge threshold, so thousands of churn steps ride through
+// constant tile splits and merges — the structural paths the
+// default-budget campaign rarely enters. Split/merge activity is
+// asserted, not assumed.
+func TestDifferentialChurnLongTiledStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long differential campaign")
+	}
+	for seed := uint64(200); seed < 204; seed++ {
+		seed := seed
+		t.Run(workloadSeedName(seed), func(t *testing.T) {
+			t.Parallel()
+			tables := diffTables()
+			tt := rtable.NewTiledTCAM(rtable.TiledTCAMConfig{
+				BlockSize: rtable.MinTiledBlockSize, MergeFill: 0.7,
+			})
+			tables[rtable.TiledTCAM] = tt
+			runDifferentialChurnOn(t, tables, seed, 2500, 24)
+			if ts := tt.TileStats(); ts.Splits == 0 {
+				t.Fatalf("stress campaign never split a tile (block %d, %d live routes)",
+					rtable.MinTiledBlockSize, tt.Len())
+			}
+			// Drain differentially: the churn is net-growth, so merges
+			// only happen on the way down. Every backend must agree on
+			// every delete, and an empty table must have collapsed the
+			// tile index entirely — one merge for every split.
+			for _, r := range tables[rtable.Sequential].Routes() {
+				for _, k := range rtable.Kinds {
+					if !tables[k].Delete(r.Prefix) {
+						t.Fatalf("drain: %v.Delete(%v) = false for a live route", k, r.Prefix)
+					}
+				}
+			}
+			checkState(t, tables, -1, true)
+			ts := tt.TileStats()
+			if ts.Merges != ts.Splits || ts.Tiles != 1 || ts.IndexNodes != 0 {
+				t.Errorf("drained index not collapsed: %d splits, %d merges, %d tiles, %d index nodes",
+					ts.Splits, ts.Merges, ts.Tiles, ts.IndexNodes)
+			}
 		})
 	}
 }

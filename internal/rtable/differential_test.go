@@ -12,7 +12,9 @@
 package rtable_test
 
 import (
+	"fmt"
 	"strconv"
+	"strings"
 	"testing"
 
 	"taco/internal/bits"
@@ -70,7 +72,27 @@ func diffDest(rng *workload.RNG, live []rtable.Route) bits.Word128 {
 	return rng.Word128()
 }
 
-// checkLookup asserts every backend answers dst identically.
+// replayDump renders the full reproduction recipe for a divergence: the
+// reference backend's live prefix set (one Insert per line) and the
+// offending destination, so the failure can be replayed directly
+// against any single backend without re-running the churn stream.
+func replayDump(tables map[rtable.Kind]rtable.Table, dst *bits.Word128) string {
+	var b strings.Builder
+	routes := tables[rtable.Sequential].Routes()
+	fmt.Fprintf(&b, "\nreplay: %d-route prefix set (sequential reference):\n", len(routes))
+	for _, r := range routes {
+		fmt.Fprintf(&b, "  Insert{%v nexthop=%v if%d metric=%d tag=%d}\n",
+			r.Prefix, r.NextHop, r.Iface, r.Metric, r.Tag)
+	}
+	if dst != nil {
+		fmt.Fprintf(&b, "replay: Lookup(%v)\n", *dst)
+	}
+	return b.String()
+}
+
+// checkLookup asserts every backend answers dst identically; a
+// divergence prints the offending prefix set and destination for
+// direct replay.
 func checkLookup(t *testing.T, tables map[rtable.Kind]rtable.Table, dst bits.Word128, step int) {
 	t.Helper()
 	ref, refOK := tables[rtable.Sequential].Lookup(dst)
@@ -80,8 +102,8 @@ func checkLookup(t *testing.T, tables map[rtable.Kind]rtable.Table, dst bits.Wor
 		}
 		got, ok := tables[k].Lookup(dst)
 		if ok != refOK || got != ref {
-			t.Fatalf("step %d: Lookup(%v) diverges: %v got (%v,%v), sequential (%v,%v)",
-				step, dst, k, got, ok, ref, refOK)
+			t.Fatalf("step %d: Lookup(%v) diverges: %v got (%v,%v), sequential (%v,%v)%s",
+				step, dst, k, got, ok, ref, refOK, replayDump(tables, &dst))
 		}
 	}
 }
@@ -116,10 +138,12 @@ func checkState(t *testing.T, tables map[rtable.Kind]rtable.Table, step int, dee
 			continue
 		}
 		if got, want := tables[k].Len(), ref.Len(); got != want {
-			t.Fatalf("step %d: %v.Len() = %d, sequential %d", step, k, got, want)
+			t.Fatalf("step %d: %v.Len() = %d, sequential %d%s",
+				step, k, got, want, replayDump(tables, nil))
 		}
 		if deep && !sameRoutes(tables[k].Routes(), refRoutes) {
-			t.Fatalf("step %d: %v.Routes() diverges from sequential", step, k)
+			t.Fatalf("step %d: %v.Routes() diverges from sequential:\n  got  %v\n  want %v%s",
+				step, k, tables[k].Routes(), refRoutes, replayDump(tables, nil))
 		}
 	}
 }
@@ -129,7 +153,15 @@ func checkState(t *testing.T, tables map[rtable.Kind]rtable.Table, step int, dee
 // every mutation.
 func runDifferentialChurn(t *testing.T, seed uint64, steps, lookupsPerStep int) {
 	t.Helper()
-	tables := diffTables()
+	runDifferentialChurnOn(t, diffTables(), seed, steps, lookupsPerStep)
+}
+
+// runDifferentialChurnOn is runDifferentialChurn over a caller-built
+// table set, so campaigns can substitute stressed configurations (e.g.
+// a minimum-block tiled TCAM that splits and merges constantly) for the
+// defaults.
+func runDifferentialChurnOn(t *testing.T, tables map[rtable.Kind]rtable.Table, seed uint64, steps, lookupsPerStep int) {
+	t.Helper()
 	rng := workload.NewRNG(seed)
 	var live []rtable.Route
 	liveIdx := map[bits.Prefix]int{}
@@ -168,7 +200,8 @@ func runDifferentialChurn(t *testing.T, seed uint64, steps, lookupsPerStep int) 
 			refDel := tables[rtable.Sequential].Delete(p)
 			for _, k := range rtable.Kinds[1:] {
 				if got := tables[k].Delete(p); got != refDel {
-					t.Fatalf("step %d: %v.Delete(%v) = %v, sequential %v", step, k, p, got, refDel)
+					t.Fatalf("step %d: %v.Delete(%v) = %v, sequential %v%s",
+						step, k, p, got, refDel, replayDump(tables, nil))
 				}
 			}
 			canon := bits.MakePrefix(p.Addr, p.Len)

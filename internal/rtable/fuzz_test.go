@@ -1,9 +1,13 @@
-// FuzzLPMBackends: coverage-guided differential fuzzing of all five
+// FuzzLPMBackends: coverage-guided differential fuzzing of all seven
 // routing-table backends. The input bytes decode into a bounded
 // insert/delete/lookup program that every backend executes in lockstep;
 // any observable disagreement (lookup result, delete verdict, length,
-// final listing) is a crash. `make fuzz-lpm` runs the campaign; the
-// plain test suite replays the seed corpus.
+// final listing) is a crash. Alongside the default-config backends the
+// lockstep set carries a minimum-block tiled-TCAM instance, so the
+// fuzzer reaches tile splits and merges inside the per-input op budget
+// (the default 256-entry block cannot overflow in 256 ops). `make
+// fuzz-lpm` runs the campaign; the plain test suite replays the seed
+// corpus.
 package rtable_test
 
 import (
@@ -35,12 +39,12 @@ func FuzzLPMBackends(f *testing.F) {
 	// aliased (host bits set) prefixes, a nested ancestor chain with the
 	// ancestor deleted, and a slice of the generated large-table mix.
 	var s1 []byte
-	s1 = fuzzOp(s1, 0, 0, bits.Word128{})                             // insert ::/0
-	s1 = fuzzOp(s1, 0, 128, bits.FromUint64(1))                       // insert host route
-	s1 = fuzzOp(s1, 3, 0, bits.FromUint64(1))                         // lookup the host
-	s1 = fuzzOp(s1, 3, 0, bits.FromUint64(2))                         // lookup -> default
-	s1 = fuzzOp(s1, 2, 128, bits.FromUint64(1))                       // delete the host
-	s1 = fuzzOp(s1, 3, 0, bits.FromUint64(1))                         // lookup -> default
+	s1 = fuzzOp(s1, 0, 0, bits.Word128{})       // insert ::/0
+	s1 = fuzzOp(s1, 0, 128, bits.FromUint64(1)) // insert host route
+	s1 = fuzzOp(s1, 3, 0, bits.FromUint64(1))   // lookup the host
+	s1 = fuzzOp(s1, 3, 0, bits.FromUint64(2))   // lookup -> default
+	s1 = fuzzOp(s1, 2, 128, bits.FromUint64(1)) // delete the host
+	s1 = fuzzOp(s1, 3, 0, bits.FromUint64(1))   // lookup -> default
 	f.Add(s1)
 
 	var s2 []byte
@@ -67,11 +71,31 @@ func FuzzLPMBackends(f *testing.F) {
 	s4 = fuzzOp(s4, 3, 0, base)
 	f.Add(s4)
 
+	// s5 overflows the minimum-block tiled-TCAM instance: 140 host
+	// routes under one /16 force splits, then deletes walk the merge
+	// path back up, with lookups interleaved at both extremes.
+	var s5 []byte
+	s5 = fuzzOp(s5, 0, 16, base)
+	for i := 0; i < 140; i++ {
+		s5 = fuzzOp(s5, 0, 128, base.Or(bits.FromUint64(uint64(i))))
+	}
+	s5 = fuzzOp(s5, 3, 0, base.Or(bits.FromUint64(7)))
+	for i := 0; i < 110; i++ { // stay within fuzzMaxOps end to end
+		s5 = fuzzOp(s5, 2, 128, base.Or(bits.FromUint64(uint64(i))))
+	}
+	s5 = fuzzOp(s5, 3, 0, base.Or(bits.FromUint64(7)))
+	s5 = fuzzOp(s5, 3, 0, base.Or(bits.FromUint64(130)))
+	f.Add(s5)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
-		tables := make([]rtable.Table, len(rtable.Kinds))
-		for i, k := range rtable.Kinds {
-			tables[i] = rtable.New(k)
+		tables := make([]rtable.Table, 0, len(rtable.Kinds)+1)
+		for _, k := range rtable.Kinds {
+			tables = append(tables, rtable.New(k))
 		}
+		// Minimum block size: splits become reachable within fuzzMaxOps.
+		tables = append(tables, rtable.NewTiledTCAM(rtable.TiledTCAMConfig{
+			BlockSize: rtable.MinTiledBlockSize + 1, MergeFill: 0.6,
+		}))
 		ref := tables[0] // sequential scan: the trivially correct oracle
 
 		ops := 0

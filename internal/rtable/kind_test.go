@@ -1,0 +1,86 @@
+// Table-driven round-trip coverage of the Kind enum's three parsing
+// surfaces: String, JSON (both the name form and the legacy integer
+// form), and KindByName — the single strict parser the CLI layer and
+// forensics replay both route through. Every surface must reject
+// unknown kinds with the same sorted valid-name list.
+package rtable
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestKindRoundTripEveryKind(t *testing.T) {
+	for _, k := range Kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			// String -> KindByName.
+			got, err := KindByName(k.String())
+			if err != nil || got != k {
+				t.Fatalf("KindByName(%q) = %v, %v", k.String(), got, err)
+			}
+			// JSON name form.
+			data, err := json.Marshal(k)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			if want := fmt.Sprintf("%q", k.String()); string(data) != want {
+				t.Fatalf("Marshal = %s, want %s", data, want)
+			}
+			var back Kind
+			if err := json.Unmarshal(data, &back); err != nil || back != k {
+				t.Fatalf("Unmarshal(%s) = %v, %v", data, back, err)
+			}
+			// Legacy integer form.
+			if err := json.Unmarshal([]byte(fmt.Sprintf("%d", int(k))), &back); err != nil || back != k {
+				t.Fatalf("Unmarshal(%d) = %v, %v", int(k), back, err)
+			}
+			// New constructs the right kind.
+			if tbl := New(k); tbl.Kind() != k {
+				t.Fatalf("New(%v).Kind() = %v", k, tbl.Kind())
+			}
+		})
+	}
+}
+
+func TestKindNamesSorted(t *testing.T) {
+	names := KindNames()
+	if len(names) != len(Kinds) {
+		t.Fatalf("KindNames lists %d names, %d kinds exist", len(names), len(Kinds))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("KindNames not sorted: %v", names)
+	}
+}
+
+// TestKindRejectsUnknown pins the strict error contract on every
+// parsing surface: unknown names and out-of-range integers fail, and
+// the error carries the sorted valid-name list.
+func TestKindRejectsUnknown(t *testing.T) {
+	wantList := strings.Join(KindNames(), " | ")
+
+	if _, err := KindByName("hash-table"); err == nil {
+		t.Fatal("KindByName must reject unknown names")
+	} else if !strings.Contains(err.Error(), wantList) {
+		t.Fatalf("KindByName error %q missing sorted valid list %q", err, wantList)
+	}
+
+	var k Kind
+	for _, bad := range []string{`"hash-table"`, `"Sequential"`, `"SEQ"`, `""`} {
+		if err := json.Unmarshal([]byte(bad), &k); err == nil {
+			t.Fatalf("Unmarshal(%s) accepted an unknown name", bad)
+		} else if !strings.Contains(err.Error(), wantList) {
+			t.Fatalf("Unmarshal(%s) error %q missing sorted valid list", bad, err)
+		}
+	}
+	for _, bad := range []string{"-1", "99", fmt.Sprintf("%d", len(Kinds)), "1.5", "true", "null"} {
+		if err := json.Unmarshal([]byte(bad), &k); err == nil {
+			t.Fatalf("Unmarshal(%s) accepted an invalid kind literal", bad)
+		} else if !strings.Contains(err.Error(), wantList) {
+			t.Fatalf("Unmarshal(%s) error %q missing sorted valid list", bad, err)
+		}
+	}
+}

@@ -11,6 +11,8 @@ package rtable
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"taco/internal/bits"
 )
@@ -49,11 +51,20 @@ const (
 	// Multibit is a multibit-stride (LC-trie-style) table with path
 	// compression: the large-database scaling backend.
 	Multibit
+	// TiledTCAM is the MashUp-style tiled ternary CAM: the prefix trie is
+	// partitioned into subtree tiles sized to a fixed TCAM-block budget,
+	// with an SRAM index stage selecting the single block a lookup
+	// activates.
+	TiledTCAM
+	// Compressed is the CRAM-style compressed trie: the multibit walk
+	// with bitmap-compressed child arrays, trading popcount-rank logic
+	// for an order-of-magnitude smaller SRAM footprint.
+	Compressed
 )
 
 // Kinds lists the implementations in the paper's Table 1 order, then the
 // extension baselines.
-var Kinds = []Kind{Sequential, BalancedTree, CAM, Trie, Multibit}
+var Kinds = []Kind{Sequential, BalancedTree, CAM, Trie, Multibit, TiledTCAM, Compressed}
 
 func (k Kind) String() string {
 	switch k {
@@ -67,8 +78,36 @@ func (k Kind) String() string {
 		return "trie"
 	case Multibit:
 		return "multibit"
+	case TiledTCAM:
+		return "tiled-tcam"
+	case Compressed:
+		return "compressed"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindNames returns every valid kind name, sorted — the vocabulary the
+// strict parsers (KindByName, UnmarshalJSON, cliutil) quote in errors.
+func KindNames() []string {
+	names := make([]string, len(Kinds))
+	for i, k := range Kinds {
+		names[i] = k.String()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// KindByName parses a canonical kind name (the String form). It is the
+// single strict parser shared by JSON round-trips and the CLI layer:
+// unknown names are rejected with the sorted list of valid names.
+func KindByName(name string) (Kind, error) {
+	for _, k := range Kinds {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("rtable: unknown table kind %q (valid: %s)",
+		name, strings.Join(KindNames(), " | "))
 }
 
 // MarshalJSON renders the kind by name, keeping metric exports readable.
@@ -78,22 +117,27 @@ func (k Kind) MarshalJSON() ([]byte, error) {
 
 // UnmarshalJSON accepts the MarshalJSON form (a kind name) or a bare
 // integer, so serialized configs — forensic bundles in particular —
-// round-trip.
+// round-trip. Both forms are strict: unknown names and out-of-range
+// integers are rejected with the sorted list of valid names, matching
+// the cliutil error path.
 func (k *Kind) UnmarshalJSON(data []byte) error {
 	s := string(data)
-	if len(s) >= 2 && s[0] == '"' {
-		name := s[1 : len(s)-1]
-		for _, cand := range Kinds {
-			if cand.String() == name {
-				*k = cand
-				return nil
-			}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		got, err := KindByName(s[1 : len(s)-1])
+		if err != nil {
+			return err
 		}
-		return fmt.Errorf("rtable: unknown table kind %q", name)
+		*k = got
+		return nil
 	}
-	var n int
-	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
-		return fmt.Errorf("rtable: bad table kind %s", s)
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("rtable: bad table kind %s (valid: %s)",
+			s, strings.Join(KindNames(), " | "))
+	}
+	if n < 0 || n >= len(Kinds) {
+		return fmt.Errorf("rtable: table kind %d out of range (valid: %s)",
+			n, strings.Join(KindNames(), " | "))
 	}
 	*k = Kind(n)
 	return nil
@@ -155,6 +199,10 @@ func New(k Kind) Table {
 		return NewTrie()
 	case Multibit:
 		return NewMultibit(DefaultMultibitConfig())
+	case TiledTCAM:
+		return NewTiledTCAM(DefaultTiledTCAMConfig())
+	case Compressed:
+		return NewCompressed(DefaultCompressedConfig())
 	}
 	panic(fmt.Sprintf("rtable: unknown kind %d", int(k)))
 }
@@ -169,6 +217,15 @@ type MemDims struct {
 	TrieNodes   int // multibit internal nodes
 	TrieSlots   int // multibit expanded child slots (Σ 2^stride per node)
 	TrieLeaves  int // multibit path-compressed leaf records
+
+	TCAMBlocks  int // tiled-TCAM allocated ternary blocks
+	TCAMEntries int // tiled-TCAM occupied ternary entries (incl. covering copies)
+	IndexNodes  int // tiled-TCAM index-stage SRAM nodes
+
+	CompressedNodes  int // compressed-trie internal nodes
+	CompressedSlots  int // compressed-trie bitmap bits (Σ 2^stride per node)
+	CompressedKids   int // compressed-trie occupied child records
+	CompressedLeaves int // compressed-trie path-compressed leaf records
 }
 
 // MemSizer is implemented by tables that can report their storage

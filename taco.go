@@ -70,6 +70,12 @@ const (
 	Trie         = rtable.Trie
 	// Multibit is the multibit-stride (LC-trie-style) scaling backend.
 	Multibit = rtable.Multibit
+	// TiledTCAM is the MashUp-style tiled ternary CAM: subtree tiles
+	// sized to a block budget behind an SRAM index stage.
+	TiledTCAM = rtable.TiledTCAM
+	// Compressed is the CRAM-style compressed trie: the multibit walk
+	// over bitmap-compressed child arrays.
+	Compressed = rtable.Compressed
 )
 
 // NewTable constructs an empty routing table of the given kind.
