@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race slow soak fuzz fuzz-router fuzz-lpm fuzz-faults fuzz-compiled bench bench-json bench-guard snapshot vet
+.PHONY: all build test race slow soak topo-soak fuzz fuzz-router fuzz-lpm fuzz-faults fuzz-compiled fuzz-topo bench bench-json bench-guard snapshot vet
 
 all: build test
 
@@ -33,6 +33,35 @@ soak:
 	$(GO) run ./cmd/tacoroute -soak -soak-campaigns $(SOAK_CAMPAIGNS) \
 		-packets 96 -entries 96 -faults all:0.2
 
+# Network-scale chaos soak: a seeded >=200-node fat-tree campaign
+# (flaps + partition/heal + crash + storm) run at -workers 1 and
+# -workers 8 with byte-identity asserted over text, CSV and JSON; then
+# an injected-violation run whose forensics bundles must all reproduce
+# under tacoreplay.
+TOPO_SEED ?= 3
+topo-soak:
+	rm -rf /tmp/taco-topo-soak && mkdir -p /tmp/taco-topo-soak
+	$(GO) run ./cmd/tacotopo -campaign -topo fattree -size 14 -mix mixed \
+		-seed $(TOPO_SEED) -workers 1 \
+		-csv /tmp/taco-topo-soak/w1.csv -json /tmp/taco-topo-soak/w1.json \
+		> /tmp/taco-topo-soak/w1.txt
+	$(GO) run ./cmd/tacotopo -campaign -topo fattree -size 14 -mix mixed \
+		-seed $(TOPO_SEED) -workers 8 \
+		-csv /tmp/taco-topo-soak/w8.csv -json /tmp/taco-topo-soak/w8.json \
+		> /tmp/taco-topo-soak/w8.txt
+	cmp /tmp/taco-topo-soak/w1.txt /tmp/taco-topo-soak/w8.txt
+	cmp /tmp/taco-topo-soak/w1.csv /tmp/taco-topo-soak/w8.csv
+	cmp /tmp/taco-topo-soak/w1.json /tmp/taco-topo-soak/w8.json
+	$(GO) run ./cmd/tacotopo -sizes 6,10,14 -topo fattree -mix mixed \
+		-seed $(TOPO_SEED) -csv /tmp/taco-topo-soak/curves.csv
+	$(GO) run ./cmd/tacotopo -campaign -topo ring -size 12 -mix mixed \
+		-seed $(TOPO_SEED) -inject-violation \
+		-forensics-out /tmp/taco-topo-soak/bundles \
+		> /tmp/taco-topo-soak/inject.txt; test $$? -eq 1
+	for b in /tmp/taco-topo-soak/bundles/*.json; do \
+		$(GO) run ./cmd/tacoreplay -bundle $$b || exit 1; \
+	done
+
 # Short differential fuzz bursts (one -fuzz pattern per go test
 # invocation); extend FUZZTIME for longer campaigns.
 FUZZTIME ?= 30s
@@ -58,6 +87,12 @@ fuzz-faults:
 # bit-identical on fuzzer-chosen cells, seeds and frames.
 fuzz-compiled:
 	$(GO) test ./internal/fault -run xxx -fuzz FuzzCompiledVsInterpreted -fuzztime $(FUZZTIME)
+
+# Randomized event schedules (flaps, crashes, storms, probe waves) on
+# small meshes: every schedule must quiesce back to the oracle with a
+# clean sweep and conserved accounting.
+fuzz-topo:
+	$(GO) test ./internal/net -run xxx -fuzz FuzzTopologyEvents -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem

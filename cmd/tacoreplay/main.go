@@ -1,8 +1,11 @@
 // Command tacoreplay is the deterministic forensic debugger: it loads a
 // bundle written by a failing run (a soak campaign, a sweep point, a
-// stalled tacoroute/tacosim — anything with -forensics-out) and
-// re-executes it bit-identically, without the original workload
-// generator, fault injector or sweep harness.
+// stalled tacoroute/tacosim, a tacotopo network invariant violation —
+// anything with -forensics-out) and re-executes it bit-identically,
+// without the original workload generator, fault injector, sweep
+// harness or mesh. A net-invariant bundle carries one mesh node's exact
+// FIB plus the probe datagram that witnessed the violation, so the
+// whole-network failure replays as a single-router execution.
 //
 // Modes:
 //

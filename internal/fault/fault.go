@@ -171,6 +171,7 @@ func MutatorByName(name string) (Mutator, error) {
 	for _, m := range AllMutators() {
 		names = append(names, m.Name())
 	}
+	sort.Strings(names)
 	return nil, fmt.Errorf("fault: unknown mutator %q (%s | all)", name, strings.Join(names, " | "))
 }
 
@@ -253,6 +254,15 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 		return nil, nil
 	}
 	var rules []Rule
+	seen := map[string]bool{}
+	add := func(m Mutator, prob float64) error {
+		if seen[m.Name()] {
+			return fmt.Errorf("fault: duplicate mutator %q in spec %q", m.Name(), spec)
+		}
+		seen[m.Name()] = true
+		rules = append(rules, Rule{Mutator: m, Prob: prob})
+		return nil
+	}
 	for _, entry := range strings.Split(spec, ",") {
 		entry = strings.TrimSpace(entry)
 		if entry == "" {
@@ -269,7 +279,9 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 		}
 		if name == "all" {
 			for _, m := range AllMutators() {
-				rules = append(rules, Rule{Mutator: m, Prob: prob})
+				if err := add(m, prob); err != nil {
+					return nil, err
+				}
 			}
 			continue
 		}
@@ -277,7 +289,9 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 		if err != nil {
 			return nil, err
 		}
-		rules = append(rules, Rule{Mutator: m, Prob: prob})
+		if err := add(m, prob); err != nil {
+			return nil, err
+		}
 	}
 	if len(rules) == 0 {
 		return nil, nil

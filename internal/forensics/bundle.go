@@ -51,6 +51,11 @@ const (
 	// KindMachineStall: a bare compute-machine run (tacosim) exceeded
 	// its cycle budget or faulted; replayed from assembly source.
 	KindMachineStall = "machine-stall"
+	// KindNetInvariant: a network-level invariant violation witnessed by
+	// a probe datagram in an internal/net campaign — the capturing node's
+	// exact FIB and the dying datagram, with GotFates the fate the node
+	// produced and WantFates what the whole-network oracle required.
+	KindNetInvariant = "net-invariant"
 )
 
 // Datagram is one delivered datagram in delivery order. Data is the

@@ -114,6 +114,24 @@ func CheckReproduction(b *Bundle, res *ReplayResult) error {
 			return errors.New("bundle records a divergence but replayed fates match the golden reference")
 		}
 		return nil
+	case KindNetInvariant:
+		// The bundle captures one node's FIB and the probe datagram that
+		// witnessed a network invariant violation. The replay must produce
+		// exactly the recorded fate (GotFates); WantFates holds what the
+		// whole-network oracle required, which by construction differs.
+		if res.Stall != nil {
+			return fmt.Errorf("bundle records a net-invariant violation but the replay stalled: %s", res.Stall.Error())
+		}
+		if res.Err != "" {
+			return fmt.Errorf("bundle records a net-invariant violation but the replay errored: %s", res.Err)
+		}
+		if err := diffFates("got", res.Fates, b.GotFates); err != nil {
+			return err
+		}
+		if fatesEqual(b.GotFates, b.WantFates) {
+			return errors.New("bundle records a net-invariant violation but its fates match the oracle")
+		}
+		return nil
 	case KindDropAudit:
 		if res.Stall != nil {
 			return fmt.Errorf("bundle records a drop-audit failure but the replay stalled: %s", res.Stall.Error())

@@ -1,0 +1,291 @@
+package net
+
+import (
+	"fmt"
+	"sort"
+
+	"taco/internal/workload"
+)
+
+// CampaignOptions shapes one chaos campaign. The zero value (after
+// defaults) runs a modest campaign: a handful of flaps, one partition
+// and heal, lossy/corrupting wires during the chaos window, probe waves
+// throughout, and a clean verdict sweep after reconvergence.
+type CampaignOptions struct {
+	// Flaps is the number of scheduled single-edge flap cycles.
+	Flaps int
+	// FlapDownTicks is how long a flapped edge stays down.
+	FlapDownTicks int64
+	// Partition enables one partition/heal: a BFS ball of roughly N/5
+	// nodes is cut off and healed PartitionTicks later.
+	Partition bool
+	// PartitionTicks is how long the partition lasts.
+	PartitionTicks int64
+	// Crashes is the number of node crash/restart cycles.
+	Crashes int
+	// CrashDownTicks is how long a crashed node stays down.
+	CrashDownTicks int64
+	// Storms is the number of poison storms injected.
+	Storms int
+	// ChaosTicks is the chaos window length; every scheduled fault
+	// starts and finishes inside it.
+	ChaosTicks int64
+	// Loss and Corrupt are the wire fault probabilities during chaos.
+	Loss, Corrupt float64
+	// PeerDrop, PeerDup, PeerDelay are the RIPng peer-fault
+	// probabilities during chaos (delay bounded by PeerMaxDelay ticks).
+	PeerDrop, PeerDup, PeerDelay float64
+	PeerMaxDelay                 int
+	// ProbeEvery launches a wave of audit probes every that many ticks
+	// during chaos; ProbeDests destinations per stub source per wave.
+	ProbeEvery int64
+	ProbeDests int
+	// SweepDests is the per-source destination count of the final
+	// converged verdict sweep.
+	SweepDests int
+	// ConvergeBudget bounds both the initial convergence and the
+	// post-chaos reconvergence, in ticks; 0 derives a bound from the
+	// RIPng timers and the topology diameter.
+	ConvergeBudget int64
+	// InjectViolation deliberately black-holes one stub route before the
+	// verdict sweep, to prove the violation -> bundle -> replay pipeline
+	// end to end. The campaign verdict is then expected to be FAIL.
+	InjectViolation bool
+}
+
+func (c *CampaignOptions) defaults() {
+	if c.FlapDownTicks <= 0 {
+		c.FlapDownTicks = 13
+	}
+	if c.PartitionTicks <= 0 {
+		c.PartitionTicks = 41
+	}
+	if c.CrashDownTicks <= 0 {
+		c.CrashDownTicks = 19
+	}
+	if c.ChaosTicks <= 0 {
+		c.ChaosTicks = 80
+	}
+	if c.ChaosTicks <= c.PartitionTicks {
+		c.ChaosTicks = c.PartitionTicks + 17
+	}
+	if c.Loss == 0 {
+		c.Loss = 0.02
+	}
+	if c.Corrupt == 0 {
+		c.Corrupt = 0.01
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 7
+	}
+	if c.ProbeDests <= 0 {
+		c.ProbeDests = 1
+	}
+	if c.SweepDests <= 0 {
+		c.SweepDests = 2
+	}
+}
+
+// convergeBudget bounds how long the mesh may take to settle: the full
+// timeout + GC aging of stale state, a generous number of update
+// rounds, and propagation across the diameter.
+func (m *Mesh) convergeBudget() int64 {
+	return int64(m.opt.Timeout+m.opt.GC+16*m.opt.Update) +
+		4*int64(m.topo.Diameter()) + 64
+}
+
+// WaveProbes injects up to dests audit probes from every alive stub
+// owner toward arbitrary foreign stub prefixes (reachable or not:
+// mid-chaos fates are audited, not asserted). Returns the launch count.
+func (m *Mesh) WaveProbes(dests int) int {
+	launched := 0
+	owners := m.topo.StubOwners
+	for _, src := range owners {
+		if !m.nodes[src].alive {
+			continue
+		}
+		for d := 0; d < dests; d++ {
+			dst := owners[m.probeRNG.Intn(len(owners))]
+			if dst == src {
+				continue
+			}
+			if m.InjectProbe(src, StubPrefix(dst), false) {
+				launched++
+			}
+		}
+	}
+	return launched
+}
+
+// RunCampaign drives one full chaos campaign on the mesh: initial
+// convergence, a seeded chaos window with probe waves, reconvergence,
+// a clean verdict sweep, and the invariant verdict.
+func RunCampaign(m *Mesh, copt CampaignOptions) *CampaignReport {
+	copt.defaults()
+	rep := &CampaignReport{
+		Topo:     m.topo.Name,
+		Nodes:    m.topo.N,
+		Edges:    len(m.topo.Edges),
+		Diameter: m.topo.Diameter(),
+		Mix:      m.opt.Mix,
+		Table:    m.opt.Table.String(),
+		Seed:     m.opt.Seed,
+	}
+	budget := copt.ConvergeBudget
+	if budget <= 0 {
+		budget = m.convergeBudget()
+	}
+
+	// Phase 1: cold-start convergence.
+	rep.InitialTicks, rep.InitialOK = m.RunUntilConverged(budget)
+	if !rep.InitialOK {
+		rep.InitialDivergence = m.Divergence()
+	}
+
+	// Phase 2: schedule the chaos window and run through it.
+	rng := workload.NewRNG(m.opt.Seed ^ 0xc6a4a7935bd1e995)
+	start := m.Now() + 2
+	end := start + copt.ChaosTicks
+	ev := func(format string, args ...any) {
+		rep.Events = append(rep.Events, fmt.Sprintf(format, args...))
+	}
+	for i := 0; i < copt.Flaps && len(m.topo.Edges) > 0; i++ {
+		ei := rng.Intn(len(m.topo.Edges))
+		window := copt.ChaosTicks - copt.FlapDownTicks - 2
+		if window < 1 {
+			window = 1
+		}
+		at := start + int64(rng.Intn(int(window)))
+		m.ScheduleEdge(ei, at, false)
+		m.ScheduleEdge(ei, at+copt.FlapDownTicks, true)
+		ev("tick %d: edge %d (%d-%d) down for %d ticks",
+			at, ei, m.topo.Edges[ei].A, m.topo.Edges[ei].B, copt.FlapDownTicks)
+		rep.Flaps++
+	}
+	if copt.Partition {
+		ball := m.bfsBall(rng.Intn(m.topo.N), (m.topo.N+4)/5)
+		at := start + 3
+		heal := at + copt.PartitionTicks
+		if heal >= end {
+			heal = end - 1
+		}
+		cut := m.CutBetween(func(n int) bool { return ball[n] }, at, heal)
+		rep.PartitionEdges = len(cut)
+		var members []int
+		for n := range ball {
+			members = append(members, n)
+		}
+		sort.Ints(members)
+		ev("tick %d: partition %d nodes %v (cut %d edges), heal at tick %d",
+			at, len(members), members, len(cut), heal)
+	}
+	for i := 0; i < copt.Crashes; i++ {
+		nodeID := rng.Intn(m.topo.N)
+		window := copt.ChaosTicks - copt.CrashDownTicks - 2
+		if window < 1 {
+			window = 1
+		}
+		at := start + int64(rng.Intn(int(window)))
+		restart := at + copt.CrashDownTicks
+		m.ScheduleCrash(nodeID, at, restart)
+		ev("tick %d: node %d crashes, restarts at tick %d", at, nodeID, restart)
+		rep.Crashes++
+	}
+	for i := 0; i < copt.Storms; i++ {
+		nodeID := rng.Intn(m.topo.N)
+		at := start + int64(rng.Intn(int(copt.ChaosTicks-1)))
+		m.ScheduleStorm(nodeID, at)
+		ev("tick %d: poison storm from node %d", at, nodeID)
+		rep.Storms++
+	}
+	rep.ChaosTicks = copt.ChaosTicks
+
+	m.SetLinkFaults(copt.Loss, copt.Corrupt)
+	m.SetPeerFaults(copt.PeerDrop, copt.PeerDup, copt.PeerDelay, copt.PeerMaxDelay)
+	for m.Now() < end {
+		if copt.ProbeEvery > 0 && (m.Now()-start)%copt.ProbeEvery == 0 {
+			rep.ChaosProbes += m.WaveProbes(copt.ProbeDests)
+		}
+		m.Step()
+	}
+	m.SetLinkFaults(0, 0)
+	m.SetPeerFaults(0, 0, 0, 0)
+
+	// Phase 3: quiescence — all faults cleared, reconverge.
+	rep.ReconvergeTicks, rep.ReconvergeOK = m.RunUntilConverged(budget)
+	if !rep.ReconvergeOK {
+		rep.ReconvergeDivergence = m.Divergence()
+	}
+	rep.NextHopUnsound = m.NextHopSound()
+
+	// Phase 4: converged verdict sweep over perfect wires; every probe
+	// must deliver, and any death is an invariant violation.
+	if copt.InjectViolation && len(m.topo.StubOwners) >= 2 {
+		owners := m.topo.StubOwners
+		victim := owners[len(owners)-1]
+		src := owners[0]
+		if m.InjectBlackhole(victim, StubPrefix(victim)) {
+			ev("tick %d: INJECTED blackhole: node %d dropped its own stub route %v",
+				m.Now(), victim, StubPrefix(victim))
+			rep.InjectedViolation = true
+			m.SetConvergedWindow(true)
+			m.InjectProbe(src, StubPrefix(victim), true)
+			rep.SweepLaunched++
+		}
+	}
+	m.SetConvergedWindow(true)
+	rep.SweepLaunched += m.SweepProbes(copt.SweepDests)
+	deadline := m.Now() + maxProbeAgeTicks + 4
+	for m.InFlight() > 0 && m.Now() < deadline {
+		m.Step()
+	}
+	m.SetConvergedWindow(false)
+
+	// Verdict.
+	for _, oc := range m.DrainOutcomes() {
+		if oc.Sweep && oc.Result == "delivered" {
+			rep.SweepDelivered++
+		}
+	}
+	rep.Injected, rep.Delivered, rep.Deaths = m.ProbeLedger()
+	rep.InFlight = m.InFlight()
+	rep.Ctrl = m.CtrlTotals()
+	rep.TACOHops, rep.TACODivergences, rep.Stalls = m.TACOTotals()
+	rep.Quarantined = m.Quarantined()
+	rep.AuditProblems = m.AuditConservation()
+	rep.Violations = m.Violations()
+	rep.Bundles = append([]string(nil), m.BundlePaths()...)
+	sort.Strings(rep.Bundles)
+	if m.watch != nil {
+		rep.WatchOn = true
+		rep.MaxUpwardRevisions = m.MaxUpwardRevisions()
+	}
+	rep.Verdict = "PASS"
+	if !rep.InitialOK || !rep.ReconvergeOK || rep.NextHopUnsound != "" ||
+		len(rep.Violations) > 0 || len(rep.AuditProblems) > 0 ||
+		rep.SweepDelivered != rep.SweepLaunched || rep.InFlight != 0 {
+		rep.Verdict = "FAIL"
+	}
+	return rep
+}
+
+// bfsBall returns a set of roughly size nodes around center, grown in
+// deterministic BFS order over the full topology.
+func (m *Mesh) bfsBall(center, size int) map[int]bool {
+	ball := map[int]bool{center: true}
+	queue := []int{center}
+	for len(queue) > 0 && len(ball) < size {
+		u := queue[0]
+		queue = queue[1:]
+		for _, nb := range m.nodes[u].nbrs {
+			if !ball[nb.node] {
+				ball[nb.node] = true
+				queue = append(queue, nb.node)
+				if len(ball) >= size {
+					break
+				}
+			}
+		}
+	}
+	return ball
+}

@@ -1,0 +1,170 @@
+// Partition/heal invariants on hand-built topologies, small enough to
+// reason about exactly: a 3-node line (no alternate path: withdrawal
+// must propagate without any metric climb) and a 4-node ring (one
+// alternate path: split horizon with poisoned reverse must bound the
+// count-to-infinity transient). Both run golden-only and mixed
+// golden/TACO node sets; the mesh invariants — FIB-vs-oracle equality,
+// loop-free forwarding, audited probe fates, conservation — must hold
+// through cut and heal.
+package net
+
+import (
+	"testing"
+)
+
+func runToConvergence(t *testing.T, m *Mesh, phase string) int64 {
+	t.Helper()
+	ticks, ok := m.RunUntilConverged(m.convergeBudget())
+	if !ok {
+		t.Fatalf("%s: no convergence in %d ticks: %s", phase, m.convergeBudget(), m.Divergence())
+	}
+	if s := m.NextHopSound(); s != "" {
+		t.Fatalf("%s: %s", phase, s)
+	}
+	return ticks
+}
+
+func sweepAllDeliver(t *testing.T, m *Mesh, phase string) {
+	t.Helper()
+	m.SetConvergedWindow(true)
+	defer m.SetConvergedWindow(false)
+	launched := m.SweepProbes(3)
+	for m.InFlight() > 0 {
+		m.Step()
+	}
+	delivered := 0
+	for _, oc := range m.DrainOutcomes() {
+		if oc.Result == "delivered" {
+			delivered++
+		} else {
+			t.Errorf("%s: probe %d (%d -> %s) died: %s at node %d",
+				phase, oc.ID, oc.Src, oc.Dst, oc.Result, oc.DiedAt)
+		}
+	}
+	if delivered != launched {
+		t.Fatalf("%s: delivered %d of %d probes", phase, delivered, launched)
+	}
+	if vs := m.Violations(); len(vs) != 0 {
+		t.Fatalf("%s: violations: %v", phase, vs)
+	}
+	if probs := m.AuditConservation(); len(probs) != 0 {
+		t.Fatalf("%s: audit: %v", phase, probs)
+	}
+}
+
+// TestLinePartitionHeal cuts the middle link of a 3-node line. With no
+// alternate path there is nothing to count over: the far side's routes
+// must be withdrawn by timeout with zero upward metric revisions, and
+// after the heal every FIB must equal the oracle again.
+func TestLinePartitionHeal(t *testing.T) {
+	for _, mix := range []string{"golden", "mixed"} {
+		t.Run(mix, func(t *testing.T) {
+			m := mustMesh(t, "line", 3, Options{Seed: 11, Mix: mix, WatchMetrics: true})
+			runToConvergence(t, m, "cold start")
+			sweepAllDeliver(t, m, "pre-cut")
+
+			// Cut the 1-2 edge (edge index 1), heal it 60 ticks later.
+			cutAt := m.Now() + 2
+			healAt := cutAt + 60
+			m.ScheduleEdge(1, cutAt, false)
+			m.ScheduleEdge(1, healAt, true)
+
+			// The partitioned halves must reconverge to the partitioned
+			// oracle: node 2's prefix aged out of nodes 0 and 1, and vice
+			// versa, before the heal.
+			for m.Now() < healAt-1 {
+				m.Step()
+			}
+			if d := m.Divergence(); d != "" {
+				t.Fatalf("partitioned state did not settle before heal: %s", d)
+			}
+			if got := len(m.Routes(0)); got != 2 {
+				t.Fatalf("node 0 carries %d routes while partitioned, want 2", got)
+			}
+
+			for m.Now() <= healAt {
+				m.Step()
+			}
+			runToConvergence(t, m, "post-heal")
+			sweepAllDeliver(t, m, "post-heal")
+
+			// No alternate path means no count-to-infinity at all.
+			if up := m.MaxUpwardRevisions(); up > 0 {
+				t.Fatalf("line partition produced %d upward metric revisions, want 0", up)
+			}
+		})
+	}
+}
+
+// TestRingPartitionHeal cuts one link of a 4-node ring. Every
+// destination stays reachable the long way around, so FIBs must
+// reconverge to the detour metrics while cut, and back after the heal.
+// Split horizon with poisoned reverse must keep the per-(node, prefix)
+// count-to-infinity transient tightly bounded.
+func TestRingPartitionHeal(t *testing.T) {
+	for _, mix := range []string{"golden", "mixed"} {
+		t.Run(mix, func(t *testing.T) {
+			m := mustMesh(t, "ring", 4, Options{Seed: 13, Mix: mix, WatchMetrics: true})
+			runToConvergence(t, m, "cold start")
+			sweepAllDeliver(t, m, "pre-cut")
+
+			// Cut the 0-1 edge (edge index 0): 0 and 1 now reach each
+			// other via 3 and 2.
+			cutAt := m.Now() + 2
+			m.ScheduleEdge(0, cutAt, false)
+			for m.Now() <= cutAt {
+				m.Step()
+			}
+			cutTicks := runToConvergence(t, m, "post-cut")
+			t.Logf("%s: reconverged to detour routes in %d ticks", mix, cutTicks)
+			sweepAllDeliver(t, m, "while cut")
+
+			// The detour must actually be in use: node 0 reaches node 1's
+			// stub over 3 hops (0 -> 3 -> 2 -> 1), carried at metric 4
+			// (the owner itself advertises its stub at metric 1).
+			o := m.oracle()
+			pi := o.PrefixIndex(StubPrefix(1))
+			if got := o.Metric(pi, 0); got != 4 {
+				t.Fatalf("oracle metric 0 -> stub(1) while cut: %d, want 4", got)
+			}
+
+			healAt := m.Now() + 2
+			m.ScheduleEdge(0, healAt, true)
+			for m.Now() <= healAt {
+				m.Step()
+			}
+			healTicks := runToConvergence(t, m, "post-heal")
+			t.Logf("%s: reconverged to direct routes in %d ticks", mix, healTicks)
+			sweepAllDeliver(t, m, "post-heal")
+
+			// Count-to-infinity bound: on a 4-ring, a (node, prefix) pair
+			// may climb from the direct metric to the detour metric in at
+			// most a couple of revisions; anything runaway would approach
+			// Infinity (16) revisions.
+			if up := m.MaxUpwardRevisions(); up > 3 {
+				t.Fatalf("ring partition produced %d upward metric revisions, want <= 3", up)
+			}
+		})
+	}
+}
+
+// TestPartitionOracleReachability pins the oracle itself: while a line
+// is cut, prefixes across the cut must be Unreachable and probes to
+// them must not be launchable by SweepProbes.
+func TestPartitionOracleReachability(t *testing.T) {
+	m := mustMesh(t, "line", 3, Options{Seed: 17})
+	runToConvergence(t, m, "cold start")
+	cutAt := m.Now() + 1
+	m.ScheduleEdge(0, cutAt, false) // isolate node 0
+	for m.Now() <= cutAt {
+		m.Step()
+	}
+	o := m.oracle()
+	pi := o.PrefixIndex(StubPrefix(0))
+	if o.Reachable(pi, 2) {
+		t.Fatal("oracle says node 2 can reach the isolated node 0")
+	}
+	if o.Reachable(pi, 0) != true {
+		t.Fatal("oracle says node 0 cannot reach its own stub")
+	}
+}

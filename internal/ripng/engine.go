@@ -223,8 +223,13 @@ func (e *Engine) updateRoute(prefix bits.Prefix, nextHop ipv6.Addr, iface, metri
 	case r.direct:
 		return // connected routes never learned over
 	case r.nextHop == nextHop && r.iface == iface:
-		// Same gateway: always believe it; refresh the timer.
-		r.expires = e.now + e.timeout
+		// Same gateway: always believe it. The timeout restarts only
+		// while the route stays reachable (RFC 2080 §2.4.2): a metric-16
+		// update from the gateway poisons the route and must start GC
+		// aging instead of keeping the route alive.
+		if metric < Infinity {
+			r.expires = e.now + e.timeout
+		}
 		if metric != r.metric {
 			e.setMetric(r, metric, tag)
 		}
@@ -262,7 +267,13 @@ func (e *Engine) Tick(now Clock) {
 		}
 	}
 	for p, r := range e.routes {
-		if r.metric >= Infinity && r.gcAt != 0 && now >= r.gcAt {
+		// A poisoned route may only be garbage-collected after its
+		// metric-16 advertisement has gone out (r.changed cleared by the
+		// next update); deleting it first would silently withdraw the
+		// route and leave neighbors counting on a dead path. This pins
+		// the expiry -> poison advertisement -> deletion ordering even
+		// when the GC interval is zero.
+		if r.metric >= Infinity && r.gcAt != 0 && now >= r.gcAt && !r.changed {
 			delete(e.routes, p)
 			e.table.Delete(p)
 		}
